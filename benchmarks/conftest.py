@@ -1,0 +1,41 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark reproduces one figure/table of the paper at a reduced
+default scale (seconds per figure) and prints the same rows/series the
+paper plots.  Set ``REPRO_FULL=1`` for paper-scale budgets (population
+200, 800-1250 generations — minutes to hours per figure).
+
+Rendered outputs are also written to ``benchmarks/results/<figure>.txt``
+so EXPERIMENTS.md can reference the measured series.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import Scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """The experiment scale for all benchmarks (env-controlled)."""
+    return Scale.from_env()
+
+
+@pytest.fixture(scope="session")
+def save_figure():
+    """Callable that persists a rendered FigureData and echoes it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(data):
+        text = data.render()
+        path = RESULTS_DIR / f"{data.figure_id.lower()}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return data
+
+    return _save

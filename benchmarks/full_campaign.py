@@ -1,0 +1,111 @@
+"""Paper-scale experiment campaign (run manually; takes ~1 hour).
+
+Runs the figure experiments at paper-proportioned budgets and writes the
+measured series to ``benchmarks/results/full/``.  EXPERIMENTS.md quotes
+these numbers.
+
+Usage::
+
+    python benchmarks/full_campaign.py [--out DIR]
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.mesacga import MESACGA, PAPER_SCHEDULE
+from repro.core.nsga2 import NSGA2
+from repro.core.sacga import SACGA, SACGAConfig
+from repro.circuits.sizing_problem import IntegratorSizingProblem
+from repro.experiments.runner import PAPER_HV_SCALE
+from repro.metrics.diversity import range_coverage
+from repro.metrics.hypervolume import hypervolume_paper, hypervolume_ref
+
+POP = 200
+CFG = SACGAConfig(phase1_max_iterations=200)
+REF = (2.0e-3, 5.0e-12)
+
+
+def describe(result):
+    front = result.front_objectives
+    if front.shape[0] == 0:
+        return {"front_size": 0}
+    c_load = (5e-12 - front[:, 1]) * 1e12
+    return {
+        "front_size": int(front.shape[0]),
+        "coverage": range_coverage(front, axis=1, low=0.0, high=5e-12),
+        "hv_paper": hypervolume_paper(front, scale=PAPER_HV_SCALE),
+        "hv_ref": hypervolume_ref(front, REF) * 1e15,
+        "c_load_pF": [round(float(v), 3) for v in np.sort(c_load)],
+        "power_mW": [
+            round(float(v) * 1e3, 4) for v in front[np.argsort(c_load), 0]
+        ],
+        "wall_time_s": round(result.wall_time, 1),
+    }
+
+
+def fresh():
+    return IntegratorSizingProblem()
+
+
+def run_campaign(out_dir: Path) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    record = {}
+
+    def save(key, payload):
+        record[key] = payload
+        (out_dir / "campaign.json").write_text(json.dumps(record, indent=2))
+        print(f"[{time.strftime('%H:%M:%S')}] {key}: "
+              f"{ {k: v for k, v in payload.items() if k not in ('c_load_pF', 'power_mW')} }")
+
+    # Figs 2/5/8: the 800-generation trio.
+    r = NSGA2(fresh(), population_size=POP, seed=42).run(800)
+    save("tpg_800", describe(r))
+    p = fresh()
+    r = SACGA(p, p.partition_grid(8), population_size=POP, seed=42, config=CFG).run(800)
+    save("sacga8_800", describe(r))
+    r = MESACGA(
+        fresh(), axis=1, low=0.0, high=5e-12,
+        partition_schedule=PAPER_SCHEDULE,
+        population_size=POP, seed=42, config=CFG,
+    ).run(800)
+    save("mesacga_800", describe(r))
+
+    # Fig 11: long budget, tuned-static vs expanding.
+    p = fresh()
+    r = SACGA(p, p.partition_grid(16), population_size=POP, seed=7, config=CFG).run(1200)
+    save("sacga16_1200", describe(r))
+    r = MESACGA(
+        fresh(), axis=1, low=0.0, high=5e-12,
+        partition_schedule=PAPER_SCHEDULE, span_per_phase=150,
+        population_size=POP, seed=7, config=CFG,
+    ).run(200 + 150 * 7)
+    save("mesacga_1250", describe(r))
+
+    # Fig 9: budget sweep (8-partition SACGA).
+    for gens in (200, 400, 800, 1200):
+        p = fresh()
+        r = SACGA(p, p.partition_grid(8), population_size=POP, seed=11, config=CFG).run(gens)
+        save(f"fig9_gens{gens}", describe(r))
+
+    # Fig 6: partition-count sweep at 1200 generations.
+    for m in (6, 12, 16, 20, 24):
+        p = fresh()
+        r = SACGA(p, p.partition_grid(m), population_size=POP, seed=13, config=CFG).run(1200)
+        save(f"fig6_m{m}", describe(r))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent / "results" / "full")
+    )
+    args = parser.parse_args()
+    run_campaign(Path(args.out))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Paper-scale T1 campaign: quality ordering across the spec ladder.
+
+Runs TPG / SACGA / MESACGA on several rungs of the 20-spec difficulty
+ladder at a fuller budget and applies the paired sign test from
+``repro.experiments.stats``.  Appends to
+``benchmarks/results/full/t1.json``.
+
+Usage::
+
+    python benchmarks/full_campaign_t1.py [--gens N] [--pop N] [--rungs 2 7 12 17]
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.circuits.specs import spec_ladder
+from repro.circuits.sizing_problem import IntegratorSizingProblem
+from repro.core.mesacga import MESACGA, PAPER_SCHEDULE
+from repro.core.nsga2 import NSGA2
+from repro.core.sacga import SACGA, SACGAConfig
+from repro.experiments.stats import ordering_table
+from repro.metrics.diversity import range_coverage
+from repro.metrics.hypervolume import hypervolume_ref
+
+REF = (2.0e-3, 5.0e-12)
+
+
+def run_rung(spec, gens, pop, seed):
+    cfg = SACGAConfig(phase1_max_iterations=max(20, gens // 5))
+    out = {}
+    problem = IntegratorSizingProblem(spec=spec)
+    out["tpg"] = NSGA2(problem, population_size=pop, seed=seed).run(gens)
+    problem = IntegratorSizingProblem(spec=spec)
+    out["sacga"] = SACGA(
+        problem, problem.partition_grid(8), population_size=pop,
+        seed=seed, config=cfg,
+    ).run(gens)
+    problem = IntegratorSizingProblem(spec=spec)
+    out["mesacga"] = MESACGA(
+        problem, axis=1, low=0.0, high=5e-12,
+        partition_schedule=PAPER_SCHEDULE if pop >= 150 else (10, 6, 4, 2, 1),
+        population_size=pop, seed=seed, config=cfg,
+    ).run(gens)
+    return {
+        name: {
+            "hv_ref": hypervolume_ref(r.front_objectives, REF) * 1e15
+            if r.front_size else 0.0,
+            "coverage": range_coverage(
+                r.front_objectives, axis=1, low=0.0, high=5e-12
+            ) if r.front_size else 0.0,
+            "front_size": r.front_size,
+            "wall_time_s": round(r.wall_time, 1),
+        }
+        for name, r in out.items()
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gens", type=int, default=400)
+    parser.add_argument("--pop", type=int, default=120)
+    parser.add_argument("--rungs", type=int, nargs="+", default=[4, 8, 12, 16])
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent / "results" / "full" / "t1.json")
+    )
+    args = parser.parse_args()
+
+    ladder = spec_ladder()
+    record = {"gens": args.gens, "pop": args.pop, "rungs": {}}
+    hv = {"tpg": [], "sacga": [], "mesacga": []}
+    cov = {"tpg": [], "sacga": [], "mesacga": []}
+    for rung in args.rungs:
+        spec = ladder[rung]
+        scores = run_rung(spec, args.gens, args.pop, seed=1000 + rung)
+        record["rungs"][spec.name] = scores
+        for name in hv:
+            hv[name].append(scores[name]["hv_ref"])
+            cov[name].append(scores[name]["coverage"])
+        print(spec.name, {k: round(v["hv_ref"], 3) for k, v in scores.items()})
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(record, indent=2))
+
+    print("\nhv_ref ordering (higher better):")
+    print(ordering_table(hv))
+    print("\ncoverage ordering:")
+    print(ordering_table(cov))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Fig 10 — Pareto-front progress across the 7 MESACGA phases.
+
+Paper: the paper-hypervolume measured at the end of each phase falls
+phase over phase, and larger per-phase spans end lower (span=150 beats
+span=50 after the final phase).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure10
+
+
+def test_fig10_phase_progress(benchmark, scale, save_figure):
+    data = benchmark.pedantic(lambda: figure10(scale=scale), rounds=1, iterations=1)
+    save_figure(data)
+
+    series = {k: v for k, v in data.series.items() if k.startswith("span=")}
+    assert len(series) >= 2, "need at least two span settings"
+
+    improved = 0
+    for name, hv in series.items():
+        hv = np.asarray(hv)
+        if hv.size >= 2 and np.isfinite(hv[0]) and np.isfinite(hv[-1]):
+            if hv[-1] <= hv[0]:
+                improved += 1
+    # The front must advance (HV fall) across phases for most spans.
+    assert improved >= max(1, len(series) - 1), (
+        f"phase-over-phase improvement failed for most spans: {series}"
+    )

@@ -1,0 +1,33 @@
+"""Fig 4 — annealing-gated participation probability curves (n=5, span=100).
+
+Pure evaluation of eqns (2)-(4) with the shaped constants; the curves
+must start near zero, order by sequence position i, and all reach ~1 at
+the end of the phase — matching the published plot.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure4
+
+
+def test_fig4_probability_curves(benchmark, save_figure):
+    data = benchmark.pedantic(
+        lambda: figure4(n=5, span=100, n_points=11), rounds=3, iterations=1
+    )
+    save_figure(data)
+
+    offsets = data.series["offsets"]
+    curves = np.array([data.series[f"i={i}"] for i in range(1, 6)])
+
+    # Start near zero, end near one (paper Fig 4).
+    assert np.all(curves[:, 0] < 0.05)
+    assert np.all(curves[:, -1] > 0.9)
+    # Anchors: i=1 hits 0.5 and i=5 hits 0.1 at mid-span; i=5 hits 0.95 at end.
+    mid = np.searchsorted(offsets, 50.0)
+    assert abs(curves[0, mid] - 0.5) < 1e-9
+    assert abs(curves[4, mid] - 0.1) < 1e-9
+    assert abs(curves[4, -1] - 0.95) < 1e-9
+    # Later sequence positions always have lower probability.
+    assert np.all(np.diff(curves, axis=0) <= 1e-12)
+    # Each curve is non-decreasing in time.
+    assert np.all(np.diff(curves, axis=1) >= -1e-12)

@@ -1,0 +1,33 @@
+"""Fig 8 — fronts of TPG, SACGA and MESACGA at the same budget.
+
+Paper: the quality ordering is MESACGA >= SACGA >= TPG for budgets past
+~650 iterations; visually, MESACGA and SACGA cover the whole load range
+while TPG stays clustered.  Measured here by load-range coverage and the
+reference-point hypervolume (higher = better, rewards both convergence
+and coverage).
+"""
+
+from repro.experiments.figures import REF_POINT, figure8
+from repro.metrics.diversity import range_coverage
+from repro.metrics.hypervolume import hypervolume_ref
+
+
+def test_fig8_three_way_fronts(benchmark, scale, save_figure):
+    data = benchmark.pedantic(lambda: figure8(scale=scale), rounds=1, iterations=1)
+    save_figure(data)
+
+    fronts = {name: data.series[name] for name in ("Only Global", "SACGA", "MESACGA")}
+    cov = {
+        name: range_coverage(f, axis=1, low=0.0, high=5e-12) if f.size else 0.0
+        for name, f in fronts.items()
+    }
+    hv = {
+        name: hypervolume_ref(f, REF_POINT) if f.size else 0.0
+        for name, f in fronts.items()
+    }
+
+    # Partitioned algorithms must beat the purely-global baseline.
+    assert max(cov["SACGA"], cov["MESACGA"]) > cov["Only Global"]
+    assert max(hv["SACGA"], hv["MESACGA"]) > hv["Only Global"], (
+        f"reference HV ordering failed: {hv}"
+    )

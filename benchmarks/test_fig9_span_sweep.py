@@ -1,0 +1,37 @@
+"""Fig 9 — SACGA quality vs total iteration budget.
+
+Paper: the paper-hypervolume of an 8-partition SACGA falls as the preset
+iteration budget grows, with little further improvement beyond ~1000
+iterations.  This bench sweeps the budget and checks the decreasing,
+saturating trend.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure9
+
+
+def test_fig9_span_sweep(benchmark, scale, save_figure):
+    data = benchmark.pedantic(lambda: figure9(scale=scale), rounds=1, iterations=1)
+    save_figure(data)
+
+    hv = data.series["hv_paper"]
+    iters = data.series["iterations"]
+    finite = np.isfinite(hv)
+    assert finite.sum() >= 3, "not enough budgets produced feasible fronts"
+
+    hv_f = hv[finite]
+    it_f = iters[finite]
+    # Longer budgets end better (allow noise: compare first vs last thirds).
+    k = max(1, hv_f.size // 3)
+    early = np.median(hv_f[:k])
+    late = np.median(hv_f[-k:])
+    assert late <= early, (
+        f"hypervolume did not improve with budget: early {early:.2f} "
+        f"vs late {late:.2f}"
+    )
+    # Saturation: the tail improvement is a small fraction of the total.
+    if hv_f.size >= 4:
+        total_gain = early - hv_f.min()
+        tail_gain = hv_f[-2] - hv_f[-1]
+        assert tail_gain <= max(0.5 * total_gain, 0.0) + 1e-9 or total_gain <= 0

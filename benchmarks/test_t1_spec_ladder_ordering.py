@@ -1,0 +1,31 @@
+"""T1 (Section 5, trend 1) — quality ordering across the 20-spec ladder.
+
+Paper: "In all cases, where the evolution was continued for more than 650
+iterations, the quality of the solutions ... were found to be in the
+order MESACGA >= SACGA >= TPG."  This bench runs a sample of ladder rungs
+and checks the ordering by reference-point hypervolume (higher better).
+"""
+
+from repro.experiments.figures import table_t1
+
+
+def test_t1_spec_ladder_ordering(benchmark, scale, save_figure):
+    rungs = [4, 12]  # a loose rung and the published rung
+    data = benchmark.pedantic(
+        lambda: table_t1(scale=scale, rungs=rungs), rounds=1, iterations=1
+    )
+    save_figure(data)
+
+    # Parse per-rung scores back out of the rows.
+    by_spec = {}
+    for spec, algo, hv_ref, _cov, _hvp in data.rows:
+        by_spec.setdefault(spec, {})[algo] = hv_ref
+
+    wins = 0
+    for spec, scores in by_spec.items():
+        partitioned_best = max(scores.get("sacga", 0.0), scores.get("mesacga", 0.0))
+        if partitioned_best >= scores.get("tpg", 0.0):
+            wins += 1
+    assert wins == len(by_spec), (
+        f"partitioned algorithms lost to TPG on some specs: {by_spec}"
+    )

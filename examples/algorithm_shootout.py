@@ -1,0 +1,130 @@
+"""Three-way algorithm comparison on the clustered-feasibility problem.
+
+A fast, circuit-free demonstration of the paper's algorithmic claim:
+on a problem whose feasible region concentrates at one end of the
+trade-off axis, pure global competition (NSGA-II) loses diversity, while
+SACGA and MESACGA preserve it — at a bounded extra cost.
+
+Usage::
+
+    python examples/algorithm_shootout.py [--seeds N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import MESACGA, NSGA2, SACGA, PartitionGrid
+from repro.experiments.reporting import format_table
+from repro.metrics import hypervolume_ref, range_coverage, spread
+from repro.problems import ClusteredFeasibility, weighted_sum_front
+
+BUDGET = 120
+POPULATION = 64
+REF = (2.0, 1.2)
+
+
+def weighted_sum_result(seed: int):
+    """The classical scalarized baseline at an equal total budget."""
+    problem = ClusteredFeasibility(n_var=8, tightness=0.015)
+    n_weights = 6
+    _, front = weighted_sum_front(
+        problem,
+        lambda p, s: NSGA2(p, population_size=POPULATION, seed=s),
+        n_weights=n_weights,
+        generations=BUDGET // n_weights,
+        objective_ranges=np.array([[0.3, 1.5], [0.0, 1.0]]),
+        base_seed=seed,
+    )
+    return front
+
+
+def run_all(seed: int):
+    runs = {}
+    problem = ClusteredFeasibility(n_var=8, tightness=0.015)
+    runs["NSGA-II"] = NSGA2(problem, population_size=POPULATION, seed=seed).run(BUDGET)
+
+    problem = ClusteredFeasibility(n_var=8, tightness=0.015)
+    grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=6)
+    runs["SACGA"] = SACGA(
+        problem, grid, population_size=POPULATION, seed=seed
+    ).run(BUDGET)
+
+    problem = ClusteredFeasibility(n_var=8, tightness=0.015)
+    runs["MESACGA"] = MESACGA(
+        problem,
+        axis=1,
+        low=0.0,
+        high=1.0,
+        partition_schedule=[8, 5, 3, 2, 1],
+        population_size=POPULATION,
+        seed=seed,
+    ).run(BUDGET)
+    return runs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=3)
+    args = parser.parse_args()
+
+    scores = {name: {"cov": [], "hv": [], "spr": [], "time": []} for name in
+              ("weighted-sum", "NSGA-II", "SACGA", "MESACGA")}
+    for seed in range(args.seeds):
+        import time as _time
+
+        t0 = _time.perf_counter()
+        ws_front = weighted_sum_result(seed)
+        ws_entry = scores["weighted-sum"]
+        ws_entry["time"].append(_time.perf_counter() - t0)
+        if ws_front.size:
+            ws_entry["cov"].append(range_coverage(ws_front, axis=1, low=0, high=1))
+            ws_entry["hv"].append(hypervolume_ref(ws_front, REF))
+            ws_entry["spr"].append(spread(ws_front))
+        else:
+            ws_entry["cov"].append(0.0)
+            ws_entry["hv"].append(0.0)
+            ws_entry["spr"].append(float("nan"))
+
+        for name, result in run_all(seed).items():
+            front = result.front_objectives
+            entry = scores[name]
+            entry["time"].append(result.wall_time)
+            if front.size == 0:
+                entry["cov"].append(0.0)
+                entry["hv"].append(0.0)
+                entry["spr"].append(float("nan"))
+                continue
+            entry["cov"].append(range_coverage(front, axis=1, low=0, high=1))
+            entry["hv"].append(hypervolume_ref(front, REF))
+            entry["spr"].append(spread(front))
+
+    rows = []
+    base_time = np.mean(scores["NSGA-II"]["time"])
+    for name, entry in scores.items():
+        rows.append(
+            [
+                name,
+                float(np.median(entry["cov"])),
+                float(np.median(entry["hv"])),
+                float(np.nanmedian(entry["spr"])),
+                (np.mean(entry["time"]) / base_time - 1.0) * 100.0,
+            ]
+        )
+    print(f"{args.seeds} seed(s), budget {BUDGET} generations, pop {POPULATION}:")
+    print(
+        format_table(
+            ["algorithm", "coverage", "hv_ref", "spread(lower=better)", "overhead_%"],
+            rows,
+        )
+    )
+    print(
+        "\nExpected (the paper's trend): coverage and hv_ref order "
+        "MESACGA >= SACGA > NSGA-II > weighted-sum; overhead bounded "
+        "(~18% in the paper).  The weighted-sum row is the classical "
+        "scalarized approach the paper's Section 1 argues against."
+    )
+
+
+if __name__ == "__main__":
+    main()

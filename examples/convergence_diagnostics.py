@@ -1,0 +1,94 @@
+"""Run-time diagnostics: feasibility ramp, coverage milestones, HV curves.
+
+Demonstrates the instrumentation stack around an optimizer run:
+
+* a :class:`~repro.core.archive.ParetoArchive` attached as a callback so
+  no feasible design discovered mid-run is ever lost;
+* :mod:`repro.experiments.history_analysis` convergence curves — when
+  did the population become feasible, when did coverage reach 50 %, how
+  much did the last quarter of the budget still improve the front;
+* an ASCII rendering of the hypervolume trajectory.
+
+Usage::
+
+    python examples/convergence_diagnostics.py [--generations N]
+"""
+
+import argparse
+
+from repro import SACGA, ParetoArchive
+from repro.circuits import IntegratorSizingProblem
+from repro.experiments import (
+    DesignSurface,
+    ascii_series,
+    coverage_curve,
+    feasibility_curve,
+    first_feasible_generation,
+    hv_ref_curve,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--generations", type=int, default=200)
+    parser.add_argument("--population", type=int, default=80)
+    args = parser.parse_args()
+
+    problem = IntegratorSizingProblem()
+    algorithm = SACGA(
+        problem,
+        problem.partition_grid(8),
+        population_size=args.population,
+        seed=11,
+    )
+    archive = ParetoArchive(capacity=400)
+    algorithm.add_callback(archive.observe)
+
+    result = algorithm.run(args.generations)
+
+    print(f"run: {result.algorithm}, {result.n_evaluations} evaluations, "
+          f"{result.wall_time:.1f}s")
+    print(f"first feasible generation: {first_feasible_generation(result)}")
+
+    cov = coverage_curve(result)
+    for milestone in (0.25, 0.5, 0.75):
+        gen = cov.first_generation_reaching(milestone)
+        print(f"coverage >= {milestone:.2f}: "
+              f"{'generation ' + str(gen) if gen is not None else 'not reached'}")
+
+    feas = feasibility_curve(result)
+    print(f"feasible members at the end: {int(feas.final)} "
+          f"of {result.population.size}")
+
+    hv = hv_ref_curve(result)
+    if hv.values.size >= 8:
+        tail = hv.improvement_over(max(1, hv.values.size // 4))
+        print(f"hv_ref gain over the last quarter of the run: {tail:.3e}")
+        print()
+        print(ascii_series(
+            hv.generations, hv.values,
+            x_label="generation", y_label="hv_ref",
+        ))
+
+    print()
+    print(f"archive: {archive.size} designs accumulated "
+          f"({archive.n_observed} feasible observations)")
+    if archive.size and result.front_size:
+        surface_final = DesignSurface(
+            result.front_x,
+            5e-12 - result.front_objectives[:, 1],
+            result.front_objectives[:, 0],
+        )
+        surface_archive = DesignSurface(
+            archive.x, 5e-12 - archive.objectives[:, 1], archive.objectives[:, 0]
+        )
+        lo_f, hi_f = surface_final.load_range
+        lo_a, hi_a = surface_archive.load_range
+        print(f"final-population surface: {len(surface_final)} pts, "
+              f"{lo_f * 1e12:.2f}-{hi_f * 1e12:.2f} pF")
+        print(f"archive surface         : {len(surface_archive)} pts, "
+              f"{lo_a * 1e12:.2f}-{hi_a * 1e12:.2f} pF")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""Analog circuit evaluation engine.
+
+From-scratch analytic models of everything the paper's experiment needs:
+the eqn (1) deep-submicron MOSFET, a generic 0.18 um / 1.8 V technology
+card with corners and mismatch, the two-stage Miller op-amp, the CDS
+offset-compensated switched-capacitor integrator, Monte-Carlo yield, and
+the 15-parameter constrained sizing problem built on top.
+"""
+
+from repro.circuits.technology import (
+    Technology,
+    DeviceParams,
+    nominal_technology,
+    corner_technology,
+    all_corners,
+    perturbed_technology,
+    CORNERS,
+    KT,
+    BOLTZMANN,
+)
+from repro.circuits.mosfet import MosfetModel, operating_point, MIN_VSAT_FACTOR
+from repro.circuits.devices import (
+    CapacitorModel,
+    switch_on_resistance,
+    switch_time_constant,
+    switch_charge_injection,
+)
+from repro.circuits.opamp import (
+    OpAmpSizing,
+    OpAmpPerformance,
+    analyze_opamp,
+    phase_margin_deg,
+)
+from repro.circuits.integrator import (
+    IntegratorDesign,
+    IntegratorPerformance,
+    analyze_integrator,
+    feedback_factor,
+    amplifier_load,
+    settling_time,
+    noise_budget,
+    noise_breakdown,
+    CLOCK_FREQUENCY,
+    OVERSAMPLING_RATIO,
+    INTEGRATOR_GAIN,
+)
+from repro.circuits.yield_est import (
+    MonteCarloSampler,
+    MonteCarloSample,
+    stacked_technology,
+    pass_fraction,
+)
+from repro.circuits.verification import (
+    LoopParameters,
+    simulate_step_response,
+    measured_settling_time,
+    analytic_settling_time,
+)
+from repro.circuits.sigma_delta import (
+    SigmaDeltaModulator,
+    StageModel,
+    modulator_snr,
+    snr_db,
+    DEFAULT_GAINS_4TH_ORDER,
+)
+from repro.circuits.specs import (
+    IntegratorSpec,
+    published_spec,
+    spec_ladder,
+    PUBLISHED_RUNG,
+)
+from repro.circuits.report import (
+    datasheet,
+    device_operating_points,
+    constraint_margins,
+    DeviceOperatingPoint,
+)
+from repro.circuits.sizing_problem import (
+    IntegratorSizingProblem,
+    PARAMETER_NAMES,
+    CONSTRAINT_NAMES,
+    C_LOAD_MAX,
+)
+
+__all__ = [
+    "Technology",
+    "DeviceParams",
+    "nominal_technology",
+    "corner_technology",
+    "all_corners",
+    "perturbed_technology",
+    "CORNERS",
+    "KT",
+    "BOLTZMANN",
+    "MosfetModel",
+    "operating_point",
+    "MIN_VSAT_FACTOR",
+    "CapacitorModel",
+    "switch_on_resistance",
+    "switch_time_constant",
+    "switch_charge_injection",
+    "OpAmpSizing",
+    "OpAmpPerformance",
+    "analyze_opamp",
+    "phase_margin_deg",
+    "IntegratorDesign",
+    "IntegratorPerformance",
+    "analyze_integrator",
+    "feedback_factor",
+    "amplifier_load",
+    "settling_time",
+    "noise_budget",
+    "noise_breakdown",
+    "CLOCK_FREQUENCY",
+    "OVERSAMPLING_RATIO",
+    "INTEGRATOR_GAIN",
+    "MonteCarloSampler",
+    "MonteCarloSample",
+    "stacked_technology",
+    "pass_fraction",
+    "LoopParameters",
+    "simulate_step_response",
+    "measured_settling_time",
+    "analytic_settling_time",
+    "SigmaDeltaModulator",
+    "StageModel",
+    "modulator_snr",
+    "snr_db",
+    "DEFAULT_GAINS_4TH_ORDER",
+    "IntegratorSpec",
+    "published_spec",
+    "spec_ladder",
+    "PUBLISHED_RUNG",
+    "datasheet",
+    "device_operating_points",
+    "constraint_margins",
+    "DeviceOperatingPoint",
+    "IntegratorSizingProblem",
+    "PARAMETER_NAMES",
+    "CONSTRAINT_NAMES",
+    "C_LOAD_MAX",
+]

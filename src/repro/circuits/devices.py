@@ -1,0 +1,93 @@
+"""Passive devices: integrated capacitors and MOS switches.
+
+The paper stresses that "bottom-plate parasitic capacitances of standard
+integrated capacitors and drain diffusion and overlap capacitances of
+MOSFETs" are included for accurate behaviour prediction — this module
+models exactly those parasitics for the capacitor side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.technology import Technology
+
+
+@dataclass(frozen=True)
+class CapacitorModel:
+    """An integrated (MIM / double-poly) capacitor with parasitics.
+
+    Attributes
+    ----------
+    density:
+        Capacitance per area (F/m^2).
+    bottom_ratio:
+        Bottom-plate parasitic to substrate as a fraction of the main C.
+    """
+
+    density: float
+    bottom_ratio: float
+
+    @classmethod
+    def from_technology(cls, tech: Technology) -> "CapacitorModel":
+        return cls(density=tech.cap_density, bottom_ratio=tech.cap_bottom_ratio)
+
+    def area(self, c: np.ndarray) -> np.ndarray:
+        """Layout area (m^2) of a capacitor of value *c* (F)."""
+        return np.asarray(c, float) / self.density
+
+    def bottom_plate(self, c: np.ndarray) -> np.ndarray:
+        """Bottom-plate parasitic capacitance (F) of a capacitor of value *c*."""
+        return self.bottom_ratio * np.asarray(c, float)
+
+
+def switch_on_resistance(
+    tech: Technology,
+    w: np.ndarray,
+    l: np.ndarray = None,
+    vgs: float = None,
+) -> np.ndarray:
+    """Triode on-resistance of an NMOS sampling switch.
+
+    ``Ron = 1 / (u*Cox * W/L * (VGS - VT))`` — first-order triode model,
+    sufficient for checking that the switch time constant is negligible
+    against the op-amp settling budget.
+    """
+    d = tech.nmos
+    w = np.asarray(w, float)
+    l_arr = np.asarray(l if l is not None else tech.min_length, float)
+    drive = (vgs if vgs is not None else tech.vdd) - d.vt0
+    if np.any(np.asarray(drive) <= 0):
+        raise ValueError("switch gate drive must exceed the threshold voltage")
+    return 1.0 / (d.kprime * (w / l_arr) * drive)
+
+
+def switch_time_constant(
+    tech: Technology,
+    w: np.ndarray,
+    c_sample: np.ndarray,
+    l: np.ndarray = None,
+) -> np.ndarray:
+    """RC time constant of a sampling switch driving *c_sample*."""
+    return switch_on_resistance(tech, w, l) * np.asarray(c_sample, float)
+
+
+def switch_charge_injection(
+    tech: Technology,
+    w: np.ndarray,
+    c_sample: np.ndarray,
+    l: np.ndarray = None,
+) -> np.ndarray:
+    """Half-channel charge injection voltage step onto *c_sample* (V).
+
+    ``dV = W*L*Cox*(VDD - VT) / (2*C)`` — the classic worst-case estimate.
+    CDS cancels the signal-independent part; the residue enters the
+    settling-error budget.
+    """
+    d = tech.nmos
+    w = np.asarray(w, float)
+    l_arr = np.asarray(l if l is not None else tech.min_length, float)
+    q_channel = w * l_arr * d.cox * (tech.vdd - d.vt0)
+    return q_channel / (2.0 * np.asarray(c_sample, float))

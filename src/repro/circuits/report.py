@@ -1,0 +1,182 @@
+"""Design datasheets: human-readable reports for a sized integrator.
+
+Given a 15-parameter design vector, produce what an analog designer
+reads before trusting a sizing: the per-device operating points (W, L,
+ID, VGS, Vov, Vdsat, gm, gm/ID), the capacitor network, the performance
+summary against a specification, and the per-constraint margins at the
+nominal corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuits.integrator import INTEGRATOR_GAIN, analyze_integrator
+from repro.circuits.mosfet import MosfetModel
+from repro.circuits.sizing_problem import IntegratorSizingProblem
+from repro.circuits.technology import Technology, nominal_technology
+from repro.experiments.reporting import format_table
+
+#: (label, width key, length key, current of the branch as a lambda, device type)
+_DEVICE_TABLE = (
+    ("M1/M2 (input pair)", "w1", "l1", lambda p: p["itail"] / 2, "nmos"),
+    ("M3/M4 (mirror load)", "w3", "l3", lambda p: p["itail"] / 2, "pmos"),
+    ("M5 (tail)", "w5", "l5", lambda p: p["itail"], "nmos"),
+    ("M6 (driver)", "w6", "l6", lambda p: p["i2"], "pmos"),
+    ("M7 (sink)", "w7", "l7", lambda p: p["i2"], "nmos"),
+)
+
+
+@dataclass
+class DeviceOperatingPoint:
+    """One row of the datasheet's device table (SI units)."""
+
+    name: str
+    w: float
+    l: float
+    ids: float
+    vgs: float
+    vov: float
+    vdsat: float
+    gm: float
+
+    @property
+    def gm_over_id(self) -> float:
+        return self.gm / self.ids if self.ids > 0 else float("nan")
+
+
+def device_operating_points(
+    x: np.ndarray,
+    tech: Optional[Technology] = None,
+) -> List[DeviceOperatingPoint]:
+    """Solve and tabulate every device's bias point for one design."""
+    tech = tech or nominal_technology()
+    params = IntegratorSizingProblem.decode(np.atleast_2d(x)[0:1])
+    p = {k: float(v[0]) for k, v in params.items()}
+    rows: List[DeviceOperatingPoint] = []
+    for name, wk, lk, branch_current, kind in _DEVICE_TABLE:
+        dev = tech.device(kind)
+        model = MosfetModel(dev)
+        w, l = p[wk], p[lk]
+        ids = branch_current(p)
+        vds = tech.vdd / 2  # representative drain bias for the table
+        vgs = float(model.vgs_for_current(w, l, ids, vds))
+        rows.append(
+            DeviceOperatingPoint(
+                name=name,
+                w=w,
+                l=l,
+                ids=ids,
+                vgs=vgs,
+                vov=vgs - dev.vt0,
+                vdsat=float(model.vdsat(vgs, l)),
+                gm=float(model.transconductance(w, l, vgs, vds)),
+            )
+        )
+    return rows
+
+
+def constraint_margins(
+    x: np.ndarray,
+    problem: Optional[IntegratorSizingProblem] = None,
+) -> Dict[str, float]:
+    """Named normalized constraint values (g <= 0 feasible) for one design."""
+    problem = problem or IntegratorSizingProblem(n_mc=4)
+    ev = problem.evaluate(np.atleast_2d(x)[0:1])
+    return dict(zip(problem.constraint_names, ev.constraints[0].tolist()))
+
+
+def datasheet(
+    x: np.ndarray,
+    problem: Optional[IntegratorSizingProblem] = None,
+    tech: Optional[Technology] = None,
+) -> str:
+    """Render the full text datasheet for one design vector."""
+    problem = problem or IntegratorSizingProblem(n_mc=4)
+    tech = tech or problem.tech
+    x_row = np.atleast_2d(np.asarray(x, dtype=float))[0:1]
+    params = {k: float(v[0]) for k, v in problem.decode(x_row).items()}
+    perf = analyze_integrator(tech, problem.build_design(x_row))
+
+    def scalar(value) -> float:
+        return float(np.atleast_1d(value)[0])
+
+    lines: List[str] = []
+    lines.append("=" * 64)
+    lines.append("CDS switched-capacitor integrator — design datasheet")
+    lines.append("=" * 64)
+
+    lines.append("\nDevices (VDS at VDD/2 for tabulation):")
+    rows = []
+    for op in device_operating_points(x_row, tech):
+        rows.append(
+            [
+                op.name,
+                op.w * 1e6,
+                op.l * 1e6,
+                op.ids * 1e6,
+                op.vgs,
+                op.vov * 1e3,
+                op.vdsat * 1e3,
+                op.gm * 1e3,
+                op.gm_over_id,
+            ]
+        )
+    lines.append(
+        format_table(
+            ["device", "W_um", "L_um", "ID_uA", "VGS_V", "Vov_mV",
+             "Vdsat_mV", "gm_mS", "gm/ID"],
+            rows,
+        )
+    )
+
+    cs = params["cs"]
+    lines.append("\nCapacitor network (per side):")
+    lines.append(
+        format_table(
+            ["element", "value_pF"],
+            [
+                ["Cs (sampling)", cs * 1e12],
+                ["Cf (feedback)", cs / INTEGRATOR_GAIN * 1e12],
+                ["Coc (offset storage)", cs * 1e12],
+                ["Cc (compensation)", params["cc"] * 1e12],
+                ["C_load (external)", params["c_load"] * 1e12],
+            ],
+        )
+    )
+
+    lines.append("\nPerformance (nominal corner):")
+    lines.append(
+        format_table(
+            ["figure", "value"],
+            [
+                ["power (mW)", scalar(perf.power) * 1e3],
+                ["dynamic range (dB)", scalar(perf.dynamic_range_db)],
+                ["output range (V diff)", scalar(perf.output_range)],
+                ["settling time (ns)", scalar(perf.settling_time) * 1e9],
+                ["settling error", scalar(perf.settling_error)],
+                ["phase margin (deg)", scalar(perf.phase_margin_deg)],
+                ["feedback factor beta", scalar(perf.beta)],
+                ["area (um^2)", scalar(perf.area) * 1e12],
+                ["DC gain (dB)", 20 * np.log10(scalar(perf.amp.a0))],
+                ["GBW (MHz)", scalar(perf.amp.gbw) / (2 * np.pi) / 1e6],
+                ["slew rate (V/us)", scalar(perf.slew_rate) / 1e6],
+            ],
+        )
+    )
+
+    lines.append("\nConstraint margins (g <= 0 is feasible):")
+    margins = constraint_margins(x_row, problem)
+    lines.append(
+        format_table(
+            ["constraint", "g", "status"],
+            [
+                [name, g, "ok" if g <= 0 else "VIOLATED"]
+                for name, g in margins.items()
+            ],
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""Behavioral sigma-delta modulator built from sized integrators.
+
+The paper's motivation (Sections 1-2): the integrator design surface is
+extracted *in order to build a fourth-order sigma-delta modulator*.
+This module closes that loop — a discrete-time behavioral simulator of a
+single-bit modulator whose integrator stages carry the non-idealities of
+actual sized circuits:
+
+* **leak** — finite DC gain makes each integrator lossy
+  (``x[n+1] = (1 - leak) * x[n] + ...`` with ``leak ~ 1/(A0*beta)``);
+* **gain error** — incomplete settling scales the integration step;
+* **thermal noise** — per-sample input-referred noise from the circuit
+  noise budget;
+* **saturation** — integrator outputs clip at the op-amp's usable swing.
+
+The default topology is a distributed-feedback cascade of integrators
+(CIFB) with scaling coefficients that keep a 4th-order single-bit loop
+stable for inputs up to about -6 dBFS — validated empirically by the
+test suite (noise shaping slope, SNR vs OSR scaling, stability under
+full-scale excursions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.integrator import IntegratorPerformance
+from repro.utils.rng import RngLike, as_rng
+
+#: Empirically validated stable scaling for the 4th-order single-bit CIFB
+#: loop (integrator gains per stage): ~99 dB SNR at OSR 128 in the ideal
+#: case and stable for inputs up to about -6 dBFS (see
+#: tests/circuits/test_sigma_delta.py).
+DEFAULT_GAINS_4TH_ORDER = (0.2, 0.2, 0.4, 0.4)
+
+
+@dataclass
+class StageModel:
+    """Non-ideal behaviour of one integrator stage.
+
+    Attributes
+    ----------
+    gain:
+        Nominal integrator gain (``Cs / Cf`` scaling coefficient).
+    leak:
+        Per-sample state loss from finite DC gain, ``~ 1/(A0 * beta)``.
+    gain_error:
+        Relative error of the integration step (static settling error).
+    noise_rms:
+        Input-referred rms noise added per sample (V).
+    swing:
+        Differential saturation limit of the stage output (V).
+    """
+
+    gain: float
+    leak: float = 0.0
+    gain_error: float = 0.0
+    noise_rms: float = 0.0
+    swing: float = 4.0
+
+    @classmethod
+    def ideal(cls, gain: float) -> "StageModel":
+        return cls(gain=gain)
+
+    @classmethod
+    def from_performance(
+        cls,
+        perf: IntegratorPerformance,
+        index: int = 0,
+        gain: float = 0.5,
+        oversampling_ratio: float = 96.0,
+    ) -> "StageModel":
+        """Extract a stage model from a sized integrator's analysis.
+
+        ``noise_total`` in the performance record is the *in-band* power
+        (already divided by the OSR); the per-sample variance is restored
+        by multiplying back.
+        """
+        leak = float(np.atleast_1d(perf.settling_error)[index])
+        per_sample_var = float(
+            np.atleast_1d(perf.noise_total)[index] * oversampling_ratio
+        )
+        swing = float(np.atleast_1d(perf.output_range)[index])
+        return cls(
+            gain=gain,
+            leak=leak,
+            gain_error=leak,
+            noise_rms=float(np.sqrt(max(per_sample_var, 0.0))),
+            swing=swing,
+        )
+
+
+@dataclass
+class SigmaDeltaModulator:
+    """Single-bit distributed-feedback (CIFB) sigma-delta modulator.
+
+    Parameters
+    ----------
+    stages:
+        One :class:`StageModel` per integrator (order = number of stages).
+    quantizer_levels:
+        DAC output magnitude (single-bit: +/- this value).
+    seed:
+        RNG source for the per-stage thermal noise.
+    """
+
+    stages: Sequence[StageModel]
+    quantizer_levels: float = 1.0
+    seed: RngLike = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("modulator needs at least one integrator stage")
+        self._rng = as_rng(self.seed)
+
+    @property
+    def order(self) -> int:
+        return len(self.stages)
+
+    @classmethod
+    def ideal(
+        cls,
+        order: int = 4,
+        gains: Optional[Sequence[float]] = None,
+        seed: RngLike = None,
+    ) -> "SigmaDeltaModulator":
+        """Noise-free modulator with the default stable scaling."""
+        if gains is None:
+            if order == 4:
+                gains = DEFAULT_GAINS_4TH_ORDER
+            else:
+                gains = tuple(0.5 for _ in range(order))
+        if len(gains) != order:
+            raise ValueError(f"need {order} gains, got {len(gains)}")
+        return cls(stages=[StageModel.ideal(g) for g in gains], seed=seed)
+
+    def simulate(self, stimulus: np.ndarray) -> np.ndarray:
+        """Run the loop over *stimulus* and return the +/-1 bitstream."""
+        u = np.asarray(stimulus, dtype=float)
+        n = u.size
+        order = self.order
+        state = np.zeros(order)
+        bits = np.empty(n)
+        fb = self.quantizer_levels
+        gains = np.array([s.gain for s in self.stages])
+        keep = np.array([1.0 - s.leak for s in self.stages])
+        step = gains * np.array([1.0 - s.gain_error for s in self.stages])
+        swings = np.array([s.swing for s in self.stages]) / 2.0
+        noise = np.array([s.noise_rms for s in self.stages])
+        noisy = noise > 0
+        for k in range(n):
+            y = fb if state[-1] >= 0 else -fb
+            bits[k] = y / fb
+            # Distributed feedback: every stage integrates (prev - y).
+            inputs = np.empty(order)
+            inputs[0] = u[k] - y
+            inputs[1:] = state[:-1] - y
+            if noisy.any():
+                inputs = inputs + noise * self._rng.standard_normal(order)
+            state = keep * state + step * inputs
+            np.clip(state, -swings, swings, out=state)
+        return bits
+
+    def sine_test(
+        self,
+        n_samples: int = 8192,
+        amplitude: float = 0.5,
+        frequency_bins: int = 57,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate a coherent sine stimulus and its bitstream.
+
+        The input frequency is placed on an odd FFT bin so the spectrum
+        needs no window corrections.
+        """
+        k = frequency_bins
+        t = np.arange(n_samples)
+        stimulus = amplitude * np.sin(2.0 * np.pi * k * t / n_samples)
+        return stimulus, self.simulate(stimulus)
+
+
+def snr_db(
+    bits: np.ndarray,
+    signal_bin: int,
+    oversampling_ratio: float,
+) -> float:
+    """In-band SNR of a bitstream with a coherent tone at *signal_bin*.
+
+    Uses a Hann window (the tone leaks into +/-2 neighbouring bins, which
+    are attributed to the signal); noise is integrated from DC to
+    ``n/2/OSR``.
+    """
+    x = np.asarray(bits, dtype=float)
+    n = x.size
+    window = np.hanning(n)
+    spectrum = np.abs(np.fft.rfft(x * window)) ** 2
+    band_edge = int(np.floor(n / 2 / oversampling_ratio))
+    if band_edge <= signal_bin + 3:
+        raise ValueError(
+            f"signal bin {signal_bin} not inside the band edge {band_edge}; "
+            "lower the tone frequency or the OSR"
+        )
+    signal_bins = range(max(signal_bin - 2, 1), signal_bin + 3)
+    p_signal = sum(spectrum[b] for b in signal_bins)
+    in_band = spectrum[1 : band_edge + 1].sum()
+    p_noise = max(in_band - p_signal, 1e-30)
+    return float(10.0 * np.log10(p_signal / p_noise))
+
+
+def modulator_snr(
+    modulator: SigmaDeltaModulator,
+    oversampling_ratio: float = 96.0,
+    n_samples: int = 16384,
+    amplitude: float = 0.5,
+) -> float:
+    """Convenience: coherent sine test + in-band SNR."""
+    # Keep the tone comfortably inside the band for the given OSR.
+    bin_limit = max(int(n_samples / 2 / oversampling_ratio) - 8, 3)
+    tone_bin = min(57, bin_limit) | 1  # odd bin
+    _, bits = modulator.sine_test(
+        n_samples=n_samples, amplitude=amplitude, frequency_bins=tone_bin
+    )
+    return snr_db(bits, tone_bin, oversampling_ratio)

@@ -1,0 +1,218 @@
+"""Generic 0.18 um, 1.8 V CMOS technology card.
+
+The paper sizes its integrator in "an industry-standard 0.18 um, 1.8 V,
+n-well digital CMOS process".  Foundry decks are proprietary, so this
+module provides a self-consistent generic parameter set with the same
+structure: per-type MOSFET parameters for the paper's eqn (1) model
+(velocity saturation + mobility degradation), junction/overlap
+capacitances, integrated-capacitor density and bottom-plate parasitic
+ratio, five process corners, and Pelgrom mismatch coefficients.
+
+All quantities are SI (meters, volts, amps, farads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+BOLTZMANN = 1.380649e-23
+ROOM_TEMPERATURE = 300.0
+KT = BOLTZMANN * ROOM_TEMPERATURE
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Model parameters of one MOSFET type for the paper's eqn (1).
+
+    Attributes
+    ----------
+    polarity:
+        +1 for NMOS, -1 for PMOS (voltages below are magnitudes).
+    u0:
+        Low-field mobility (m^2/Vs).
+    cox:
+        Gate oxide capacitance per area (F/m^2).
+    vt0:
+        Threshold magnitude (V).
+    esat:
+        Velocity-saturation critical field (V/m); the eqn (1) factor is
+        ``1 - Vov / (esat * L)``.
+    lambda_l:
+        Channel-length-modulation coefficient (m/V); ``lambda = lambda_l / L``.
+    theta1, theta2, vk, mobility_exponent:
+        Mobility-degradation fitting parameters of eqn (1)'s denominator
+        ``1 + theta1*(VGS+VT-VK)^(1/3) + theta2*(VGS+VT-VK)^n`` with n = 1
+        for NMOS and 2 for PMOS.
+    cj, cjsw:
+        Junction area (F/m^2) and sidewall (F/m) capacitances.
+    cov:
+        Gate overlap capacitance per width (F/m).
+    ldif:
+        Source/drain diffusion extension (m) for junction area.
+    a_vt, a_beta:
+        Pelgrom mismatch coefficients: sigma(VT) = a_vt / sqrt(W*L),
+        sigma(dbeta/beta) = a_beta / sqrt(W*L)  (W, L in meters; the
+        coefficients absorb the unit conversion).
+    """
+
+    polarity: int
+    u0: float
+    cox: float
+    vt0: float
+    esat: float
+    lambda_l: float
+    theta1: float
+    theta2: float
+    vk: float
+    mobility_exponent: int
+    cj: float
+    cjsw: float
+    cov: float
+    ldif: float
+    a_vt: float
+    a_beta: float
+
+    @property
+    def kprime(self) -> float:
+        """Transconductance parameter u0 * Cox (A/V^2)."""
+        return self.u0 * self.cox
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A full process card: device types, supply, passives, mismatch."""
+
+    name: str
+    vdd: float
+    nmos: DeviceParams
+    pmos: DeviceParams
+    cap_density: float  # F/m^2 of integrated (MIM/poly) capacitors
+    cap_bottom_ratio: float  # bottom-plate parasitic as fraction of C
+    min_length: float
+    temperature: float = ROOM_TEMPERATURE
+
+    @property
+    def kt(self) -> float:
+        return BOLTZMANN * self.temperature
+
+    def device(self, kind: str) -> DeviceParams:
+        if kind == "nmos":
+            return self.nmos
+        if kind == "pmos":
+            return self.pmos
+        raise KeyError(f"unknown device kind {kind!r} (want 'nmos' or 'pmos')")
+
+
+def _nominal_nmos() -> DeviceParams:
+    return DeviceParams(
+        polarity=+1,
+        u0=0.0350,  # 350 cm^2/Vs
+        cox=8.42e-3,  # tox ~ 4.1 nm
+        vt0=0.45,
+        esat=5.7e6,  # ~ 2*vsat/u0
+        lambda_l=0.022e-6,
+        theta1=0.28,
+        theta2=0.20,
+        vk=0.70,
+        mobility_exponent=1,
+        cj=1.0e-3,
+        cjsw=0.20e-9,
+        cov=0.35e-9,
+        ldif=0.50e-6,
+        a_vt=5.0e-9,  # 5 mV*um in SI (V*m)
+        a_beta=1.0e-8,  # 1 %*um
+    )
+
+
+def _nominal_pmos() -> DeviceParams:
+    return DeviceParams(
+        polarity=-1,
+        u0=0.0085,  # 85 cm^2/Vs
+        cox=8.42e-3,
+        vt0=0.48,
+        esat=2.4e7,
+        lambda_l=0.028e-6,
+        theta1=0.25,
+        theta2=0.15,
+        vk=0.75,
+        mobility_exponent=2,
+        cj=1.1e-3,
+        cjsw=0.22e-9,
+        cov=0.33e-9,
+        ldif=0.50e-6,
+        a_vt=5.5e-9,
+        a_beta=1.2e-8,
+    )
+
+
+def nominal_technology() -> Technology:
+    """The TT (typical/typical) 0.18 um, 1.8 V card."""
+    return Technology(
+        name="generic018-TT",
+        vdd=1.8,
+        nmos=_nominal_nmos(),
+        pmos=_nominal_pmos(),
+        cap_density=1.0e-3,  # 1 fF/um^2
+        cap_bottom_ratio=0.08,
+        min_length=0.18e-6,
+    )
+
+
+# Corner definitions: multiplicative mobility factor and additive VT shift
+# (in the "fast" direction a device has more mobility and less threshold).
+_CORNER_TABLE: Dict[str, Tuple[float, float, float, float]] = {
+    #         n_mu,  n_dvt,   p_mu,  p_dvt
+    "TT": (1.00, 0.000, 1.00, 0.000),
+    "FF": (1.10, -0.040, 1.10, -0.040),
+    "SS": (0.90, +0.040, 0.90, +0.040),
+    "FS": (1.10, -0.040, 0.90, +0.040),
+    "SF": (0.90, +0.040, 1.10, -0.040),
+}
+
+CORNERS = tuple(_CORNER_TABLE)
+
+
+def _scaled_device(dev: DeviceParams, mu_factor: float, dvt: float) -> DeviceParams:
+    return replace(dev, u0=dev.u0 * mu_factor, vt0=dev.vt0 + dvt)
+
+
+def corner_technology(corner: str, base: Technology = None) -> Technology:
+    """The *corner* variant ('TT', 'FF', 'SS', 'FS', 'SF') of *base*."""
+    if base is None:
+        base = nominal_technology()
+    try:
+        n_mu, n_dvt, p_mu, p_dvt = _CORNER_TABLE[corner.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown corner {corner!r}; known: {', '.join(CORNERS)}"
+        ) from None
+    return replace(
+        base,
+        name=base.name.rsplit("-", 1)[0] + "-" + corner.upper(),
+        nmos=_scaled_device(base.nmos, n_mu, n_dvt),
+        pmos=_scaled_device(base.pmos, p_mu, p_dvt),
+    )
+
+
+def all_corners(base: Technology = None) -> Dict[str, Technology]:
+    """All five corner cards keyed by corner name."""
+    if base is None:
+        base = nominal_technology()
+    return {c: corner_technology(c, base) for c in CORNERS}
+
+
+def perturbed_technology(
+    base: Technology,
+    n_mu_factor: float,
+    n_dvt: float,
+    p_mu_factor: float,
+    p_dvt: float,
+) -> Technology:
+    """Continuously perturbed card (Monte-Carlo yield sampling)."""
+    return replace(
+        base,
+        name=base.name + "-mc",
+        nmos=_scaled_device(base.nmos, n_mu_factor, n_dvt),
+        pmos=_scaled_device(base.pmos, p_mu_factor, p_dvt),
+    )

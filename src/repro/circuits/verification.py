@@ -1,0 +1,134 @@
+"""Numerical cross-checks of the analytic circuit equations.
+
+The GA trusts the closed-form settling model completely, so this module
+provides the independent evidence: a direct numerical integration of the
+closed-loop large-signal dynamics, against which the analytic
+:func:`repro.circuits.integrator.settling_time` is verified (see
+``tests/circuits/test_verification.py``).
+
+Model being integrated — the standard two-pole Miller-compensated loop
+with output slew limiting:
+
+    x1' = clip( wc * (target - y),  -SR, +SR )     (integrator stage)
+    y'  = p2 * (x1 - y)                            (non-dominant pole)
+
+where ``wc = beta * GBW`` is the loop crossover, ``p2`` the non-dominant
+pole and ``SR`` the slew limit.  For ``SR -> inf`` this is exactly the
+linear second-order system whose natural frequency and damping the
+analytic model uses (``wn = sqrt(wc p2)``, ``zeta = 0.5 sqrt(p2/wc)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LoopParameters:
+    """Closed-loop dynamics of one settling event."""
+
+    wc: float  # loop crossover, rad/s  (beta * GBW)
+    p2: float  # non-dominant pole, rad/s
+    slew_rate: float  # V/s (np.inf for a purely linear loop)
+    step: float  # output step amplitude, V
+
+    def __post_init__(self) -> None:
+        if self.wc <= 0 or self.p2 <= 0:
+            raise ValueError("wc and p2 must be positive")
+        if self.slew_rate <= 0:
+            raise ValueError("slew_rate must be positive (use np.inf for linear)")
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+
+
+def simulate_step_response(
+    loop: LoopParameters,
+    t_end: float,
+    n_steps: int = 20000,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Integrate the two-pole slew-limited loop; returns ``(t, y)``.
+
+    Fixed-step RK4 on the two-state system; ``n_steps`` defaults high
+    enough that the integration error is far below settling tolerances
+    of interest (1e-4 relative).
+    """
+    if t_end <= 0:
+        raise ValueError("t_end must be positive")
+    if n_steps < 100:
+        raise ValueError("n_steps too small for a trustworthy integration")
+    t = np.linspace(0.0, t_end, n_steps + 1)
+    h = t[1] - t[0]
+    target = loop.step
+
+    def deriv(state):
+        x1, y = state
+        dx1 = np.clip(loop.wc * (target - y), -loop.slew_rate, loop.slew_rate)
+        dy = loop.p2 * (x1 - y)
+        return np.array([dx1, dy])
+
+    state = np.zeros(2)
+    ys = np.empty(t.size)
+    ys[0] = 0.0
+    for k in range(1, t.size):
+        k1 = deriv(state)
+        k2 = deriv(state + 0.5 * h * k1)
+        k3 = deriv(state + 0.5 * h * k2)
+        k4 = deriv(state + h * k3)
+        state = state + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        ys[k] = state[1]
+    return t, ys
+
+
+def measured_settling_time(
+    t: np.ndarray,
+    y: np.ndarray,
+    step: float,
+    epsilon: float,
+) -> float:
+    """Last time the response leaves the ±epsilon band around the step.
+
+    Returns ``inf`` when the response never stays inside the band (the
+    loop did not settle within the simulated window).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    err = np.abs(y - step) / step
+    outside = err > epsilon
+    if not outside.any():
+        return float(t[0])
+    if outside[-1]:
+        return float("inf")
+    last_outside = int(np.flatnonzero(outside)[-1])
+    return float(t[last_outside + 1])
+
+
+def analytic_settling_time(loop: LoopParameters, epsilon: float) -> float:
+    """The production settling formula applied to bare loop parameters.
+
+    Mirrors :func:`repro.circuits.integrator.settling_time` without
+    needing a full op-amp analysis object — used to compare analytic vs
+    simulated on arbitrary loop parameter points.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    wc, p2 = loop.wc, loop.p2
+    wn = np.sqrt(wc * p2)
+    zeta = 0.5 * np.sqrt(p2 / wc)
+    if zeta >= 1.0:
+        slow_pole = wn * (zeta - np.sqrt(zeta**2 - 1.0))
+        ring_penalty = 0.0
+    else:
+        slow_pole = zeta * wn
+        ring_penalty = -0.5 * np.log(max(1.0 - min(zeta, 0.999) ** 2, 1e-6))
+    delta_v = loop.step
+    v_linear = loop.slew_rate / wc
+    if delta_v > v_linear:
+        t_slew = (delta_v - v_linear) / loop.slew_rate
+        start = v_linear
+    else:
+        t_slew = 0.0
+        start = delta_v
+    ln_arg = max(start / (epsilon * delta_v), 1.0)
+    return float(t_slew + (np.log(ln_arg) + ring_penalty) / slow_pole)

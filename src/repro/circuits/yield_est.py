@@ -1,0 +1,161 @@
+"""Yield / robustness estimation (the paper's "Yield Calculation [6]").
+
+Robustness of a candidate sizing is the fraction of process/mismatch
+Monte-Carlo samples in which *all* circuit constraints still pass.  Two
+ingredients:
+
+* **Global process variation** — continuous perturbations of mobility
+  and threshold for each device type, drawn once (common random numbers,
+  so all candidates in all generations see the *same* disturbance set —
+  essential for a smooth, optimizer-friendly robustness figure).
+* **Local mismatch** — Pelgrom-scaled input-pair threshold mismatch,
+  which adds to the systematic offset.
+
+For vectorization the samples are packed into a single "stacked"
+:class:`~repro.circuits.technology.Technology` whose device-parameter
+fields are ``(n_samples, 1)`` arrays; one analysis call then evaluates
+every sample against every candidate at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.circuits.technology import DeviceParams, Technology
+from repro.utils.rng import as_rng
+
+
+def stacked_technology(techs: Sequence[Technology]) -> Technology:
+    """Pack several technology cards into one with (k, 1)-array parameters.
+
+    Analyses run under the stacked card produce outputs of shape
+    ``(k, n_designs)`` via numpy broadcasting.
+    """
+    if not techs:
+        raise ValueError("need at least one technology to stack")
+    base = techs[0]
+
+    def stack_device(pick) -> DeviceParams:
+        devs = [pick(t) for t in techs]
+        ref = devs[0]
+        return replace(
+            ref,
+            u0=_col([d.u0 for d in devs]),
+            vt0=_col([d.vt0 for d in devs]),
+        )
+
+    return replace(
+        base,
+        name=f"stacked[{len(techs)}]",
+        nmos=stack_device(lambda t: t.nmos),
+        pmos=stack_device(lambda t: t.pmos),
+    )
+
+
+def _col(values: List[float]) -> np.ndarray:
+    return np.asarray(values, dtype=float).reshape(-1, 1)
+
+
+@dataclass(frozen=True)
+class MonteCarloSample:
+    """One joint process draw (global variation z-scores)."""
+
+    n_mu_factor: float
+    n_dvt: float
+    p_mu_factor: float
+    p_dvt: float
+    mismatch_z: float  # standard-normal score for input-pair VT mismatch
+
+
+class MonteCarloSampler:
+    """Deterministic common-random-number process/mismatch sample set.
+
+    Parameters
+    ----------
+    n_samples:
+        Number of Monte-Carlo draws.
+    sigma_mu:
+        Relative 1-sigma of the mobility factor.
+    sigma_vt:
+        1-sigma threshold shift (V).
+    seed:
+        RNG seed; the draws are made once at construction and reused for
+        every candidate evaluation (common random numbers).
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 12,
+        sigma_mu: float = 0.05,
+        sigma_vt: float = 0.015,
+        seed=2005,
+    ) -> None:
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        rng = as_rng(seed)
+        self.n_samples = int(n_samples)
+        self.sigma_mu = float(sigma_mu)
+        self.sigma_vt = float(sigma_vt)
+        # Antithetic pairs halve the variance of the pass-fraction estimate.
+        half = (n_samples + 1) // 2
+        z = rng.standard_normal((half, 5))
+        z = np.vstack([z, -z])[:n_samples]
+        self._z = z
+
+    @property
+    def samples(self) -> List[MonteCarloSample]:
+        out = []
+        for row in self._z:
+            out.append(
+                MonteCarloSample(
+                    n_mu_factor=float(1.0 + self.sigma_mu * row[0]),
+                    n_dvt=float(self.sigma_vt * row[1]),
+                    p_mu_factor=float(1.0 + self.sigma_mu * row[2]),
+                    p_dvt=float(self.sigma_vt * row[3]),
+                    mismatch_z=float(row[4]),
+                )
+            )
+        return out
+
+    def stacked(self, base: Technology) -> Technology:
+        """All samples as one stacked technology card."""
+        techs = []
+        for s in self.samples:
+            techs.append(
+                replace(
+                    base,
+                    nmos=replace(
+                        base.nmos,
+                        u0=base.nmos.u0 * s.n_mu_factor,
+                        vt0=base.nmos.vt0 + s.n_dvt,
+                    ),
+                    pmos=replace(
+                        base.pmos,
+                        u0=base.pmos.u0 * s.p_mu_factor,
+                        vt0=base.pmos.vt0 + s.p_dvt,
+                    ),
+                )
+            )
+        return stacked_technology(techs)
+
+    def mismatch_offsets(
+        self, a_vt: float, w1: np.ndarray, l1: np.ndarray
+    ) -> np.ndarray:
+        """Input-pair VT mismatch per (sample, candidate): ``z * A_VT/sqrt(WL)``.
+
+        Returns shape ``(n_samples, n_designs)``.
+        """
+        w1 = np.asarray(w1, dtype=float)
+        l1 = np.asarray(l1, dtype=float)
+        sigma = a_vt / np.sqrt(np.maximum(w1 * l1, 1e-18))
+        z = self._z[:, 4].reshape(-1, 1)
+        return z * sigma[None, :]
+
+
+def pass_fraction(pass_matrix: np.ndarray) -> np.ndarray:
+    """Robustness per candidate from a ``(n_samples, n_designs)`` bool matrix."""
+    mat = np.atleast_2d(np.asarray(pass_matrix, dtype=bool))
+    return mat.mean(axis=0)

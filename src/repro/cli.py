@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+
+``repro figures [IDS...]``
+    Reproduce the paper's figures/tables (default: all) and print the
+    series.  ``--full`` uses paper-scale budgets.
+
+``repro run ALGO``
+    Run one algorithm on the integrator sizing problem and print the
+    resulting design surface.
+
+``repro spec-ladder``
+    Print the 20-step specification difficulty ladder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.circuits.specs import spec_ladder
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.reporting import format_table, front_rows
+from repro.experiments.runner import Scale, run_one
+
+
+def _scale_from_args(args: argparse.Namespace) -> Scale:
+    if getattr(args, "full", False):
+        return Scale.full()
+    scale = Scale.from_env()
+    if getattr(args, "generations", None):
+        scale = Scale(
+            population=scale.population,
+            generations=args.generations,
+            n_mc=scale.n_mc,
+            n_seeds=scale.n_seeds,
+            label=scale.label,
+        )
+    return scale
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    ids = args.ids or list(ALL_FIGURES)
+    scale = _scale_from_args(args)
+    unknown = [i for i in ids if i not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure ids: {unknown}; known: {sorted(ALL_FIGURES)}")
+        return 2
+    for fid in ids:
+        data = ALL_FIGURES[fid](scale=scale)
+        print(data.render())
+        print()
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    kwargs = {}
+    if args.algorithm == "sacga":
+        kwargs["n_partitions"] = args.partitions
+    summary = run_one(args.algorithm, "cli", scale=scale, **kwargs)
+    front = summary.result.front_objectives
+    print(
+        f"{summary.algorithm}: front={summary.front_size} "
+        f"coverage={summary.coverage:.2f} hv_paper={summary.hv_paper:.2f} "
+        f"({summary.n_evaluations} evaluations, {summary.wall_time:.1f}s)"
+    )
+    rows = front_rows(front, max_rows=args.max_rows)
+    print(format_table(["c_load_pF", "power_mW"], rows))
+    if args.json:
+        payload = {
+            "algorithm": summary.algorithm,
+            "front": front.tolist(),
+            "coverage": summary.coverage,
+            "hv_paper": summary.hv_paper,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_spec_ladder(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in spec_ladder(args.n):
+        rows.append(
+            [
+                spec.name,
+                spec.dr_min_db,
+                spec.or_min,
+                spec.st_max * 1e6,
+                spec.se_max,
+                spec.robustness_min,
+            ]
+        )
+    print(
+        format_table(
+            ["name", "DR_dB", "OR_V", "ST_us", "SE", "robustness"], rows
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SACGA/MESACGA analog design-space exploration (DATE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="reproduce the paper's figures/tables")
+    p_fig.add_argument("ids", nargs="*", help=f"figure ids ({', '.join(ALL_FIGURES)})")
+    p_fig.add_argument("--full", action="store_true", help="paper-scale budgets")
+    p_fig.add_argument("--generations", type=int, help="override generation budget")
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_run = sub.add_parser("run", help="run one algorithm on the sizing problem")
+    p_run.add_argument("algorithm", choices=["tpg", "sacga", "mesacga"])
+    p_run.add_argument("--partitions", type=int, default=8)
+    p_run.add_argument("--full", action="store_true")
+    p_run.add_argument("--generations", type=int)
+    p_run.add_argument("--max-rows", type=int, default=20)
+    p_run.add_argument("--json", help="write the front to this JSON file")
+    p_run.set_defaults(func=cmd_run)
+
+    p_spec = sub.add_parser("spec-ladder", help="print the 20-spec difficulty ladder")
+    p_spec.add_argument("-n", type=int, default=20)
+    p_spec.set_defaults(func=cmd_spec_ladder)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Simulated-Annealing-driven competition gating (paper eqns (2)-(4)).
+
+During SACGA's second phase, each partition's locally superior solutions
+are considered in random order i = 1, 2, ..., m_p; solution i is exposed
+to *global* competition with probability
+
+    prob(i, gen) = 1 - exp(-alpha / (c_i * T_A(gen)))            (3)
+
+where the cost of exposure grows with the solution's position in the
+random sequence,
+
+    c_i = k1 * exp(k2 * i / (n - 1))                             (2)
+
+and the annealing temperature cools from T_init down to 1 over the
+phase's ``span`` iterations,
+
+    T_A(gen) = T_init * exp(-k3 * ln(T_init) / span * (gen - gen_t)). (4)
+
+Early in the phase T_A is large, probabilities are near zero and
+competition stays local; at the end T_A = 1 and every locally superior
+solution competes globally.  Later positions in the random sequence (large
+i) have higher cost and therefore lower probability, so a partition never
+commits all of its good solutions to the global arena at once — it keeps
+representation even if its champions are globally dominated (paper §4.4,
+feature 2).
+
+:func:`shape_parameters` solves k1, k2, alpha, T_init from the anchor
+probabilities the paper names (the values at ``gen_t + span/2`` for i = 1
+and i = n, and at ``gen_t + span``), which is how Fig. 4's curves are
+produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Exponential cooling schedule of eqn (4).
+
+    ``temperature(0) == t_init`` and, with ``k3 = 1``,
+    ``temperature(span) == 1``.
+    """
+
+    t_init: float
+    span: int
+    k3: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.t_init <= 1.0:
+            raise ValueError(
+                f"t_init must exceed 1 (cooling target), got {self.t_init}"
+            )
+        check_positive("span", self.span)
+        check_positive("k3", self.k3)
+
+    def temperature(self, gen_offset) -> np.ndarray:
+        """T_A at ``gen - gen_t = gen_offset`` (scalar or array)."""
+        offset = np.asarray(gen_offset, dtype=float)
+        rate = self.k3 * np.log(self.t_init) / self.span
+        return self.t_init * np.exp(-rate * offset)
+
+
+@dataclass(frozen=True)
+class CompetitionGate:
+    """Eqns (2)+(3): probability that locally superior solution i goes global.
+
+    Parameters
+    ----------
+    k1, k2:
+        Cost-shaping constants of eqn (2).
+    alpha:
+        Numerator constant of eqn (3).
+    n:
+        Desired number of globally non-dominated solutions per partition
+        at the end of the phase; the cost exponent is ``i / (n - 1)``.
+    schedule:
+        The annealing schedule supplying T_A.
+    """
+
+    k1: float
+    k2: float
+    alpha: float
+    n: int
+    schedule: AnnealingSchedule
+
+    def __post_init__(self) -> None:
+        check_positive("k1", self.k1)
+        check_positive("alpha", self.alpha)
+        if self.n < 2:
+            raise ValueError(f"n must be >= 2 for the i/(n-1) exponent, got {self.n}")
+
+    def cost(self, i) -> np.ndarray:
+        """Cost c_i of exposing the i-th considered solution (eqn 2)."""
+        idx = np.asarray(i, dtype=float)
+        if np.any(idx < 1):
+            raise ValueError("sequence positions i start at 1")
+        return self.k1 * np.exp(self.k2 * idx / (self.n - 1))
+
+    def probability(self, i, gen_offset) -> np.ndarray:
+        """Participation probability of eqn (3); broadcasts i x gen_offset."""
+        c = self.cost(i)
+        t = self.schedule.temperature(gen_offset)
+        return 1.0 - np.exp(-self.alpha / (c * t))
+
+    def sample_mask(
+        self,
+        m_p: int,
+        gen_offset: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Random gate decisions for a partition with *m_p* superior solutions.
+
+        Returns a boolean array over the *sequence positions* 1..m_p: entry
+        ``j`` says whether the solution considered ``j+1``-th (in the
+        caller's random order) participates in global competition this
+        iteration.
+        """
+        if m_p < 0:
+            raise ValueError(f"m_p must be non-negative, got {m_p}")
+        if m_p == 0:
+            return np.zeros(0, dtype=bool)
+        probs = self.probability(np.arange(1, m_p + 1), gen_offset)
+        return rng.random(m_p) < probs
+
+    def curve(self, i: int, n_points: int = 101) -> "tuple[np.ndarray, np.ndarray]":
+        """(gen_offset, probability) series for plotting — reproduces Fig 4."""
+        offsets = np.linspace(0.0, self.schedule.span, n_points)
+        return offsets, self.probability(i, offsets)
+
+
+def shape_parameters(
+    n: int = 5,
+    span: int = 100,
+    p_mid_first: float = 0.5,
+    p_mid_last: float = 0.1,
+    p_end: float = 0.95,
+    k3: float = 1.0,
+    k1: float = 1.0,
+) -> CompetitionGate:
+    """Solve gate constants from the paper's three anchor probabilities.
+
+    The paper (§4.4, feature 3) says the curve shapes "can be easily
+    controlled by selecting k1, k2, k3 for desired values of probability
+    at iteration gen_t + span/2 for i = 1, n and that at gen_t + span".
+    Concretely, with ``k3 = 1`` (so T_A(span) = 1):
+
+    * ``prob(i=1, span/2) = p_mid_first``
+    * ``prob(i=n, span/2) = p_mid_last``
+    * ``prob(i=n, span)  >= p_end``  (this pins T_init)
+
+    ``k1`` is redundant with ``alpha`` (only ``alpha / k1`` matters) and is
+    kept as a free normalization, default 1.
+
+    Returns
+    -------
+    CompetitionGate
+        Gate whose curves match the anchors; defaults reproduce Fig 4.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    check_positive("span", span)
+    check_positive("k1", k1)
+    check_in_range("p_mid_first", p_mid_first, 0.0, 1.0, inclusive=(False, False))
+    check_in_range("p_mid_last", p_mid_last, 0.0, 1.0, inclusive=(False, False))
+    check_in_range("p_end", p_end, 0.0, 1.0, inclusive=(False, False))
+    if p_mid_last >= p_mid_first:
+        raise ValueError(
+            "p_mid_last must be below p_mid_first (later sequence positions "
+            "must be less likely to go global)"
+        )
+    if p_end <= p_mid_last:
+        raise ValueError("p_end must exceed p_mid_last (probabilities rise in time)")
+
+    # T_init from the end-of-phase anchor: prob(i=n, T=1) = 1 - e^{-A_n},
+    # prob(i=n, T=sqrt(T_init)) = p_mid_last  =>  A_n = -ln(1-p_mid_last)*sqrt(T_init)
+    # and 1 - e^{-A_n} = p_end.
+    sqrt_t_init = np.log(1.0 - p_end) / np.log(1.0 - p_mid_last)
+    t_init = float(sqrt_t_init**2)
+    if t_init <= 1.0:
+        raise ValueError(
+            "anchor probabilities imply no cooling (t_init <= 1); "
+            "raise p_end or lower p_mid_last"
+        )
+    a_first = -np.log(1.0 - p_mid_first) * sqrt_t_init  # alpha / c_1
+    a_last = -np.log(1.0 - p_mid_last) * sqrt_t_init  # alpha / c_n
+    k2 = float(np.log(a_first / a_last))
+    alpha = float(a_first * k1 * np.exp(k2 / (n - 1)))
+    schedule = AnnealingSchedule(t_init=t_init, span=int(span), k3=k3)
+    return CompetitionGate(k1=k1, k2=k2, alpha=alpha, n=n, schedule=schedule)

@@ -1,0 +1,129 @@
+"""Bounded elitist archive of feasible non-dominated solutions.
+
+The paper extracts its final front with "Global Competition ... once on
+the entire population".  An external archive strengthens that: it
+accumulates every feasible non-dominated design seen during the run, so
+the reported design surface cannot lose points to late-run population
+churn.  The archive is bounded; when full it prunes by crowding distance
+(keeping the extremes), the same density measure NSGA-II truncates with.
+
+Usage::
+
+    archive = ParetoArchive(capacity=300)
+    algorithm.add_callback(archive.observe)
+    result = algorithm.run(800)
+    archive.objectives   # the accumulated design surface
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.individual import Population
+from repro.core.nds import crowding_distance
+from repro.utils.pareto import pareto_mask
+from repro.utils.validation import check_positive
+
+
+class ParetoArchive:
+    """Feasible non-dominated archive with crowding-based pruning.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored solutions; ``None`` = unbounded.
+    """
+
+    def __init__(self, capacity: Optional[int] = 300) -> None:
+        if capacity is not None:
+            check_positive("capacity", capacity)
+        self.capacity = capacity
+        self._x: Optional[np.ndarray] = None
+        self._f: Optional[np.ndarray] = None
+        self.n_observed = 0
+
+    # ------------------------------------------------------------- protocol
+
+    @property
+    def size(self) -> int:
+        return 0 if self._f is None else self._f.shape[0]
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def x(self) -> np.ndarray:
+        if self._x is None:
+            raise ValueError("archive is empty")
+        return self._x.copy()
+
+    @property
+    def objectives(self) -> np.ndarray:
+        if self._f is None:
+            raise ValueError("archive is empty")
+        return self._f.copy()
+
+    def contents(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, objectives) of the current archive (empty arrays if unused)."""
+        if self._f is None:
+            return np.zeros((0, 0)), np.zeros((0, 0))
+        return self._x.copy(), self._f.copy()
+
+    # ------------------------------------------------------------- updates
+
+    def add(self, x: np.ndarray, objectives: np.ndarray) -> int:
+        """Merge a batch of *feasible* candidates; returns archive size.
+
+        Only the joint non-dominated subset survives; if it exceeds the
+        capacity the densest members are pruned.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        f = np.atleast_2d(np.asarray(objectives, dtype=float))
+        if x.shape[0] != f.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[0]} rows but objectives has {f.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            return self.size
+        self.n_observed += x.shape[0]
+        if self._f is None:
+            all_x, all_f = x, f
+        else:
+            if f.shape[1] != self._f.shape[1] or x.shape[1] != self._x.shape[1]:
+                raise ValueError("dimension mismatch with archived solutions")
+            all_x = np.vstack([self._x, x])
+            all_f = np.vstack([self._f, f])
+        keep = pareto_mask(all_f)
+        all_x, all_f = all_x[keep], all_f[keep]
+        all_x, all_f = _drop_duplicates(all_x, all_f)
+        if self.capacity is not None and all_f.shape[0] > self.capacity:
+            dist = crowding_distance(all_f)
+            order = np.argsort(-dist, kind="stable")[: self.capacity]
+            all_x, all_f = all_x[order], all_f[order]
+        self._x, self._f = all_x, all_f
+        return self.size
+
+    def observe(self, generation: int, population: Population) -> None:
+        """Per-generation callback: feed the feasible members in."""
+        feas = np.flatnonzero(population.feasible)
+        if feas.size:
+            self.add(population.x[feas], population.objectives[feas])
+
+    def clear(self) -> None:
+        self._x = None
+        self._f = None
+        self.n_observed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParetoArchive(size={self.size}, capacity={self.capacity})"
+
+
+def _drop_duplicates(x: np.ndarray, f: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Remove exact decision-vector duplicates (keep first occurrence)."""
+    if x.shape[0] <= 1:
+        return x, f
+    _, idx = np.unique(x, axis=0, return_index=True)
+    idx = np.sort(idx)
+    return x[idx], f[idx]

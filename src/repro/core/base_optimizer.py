@@ -1,0 +1,152 @@
+"""Shared scaffolding for the three optimizers (NSGA-II, SACGA, MESACGA).
+
+The base class owns everything that is identical across algorithms —
+operator configuration, RNG plumbing, history recording, timing, result
+packaging — so that the algorithm subclasses contain only the logic the
+paper actually differentiates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.callbacks import CallbackList, HistoryRecorder, ProgressCallback
+from repro.core.individual import Population
+from repro.core.operators import PolynomialMutation, SBXCrossover
+from repro.core.results import OptimizationResult, extract_feasible_front
+from repro.problems.base import Problem
+from repro.utils.rng import RngLike, as_rng
+
+
+class BaseOptimizer:
+    """Common machinery for generational multi-objective GAs.
+
+    Parameters
+    ----------
+    problem:
+        The (vectorized) problem to optimize.
+    population_size:
+        Number of individuals maintained per generation.
+    crossover, mutation:
+        Variation operators; defaults are SBX(eta=15, p=0.9) and
+        polynomial mutation(eta=20, p=1/n_var) as in NSGA-II practice.
+    seed:
+        Anything :func:`repro.utils.rng.as_rng` accepts.
+    """
+
+    algorithm_name = "BaseOptimizer"
+
+    def __init__(
+        self,
+        problem: Problem,
+        population_size: int = 100,
+        crossover: Optional[SBXCrossover] = None,
+        mutation: Optional[PolynomialMutation] = None,
+        seed: RngLike = None,
+    ) -> None:
+        if population_size < 4:
+            raise ValueError(
+                f"population_size must be >= 4, got {population_size}"
+            )
+        self.problem = problem
+        self.population_size = int(population_size)
+        self.crossover = crossover or SBXCrossover()
+        self.mutation = mutation or PolynomialMutation()
+        self.rng = as_rng(seed)
+        self.history = HistoryRecorder()
+        self.callbacks = CallbackList()
+        self._n_evaluations = 0
+        self._stop_requested = False
+
+    # ------------------------------------------------------------- plumbing
+
+    def add_callback(self, callback: ProgressCallback) -> None:
+        self.callbacks.append(callback)
+
+    def request_stop(self) -> None:
+        """Ask the optimizer to stop after the current generation.
+
+        Intended for termination-criterion callbacks (see
+        :class:`repro.core.callbacks.StagnationStop`); the run returns
+        normally with everything produced so far.
+        """
+        self._stop_requested = True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested
+
+    def _evaluate_population(self, x: np.ndarray) -> Population:
+        pop = Population.from_x(self.problem, x)
+        self._n_evaluations += pop.size
+        return pop
+
+    def _initial_population(
+        self, initial_x: Optional[np.ndarray] = None
+    ) -> Population:
+        if initial_x is not None:
+            x = np.atleast_2d(np.asarray(initial_x, dtype=float))
+            if x.shape[0] != self.population_size:
+                raise ValueError(
+                    f"initial population has {x.shape[0]} rows, expected "
+                    f"{self.population_size}"
+                )
+            return self._evaluate_population(self.problem.clip(x))
+        x = self.problem.sample(self.population_size, self.rng)
+        return self._evaluate_population(x)
+
+    def _package_result(
+        self,
+        population: Population,
+        n_generations: int,
+        wall_time: float,
+        metadata: Optional[Dict] = None,
+    ) -> OptimizationResult:
+        front_x, front_f = extract_feasible_front(population)
+        meta = {
+            "population_size": self.population_size,
+            "crossover": repr(self.crossover),
+            "mutation": repr(self.mutation),
+        }
+        meta.update(metadata or {})
+        return OptimizationResult(
+            algorithm=self.algorithm_name,
+            problem_name=self.problem.name,
+            population=population,
+            front_x=front_x,
+            front_objectives=front_f,
+            n_generations=n_generations,
+            n_evaluations=self._n_evaluations,
+            wall_time=wall_time,
+            history=list(self.history.records),
+            metadata=meta,
+        )
+
+    # ---------------------------------------------------------------- run
+
+    def run(
+        self,
+        n_generations: int,
+        initial_x: Optional[np.ndarray] = None,
+    ) -> OptimizationResult:
+        """Execute the optimizer for *n_generations* and package the result."""
+        if n_generations < 0:
+            raise ValueError(f"n_generations must be >= 0, got {n_generations}")
+        self.history.clear()
+        self._n_evaluations = 0
+        self._stop_requested = False
+        self.problem.reset_evaluation_counter()
+        start = time.perf_counter()
+        population, meta = self._run_loop(n_generations, initial_x)
+        elapsed = time.perf_counter() - start
+        return self._package_result(population, n_generations, elapsed, meta)
+
+    def _run_loop(
+        self,
+        n_generations: int,
+        initial_x: Optional[np.ndarray],
+    ) -> "tuple[Population, Dict]":
+        raise NotImplementedError

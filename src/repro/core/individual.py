@@ -1,0 +1,195 @@
+"""Population container (struct-of-arrays).
+
+The GA layers operate on a :class:`Population`: parallel numpy arrays for
+decision vectors, objectives, constraints and derived per-individual
+attributes (rank, crowding distance, partition index).  Struct-of-arrays
+keeps every operation vectorized; individuals are only materialized as
+lightweight views when a caller needs one (:class:`IndividualView`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.problems.base import Evaluation, Problem
+
+UNRANKED = -1
+NO_PARTITION = -1
+
+
+@dataclass(frozen=True)
+class IndividualView:
+    """Read-only view of one population member."""
+
+    x: np.ndarray
+    objectives: np.ndarray
+    constraints: np.ndarray
+    violation: float
+    rank: int
+    crowding: float
+    partition: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.violation <= 0.0
+
+
+class Population:
+    """A fixed-size batch of evaluated candidate designs.
+
+    Parameters
+    ----------
+    x:
+        ``(n, n_var)`` decision vectors.
+    evaluation:
+        Matching :class:`Evaluation` (objectives/constraints/violation).
+
+    Derived attributes (``rank``, ``crowding``, ``partition``) start
+    unset (:data:`UNRANKED` / ``0.0`` / :data:`NO_PARTITION`) and are
+    filled in by the sorting and partitioning machinery.
+    """
+
+    def __init__(self, x: np.ndarray, evaluation: Evaluation) -> None:
+        self.x = np.atleast_2d(np.asarray(x, dtype=float)).copy()
+        if self.x.shape[0] != evaluation.n_points:
+            raise ValueError(
+                f"x has {self.x.shape[0]} rows but evaluation has "
+                f"{evaluation.n_points} points"
+            )
+        self.objectives = evaluation.objectives.copy()
+        self.constraints = evaluation.constraints.copy()
+        self.violation = evaluation.violation.copy()
+        n = self.size
+        self.rank = np.full(n, UNRANKED, dtype=int)
+        self.crowding = np.zeros(n, dtype=float)
+        self.partition = np.full(n, NO_PARTITION, dtype=int)
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def random(
+        cls, problem: Problem, size: int, rng: np.random.Generator
+    ) -> "Population":
+        """Uniformly sample and evaluate *size* designs of *problem*."""
+        x = problem.sample(size, rng)
+        return cls(x, problem.evaluate(x))
+
+    @classmethod
+    def from_x(cls, problem: Problem, x: np.ndarray) -> "Population":
+        """Evaluate the given decision vectors under *problem*."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return cls(x, problem.evaluate(x))
+
+    @classmethod
+    def empty(cls, n_var: int, n_obj: int, n_con: int) -> "Population":
+        """An empty population with the given dimensionality."""
+        ev = Evaluation(
+            objectives=np.zeros((0, n_obj)), constraints=np.zeros((0, n_con))
+        )
+        return cls(np.zeros((0, n_var)), ev)
+
+    # ------------------------------------------------------------ protocol
+
+    @property
+    def size(self) -> int:
+        return self.x.shape[0]
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def n_var(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def n_obj(self) -> int:
+        return self.objectives.shape[1]
+
+    @property
+    def n_con(self) -> int:
+        return self.constraints.shape[1]
+
+    @property
+    def feasible(self) -> np.ndarray:
+        return self.violation <= 0.0
+
+    def __getitem__(self, i: int) -> IndividualView:
+        return IndividualView(
+            x=self.x[i],
+            objectives=self.objectives[i],
+            constraints=self.constraints[i],
+            violation=float(self.violation[i]),
+            rank=int(self.rank[i]),
+            crowding=float(self.crowding[i]),
+            partition=int(self.partition[i]),
+        )
+
+    def __iter__(self) -> Iterator[IndividualView]:
+        for i in range(self.size):
+            yield self[i]
+
+    # ---------------------------------------------------------- operations
+
+    def subset(self, indices: Sequence[int]) -> "Population":
+        """New population holding rows *indices* (derived attrs carried over)."""
+        idx = np.asarray(indices, dtype=int)
+        ev = Evaluation(
+            objectives=self.objectives[idx],
+            constraints=self.constraints[idx],
+            violation=self.violation[idx],
+        )
+        out = Population(self.x[idx], ev)
+        out.rank = self.rank[idx].copy()
+        out.crowding = self.crowding[idx].copy()
+        out.partition = self.partition[idx].copy()
+        return out
+
+    def concat(self, other: "Population") -> "Population":
+        """Concatenate two populations (derived attrs carried over)."""
+        if other.size == 0:
+            return self.copy()
+        if self.size == 0:
+            return other.copy()
+        if self.n_var != other.n_var or self.n_obj != other.n_obj:
+            raise ValueError("cannot concatenate populations of differing shape")
+        ev = Evaluation(
+            objectives=np.vstack([self.objectives, other.objectives]),
+            constraints=np.vstack([self.constraints, other.constraints]),
+            violation=np.concatenate([self.violation, other.violation]),
+        )
+        out = Population(np.vstack([self.x, other.x]), ev)
+        out.rank = np.concatenate([self.rank, other.rank])
+        out.crowding = np.concatenate([self.crowding, other.crowding])
+        out.partition = np.concatenate([self.partition, other.partition])
+        return out
+
+    def copy(self) -> "Population":
+        return self.subset(np.arange(self.size))
+
+    def evaluation(self) -> Evaluation:
+        """Bundle the objective/constraint arrays back into an Evaluation."""
+        return Evaluation(
+            objectives=self.objectives.copy(),
+            constraints=self.constraints.copy(),
+            violation=self.violation.copy(),
+        )
+
+    def pareto_front_indices(self) -> np.ndarray:
+        """Indices of the (constraint-aware) non-dominated members."""
+        from repro.utils.pareto import pareto_mask
+
+        return np.flatnonzero(pareto_mask(self.objectives, self.violation))
+
+    def pareto_front(self) -> "Population":
+        """The (constraint-aware) non-dominated subset as a new population."""
+        return self.subset(self.pareto_front_indices())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n_feas = int(self.feasible.sum())
+        return (
+            f"Population(size={self.size}, n_var={self.n_var}, "
+            f"n_obj={self.n_obj}, feasible={n_feas})"
+        )

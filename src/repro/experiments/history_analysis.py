@@ -1,0 +1,142 @@
+"""Convergence-curve analysis over recorded run histories.
+
+Every optimizer records per-generation :class:`GenerationRecord`
+snapshots; these helpers turn them into the curves the paper's
+discussion reasons about — hypervolume over time, feasibility ramp-up,
+coverage growth — and extract milestone generations ("when did coverage
+first reach 0.8?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import GenerationRecord, OptimizationResult
+from repro.metrics.diversity import range_coverage
+from repro.metrics.hypervolume import hypervolume_paper, hypervolume_ref
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    """A metric evaluated at every recorded generation."""
+
+    generations: np.ndarray
+    values: np.ndarray
+    metric: str
+
+    def __post_init__(self) -> None:
+        if self.generations.shape != self.values.shape:
+            raise ValueError("generations/values length mismatch")
+
+    @property
+    def final(self) -> float:
+        if self.values.size == 0:
+            raise ValueError("empty curve")
+        return float(self.values[-1])
+
+    def first_generation_reaching(
+        self, threshold: float, direction: str = "above"
+    ) -> Optional[int]:
+        """Earliest recorded generation where the metric crosses *threshold*.
+
+        ``direction`` is ``"above"`` (value >= threshold) or ``"below"``.
+        Returns ``None`` if never reached.
+        """
+        if direction not in ("above", "below"):
+            raise ValueError("direction must be 'above' or 'below'")
+        if direction == "above":
+            hits = np.flatnonzero(self.values >= threshold)
+        else:
+            hits = np.flatnonzero(self.values <= threshold)
+        if hits.size == 0:
+            return None
+        return int(self.generations[hits[0]])
+
+    def improvement_over(self, window: int) -> float:
+        """Metric change over the final *window* recorded points."""
+        if window < 1 or window >= self.values.size:
+            raise ValueError(
+                f"window must be in [1, {self.values.size - 1}], got {window}"
+            )
+        return float(self.values[-1] - self.values[-1 - window])
+
+
+FrontMetric = Callable[[np.ndarray], float]
+
+
+def curve_from_history(
+    history: Sequence[GenerationRecord],
+    metric_fn: FrontMetric,
+    metric_name: str,
+    skip_empty: bool = True,
+) -> ConvergenceCurve:
+    """Apply *metric_fn* to each recorded front."""
+    gens: List[int] = []
+    values: List[float] = []
+    for rec in history:
+        if rec.front_objectives.size == 0:
+            if skip_empty:
+                continue
+            values.append(float("nan"))
+        else:
+            values.append(float(metric_fn(rec.front_objectives)))
+        gens.append(rec.generation)
+    return ConvergenceCurve(
+        generations=np.asarray(gens, dtype=float),
+        values=np.asarray(values, dtype=float),
+        metric=metric_name,
+    )
+
+
+def hv_paper_curve(
+    result: OptimizationResult,
+    scale=(1.0e-4, 1.0e-12),
+) -> ConvergenceCurve:
+    """Paper-hypervolume (lower = better) over the recorded generations."""
+    return curve_from_history(
+        result.history,
+        lambda front: hypervolume_paper(front, scale=scale),
+        "hv_paper",
+    )
+
+
+def hv_ref_curve(
+    result: OptimizationResult,
+    reference=(2.0e-3, 5.0e-12),
+) -> ConvergenceCurve:
+    """Reference hypervolume (higher = better) over the run."""
+    return curve_from_history(
+        result.history,
+        lambda front: hypervolume_ref(front, reference),
+        "hv_ref",
+    )
+
+
+def coverage_curve(
+    result: OptimizationResult,
+    axis: int = 1,
+    low: float = 0.0,
+    high: float = 5.0e-12,
+) -> ConvergenceCurve:
+    """Load-range coverage over the run."""
+    return curve_from_history(
+        result.history,
+        lambda front: range_coverage(front, axis=axis, low=low, high=high),
+        "coverage",
+    )
+
+
+def feasibility_curve(result: OptimizationResult) -> ConvergenceCurve:
+    """Feasible-member count over the run (works with empty fronts)."""
+    gens = np.asarray([rec.generation for rec in result.history], dtype=float)
+    values = np.asarray([rec.n_feasible for rec in result.history], dtype=float)
+    return ConvergenceCurve(generations=gens, values=values, metric="n_feasible")
+
+
+def first_feasible_generation(result: OptimizationResult) -> Optional[int]:
+    """Generation at which the population first contained a feasible member."""
+    curve = feasibility_curve(result)
+    return curve.first_generation_reaching(1.0, direction="above")

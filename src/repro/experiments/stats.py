@@ -1,0 +1,151 @@
+"""Multi-seed aggregation and ordering statistics.
+
+The paper's Section-5 trends are statements over repeated runs ("in all
+cases ... the quality ... were found to be in the order MESACGA >=
+SACGA >= TPG").  These helpers make such claims measurable: robust
+per-algorithm summaries (median / IQR) and a paired sign test for
+"A beats B" assertions across seeds/specs without distributional
+assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Robust location/spread summary of one metric over repeated runs."""
+
+    n: int
+    median: float
+    q1: float
+    q3: float
+    minimum: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"median {self.median:.4g} (IQR {self.q1:.4g}-{self.q3:.4g}, "
+            f"n={self.n})"
+        )
+
+
+def summarize(values: Sequence[float]) -> SampleSummary:
+    """Median / quartiles / extremes of a sample (NaNs excluded)."""
+    arr = np.asarray(list(values), dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty (or all-NaN) sample")
+    return SampleSummary(
+        n=int(arr.size),
+        median=float(np.median(arr)),
+        q1=float(np.quantile(arr, 0.25)),
+        q3=float(np.quantile(arr, 0.75)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def sign_test_p_value(wins: int, losses: int) -> float:
+    """Two-sided exact sign-test p-value for paired comparisons.
+
+    Ties are excluded by the caller (pass only strict wins/losses).
+    Returns 1.0 when there is no informative pair.
+    """
+    if wins < 0 or losses < 0:
+        raise ValueError("wins/losses must be non-negative")
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = max(wins, losses)
+    # P(X >= k) for X ~ Binomial(n, 1/2), doubled (two-sided), capped at 1.
+    tail = sum(comb(n, i) for i in range(k, n + 1)) / 2.0**n
+    return float(min(1.0, 2.0 * tail))
+
+
+@dataclass
+class PairedComparison:
+    """Outcome of a paired 'A vs B' comparison over matched runs."""
+
+    wins: int
+    losses: int
+    ties: int
+    p_value: float
+
+    @property
+    def n(self) -> int:
+        return self.wins + self.losses + self.ties
+
+    def favors_a(self, alpha: float = 0.1) -> bool:
+        """True when A wins the sign test at level *alpha*."""
+        return self.wins > self.losses and self.p_value <= alpha
+
+
+def paired_comparison(
+    a: Sequence[float],
+    b: Sequence[float],
+    higher_is_better: bool = True,
+    tie_tolerance: float = 0.0,
+) -> PairedComparison:
+    """Compare matched samples element-wise with an exact sign test.
+
+    Parameters
+    ----------
+    a, b:
+        Matched metric values (same seeds / same specs, in order).
+    higher_is_better:
+        Direction of the metric (set ``False`` for the paper's
+        hypervolume, where lower is better).
+    tie_tolerance:
+        Absolute difference below which a pair counts as a tie.
+    """
+    a_arr = np.asarray(list(a), dtype=float)
+    b_arr = np.asarray(list(b), dtype=float)
+    if a_arr.shape != b_arr.shape:
+        raise ValueError(
+            f"paired samples differ in shape: {a_arr.shape} vs {b_arr.shape}"
+        )
+    diff = a_arr - b_arr
+    if not higher_is_better:
+        diff = -diff
+    wins = int(np.sum(diff > tie_tolerance))
+    losses = int(np.sum(diff < -tie_tolerance))
+    ties = int(diff.size - wins - losses)
+    return PairedComparison(
+        wins=wins,
+        losses=losses,
+        ties=ties,
+        p_value=sign_test_p_value(wins, losses),
+    )
+
+
+def ordering_table(
+    metric_by_algorithm: Dict[str, Sequence[float]],
+    higher_is_better: bool = True,
+) -> str:
+    """Readable summary + pairwise sign tests for a set of algorithms."""
+    lines = []
+    for name, values in metric_by_algorithm.items():
+        lines.append(f"{name:12s} {summarize(values)}")
+    names = list(metric_by_algorithm)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            cmp = paired_comparison(
+                metric_by_algorithm[a],
+                metric_by_algorithm[b],
+                higher_is_better=higher_is_better,
+            )
+            lines.append(
+                f"{a} vs {b}: {cmp.wins}W/{cmp.losses}L/{cmp.ties}T "
+                f"(p={cmp.p_value:.3f})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""DesignSurface — the deliverable of the paper's methodology as an API.
+
+The point of design-space exploration (paper Sections 1-2) is a reusable
+*surface*: for any load capacitance a subsystem designer needs driven,
+the minimum-power sizing that achieves it.  This module wraps a set of
+explored designs into that object:
+
+* build it from one or many optimizer results (:meth:`from_results`);
+* query the achievable power at a load (:meth:`power_at`) or fetch the
+  actual sizing (:meth:`design_for`);
+* merge surfaces from independent runs (non-dominated merge);
+* round-trip through JSON for reuse across sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.circuits.sizing_problem import C_LOAD_MAX
+from repro.core.results import OptimizationResult
+from repro.utils.pareto import pareto_mask
+
+
+class DesignSurface:
+    """A power-vs-load design surface with the sizings that realize it.
+
+    Internally stores the feasible non-dominated set sorted by load
+    capacitance.  All capacitances/powers are SI (farads/watts).
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        c_load: np.ndarray,
+        power: np.ndarray,
+        c_load_max: float = C_LOAD_MAX,
+    ) -> None:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        c_load = np.asarray(c_load, dtype=float).ravel()
+        power = np.asarray(power, dtype=float).ravel()
+        if not (x.shape[0] == c_load.size == power.size):
+            raise ValueError(
+                f"inconsistent surface sizes: x={x.shape[0]}, "
+                f"c_load={c_load.size}, power={power.size}"
+            )
+        if x.shape[0] == 0:
+            raise ValueError("a design surface needs at least one design")
+        self.c_load_max = float(c_load_max)
+        # Keep only the non-dominated subset in (power, deficit) space.
+        objs = np.column_stack([power, self.c_load_max - c_load])
+        keep = pareto_mask(objs)
+        order = np.argsort(c_load[keep], kind="stable")
+        idx = np.flatnonzero(keep)[order]
+        self._x = x[idx]
+        self._c_load = c_load[idx]
+        self._power = power[idx]
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def from_results(
+        cls,
+        results: Iterable[OptimizationResult],
+        c_load_max: float = C_LOAD_MAX,
+    ) -> "DesignSurface":
+        """Merge the fronts of one or more runs into a single surface."""
+        xs, cs, ps = [], [], []
+        for result in results:
+            front = result.front_objectives
+            if front.shape[0] == 0:
+                continue
+            xs.append(result.front_x)
+            cs.append(c_load_max - front[:, 1])
+            ps.append(front[:, 0])
+        if not xs:
+            raise ValueError("no feasible designs in any of the results")
+        return cls(
+            np.vstack(xs),
+            np.concatenate(cs),
+            np.concatenate(ps),
+            c_load_max=c_load_max,
+        )
+
+    @classmethod
+    def from_result(
+        cls, result: OptimizationResult, c_load_max: float = C_LOAD_MAX
+    ) -> "DesignSurface":
+        return cls.from_results([result], c_load_max=c_load_max)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def size(self) -> int:
+        return self._c_load.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def c_load(self) -> np.ndarray:
+        return self._c_load.copy()
+
+    @property
+    def power(self) -> np.ndarray:
+        return self._power.copy()
+
+    @property
+    def x(self) -> np.ndarray:
+        return self._x.copy()
+
+    @property
+    def load_range(self) -> Tuple[float, float]:
+        return float(self._c_load[0]), float(self._c_load[-1])
+
+    def design_for(self, c_load: float) -> Tuple[np.ndarray, float, float]:
+        """Cheapest stored design able to drive *c_load*.
+
+        Returns ``(x, actual_c_load, power)``.  Asking beyond the
+        strongest stored design raises (the surface cannot promise it).
+        """
+        capable = np.flatnonzero(self._c_load >= c_load)
+        if capable.size == 0:
+            raise ValueError(
+                f"no stored design drives {c_load * 1e12:.2f} pF "
+                f"(surface tops out at {self._c_load[-1] * 1e12:.2f} pF)"
+            )
+        # Surface is sorted by c_load and non-dominated, so among capable
+        # designs the first (smallest load) has the lowest power.
+        i = int(capable[0])
+        return self._x[i].copy(), float(self._c_load[i]), float(self._power[i])
+
+    def power_at(self, c_load) -> np.ndarray:
+        """Interpolated minimum power to drive *c_load* (vectorized).
+
+        Piecewise-linear in the stored points; queries below the weakest
+        stored design return its power (driving less never costs more);
+        queries above the strongest return ``nan``.
+        """
+        q = np.asarray(c_load, dtype=float)
+        out = np.interp(q, self._c_load, self._power)
+        out = np.where(q > self._c_load[-1], np.nan, out)
+        return out
+
+    # ----------------------------------------------------------------- io
+
+    def to_dict(self) -> dict:
+        return {
+            "c_load_max": self.c_load_max,
+            "x": self._x.tolist(),
+            "c_load": self._c_load.tolist(),
+            "power": self._power.tolist(),
+        }
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path) -> "DesignSurface":
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            np.asarray(payload["x"], dtype=float),
+            np.asarray(payload["c_load"], dtype=float),
+            np.asarray(payload["power"], dtype=float),
+            c_load_max=float(payload["c_load_max"]),
+        )
+
+    def merged_with(self, other: "DesignSurface") -> "DesignSurface":
+        """Non-dominated union of two surfaces (same load convention)."""
+        if other.c_load_max != self.c_load_max:
+            raise ValueError("cannot merge surfaces with different load ranges")
+        return DesignSurface(
+            np.vstack([self._x, other._x]),
+            np.concatenate([self._c_load, other._c_load]),
+            np.concatenate([self._power, other._power]),
+            c_load_max=self.c_load_max,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo, hi = self.load_range
+        return (
+            f"DesignSurface(size={self.size}, "
+            f"load {lo * 1e12:.2f}-{hi * 1e12:.2f} pF, "
+            f"power {self._power.min() * 1e3:.3f}-{self._power.max() * 1e3:.3f} mW)"
+        )

@@ -1,0 +1,38 @@
+"""Quality metrics for Pareto-front approximations.
+
+``hypervolume_paper`` is the metric of the paper's Section 4.2
+(origin-anchored box union, lower = better); the rest are standard MOEA
+indicators used for cross-checks and tests.
+"""
+
+from repro.metrics.hypervolume import (
+    hypervolume_paper,
+    hypervolume_ref,
+    paper_unit_scale,
+)
+from repro.metrics.diversity import (
+    range_coverage,
+    spacing,
+    spread,
+    extent,
+    cluster_fraction,
+)
+from repro.metrics.convergence import (
+    generational_distance,
+    inverted_generational_distance,
+    epsilon_indicator,
+)
+
+__all__ = [
+    "hypervolume_paper",
+    "hypervolume_ref",
+    "paper_unit_scale",
+    "range_coverage",
+    "spacing",
+    "spread",
+    "extent",
+    "cluster_fraction",
+    "generational_distance",
+    "inverted_generational_distance",
+    "epsilon_indicator",
+]

@@ -1,0 +1,128 @@
+"""Diversity metrics for Pareto-front approximations.
+
+The paper's complaint about NSGA-II is *poor diversity along the load
+capacitance axis*; these metrics quantify exactly that:
+
+* :func:`range_coverage` — fraction of a target interval of one
+  objective that the front actually covers (the paper's "solutions were
+  found to cluster mostly between 4 and 5 pF" is ``range_coverage ~ 0.2``).
+* :func:`spacing` — Schott's spacing (uniformity of gaps).
+* :func:`spread` — Deb's Delta spread indicator (needs extreme points).
+* :func:`extent` — per-objective min/max envelope of the front.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _as_front(points: np.ndarray) -> np.ndarray:
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.ndim != 2:
+        raise ValueError(f"front must be 2-D, got shape {pts.shape}")
+    return pts
+
+
+def range_coverage(
+    points: np.ndarray,
+    axis: int,
+    low: float,
+    high: float,
+    n_bins: int = 20,
+) -> float:
+    """Fraction of ``[low, high]`` bins (along objective *axis*) occupied.
+
+    Returns a value in [0, 1]; 1.0 means every bin of the target range
+    contains at least one solution.  Empty fronts score 0.
+    """
+    pts = _as_front(points)
+    if pts.shape[0] == 0:
+        return 0.0
+    if not high > low:
+        raise ValueError(f"high ({high}) must exceed low ({low})")
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    coord = pts[:, axis]
+    bins = np.floor((coord - low) / (high - low) * n_bins).astype(int)
+    bins = np.clip(bins, 0, n_bins - 1)
+    return float(np.unique(bins).size) / n_bins
+
+
+def spacing(points: np.ndarray) -> float:
+    """Schott's spacing: std-dev of nearest-neighbour L1 distances.
+
+    Zero for perfectly uniform fronts; undefined (returns ``nan``) for
+    fronts with fewer than 2 points.
+    """
+    pts = _as_front(points)
+    n = pts.shape[0]
+    if n < 2:
+        return float("nan")
+    # Pairwise L1 distances; exclude self by setting the diagonal high.
+    diff = np.abs(pts[:, None, :] - pts[None, :, :]).sum(axis=2)
+    np.fill_diagonal(diff, np.inf)
+    d = diff.min(axis=1)
+    return float(np.sqrt(np.mean((d - d.mean()) ** 2)))
+
+
+def spread(
+    points: np.ndarray,
+    ideal_extremes: Optional[np.ndarray] = None,
+) -> float:
+    """Deb's Delta spread indicator for 2-D fronts (lower = better).
+
+    ``Delta = (d_f + d_l + sum|d_i - mean|) / (d_f + d_l + (n-1) * mean)``
+    where ``d_f, d_l`` are distances from the front's ends to the ideal
+    extreme points (0 if *ideal_extremes* is not given) and ``d_i`` are
+    consecutive gaps along the front.
+    """
+    pts = _as_front(points)
+    if pts.shape[1] != 2:
+        raise ValueError("spread is defined here for 2-objective fronts")
+    n = pts.shape[0]
+    if n < 2:
+        return float("nan")
+    order = np.argsort(pts[:, 0], kind="stable")
+    sorted_pts = pts[order]
+    gaps = np.linalg.norm(np.diff(sorted_pts, axis=0), axis=1)
+    mean_gap = gaps.mean()
+    if ideal_extremes is not None:
+        extremes = np.atleast_2d(np.asarray(ideal_extremes, dtype=float))
+        if extremes.shape != (2, 2):
+            raise ValueError("ideal_extremes must be a (2, 2) array")
+        d_f = float(np.linalg.norm(sorted_pts[0] - extremes[0]))
+        d_l = float(np.linalg.norm(sorted_pts[-1] - extremes[1]))
+    else:
+        d_f = d_l = 0.0
+    denom = d_f + d_l + (n - 1) * mean_gap
+    if denom <= 0:
+        return 0.0
+    return float((d_f + d_l + np.abs(gaps - mean_gap).sum()) / denom)
+
+
+def extent(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-objective (min, max) envelope of the front."""
+    pts = _as_front(points)
+    if pts.shape[0] == 0:
+        raise ValueError("extent of an empty front is undefined")
+    return pts.min(axis=0), pts.max(axis=0)
+
+
+def cluster_fraction(
+    points: np.ndarray,
+    axis: int,
+    low: float,
+    high: float,
+) -> float:
+    """Fraction of front members whose *axis* value lies in ``[low, high]``.
+
+    Used to state results like "solutions cluster mostly between 4 and
+    5 pF" quantitatively.
+    """
+    pts = _as_front(points)
+    if pts.shape[0] == 0:
+        return 0.0
+    coord = pts[:, axis]
+    return float(np.mean((coord >= low) & (coord <= high)))

@@ -1,0 +1,169 @@
+"""Hypervolume metrics.
+
+Two variants are provided:
+
+* :func:`hypervolume_paper` — Section 4.2 of the paper: for each solution
+  build the hyperbox whose diagonal corners are the *origin* and the
+  solution; the metric is the volume of the union of all boxes.  For a
+  minimization front, *lower is better* (a front hugging the origin
+  covers less volume).  The paper reports this in units of
+  0.1 mW x pF for the integrator problem; pass ``scale`` to reproduce
+  those units.  Note the caveat (discussed in EXPERIMENTS.md): the value
+  is only comparable between fronts of similar coverage, which is how the
+  paper uses it.
+
+* :func:`hypervolume_ref` — the standard S-metric: volume dominated by
+  the front up to a reference (nadir) point; *higher is better*.
+
+Both are exact: 2-D cases use an O(n log n) sweep, higher dimensions a
+recursive slicing (WFG-style) algorithm adequate for front sizes in the
+hundreds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.pareto import pareto_mask
+
+
+def _clean_front(points: np.ndarray) -> np.ndarray:
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.size == 0:
+        return pts.reshape(0, pts.shape[1] if pts.ndim == 2 else 0)
+    if np.any(~np.isfinite(pts)):
+        raise ValueError("front contains non-finite values")
+    return pts
+
+
+def hypervolume_paper(
+    points: np.ndarray,
+    scale: Optional[Sequence[float]] = None,
+) -> float:
+    """Union volume of origin-anchored boxes (paper Section 4.2, lower = better).
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` objective vectors (minimization, all components must be
+        >= 0 — the origin is the ideal corner).
+    scale:
+        Optional per-objective divisor applied before the union (e.g.
+        ``(1e-4, 1e-12)`` turns W and F into the paper's 0.1 mW and pF
+        units).
+
+    Returns
+    -------
+    float
+        The union volume.  0.0 for an empty front.
+    """
+    pts = _clean_front(points)
+    if pts.shape[0] == 0:
+        return 0.0
+    if scale is not None:
+        scale_arr = np.asarray(scale, dtype=float)
+        if scale_arr.shape != (pts.shape[1],):
+            raise ValueError(
+                f"scale must have {pts.shape[1]} entries, got {scale_arr.shape}"
+            )
+        if np.any(scale_arr <= 0):
+            raise ValueError("scale entries must be positive")
+        pts = pts / scale_arr
+    if np.any(pts < 0):
+        raise ValueError(
+            "paper hypervolume requires non-negative objectives "
+            "(boxes are anchored at the origin)"
+        )
+    # The union of origin-anchored boxes is determined by the maxima:
+    # a box lies inside the union iff some point weakly dominates-from-above.
+    # Equivalently this is the dominated volume of the *maximization* front,
+    # so reuse the reference-point routine on negated points.
+    return _dominated_volume_above_origin(pts)
+
+
+def _dominated_volume_above_origin(pts: np.ndarray) -> float:
+    """Volume of union of [0, p_i] boxes."""
+    # Keep only points not covered by another box: p is redundant if some q
+    # has q >= p in every coordinate.
+    neg = -pts
+    keep = pareto_mask(neg)
+    pts = pts[keep]
+    d = pts.shape[1]
+    if d == 1:
+        return float(pts.max())
+    if d == 2:
+        return _union_area_2d(pts)
+    return _union_volume_recursive(pts)
+
+
+def _union_area_2d(pts: np.ndarray) -> float:
+    """Exact union area of origin-anchored rectangles in 2-D."""
+    # Sort by x descending; after redundancy removal y increases as x falls.
+    order = np.argsort(-pts[:, 0], kind="stable")
+    sorted_pts = pts[order]
+    area = 0.0
+    prev_y = 0.0
+    for x, y in sorted_pts:
+        if y > prev_y:
+            area += x * (y - prev_y)
+            prev_y = y
+    return float(area)
+
+
+def _union_volume_recursive(pts: np.ndarray) -> float:
+    """Union volume by slicing on the last coordinate (d >= 3)."""
+    d = pts.shape[1]
+    if d == 2:
+        return _union_area_2d(pts)
+    # Sweep the last coordinate from high to low; between consecutive
+    # z-levels the cross-section is the union of boxes with z >= level.
+    zs = np.unique(pts[:, -1])[::-1]
+    volume = 0.0
+    prev_z = 0.0
+    # Process levels in increasing z so the active set shrinks; easier to
+    # go decreasing: at level z, active points are those with z_i >= z.
+    levels = np.concatenate([zs, [0.0]])
+    for i, z in enumerate(zs):
+        lower = levels[i + 1]
+        active = pts[pts[:, -1] >= z][:, :-1]
+        if active.size:
+            neg = -active
+            keep = pareto_mask(neg)
+            cross = _union_volume_recursive(active[keep]) if d - 1 > 2 else (
+                _union_area_2d(active[keep]) if d - 1 == 2 else float(active.max())
+            )
+            volume += cross * (z - lower)
+    return float(volume)
+
+
+def hypervolume_ref(
+    points: np.ndarray,
+    reference: Sequence[float],
+) -> float:
+    """Standard dominated hypervolume up to *reference* (higher = better).
+
+    Points not strictly below the reference in every coordinate are
+    discarded.  Exact for any dimension via the same union machinery
+    applied to the transformed coordinates ``reference - p``.
+    """
+    pts = _clean_front(points)
+    ref = np.asarray(reference, dtype=float)
+    if pts.shape[0] == 0:
+        return 0.0
+    if ref.shape != (pts.shape[1],):
+        raise ValueError(
+            f"reference must have {pts.shape[1]} entries, got {ref.shape}"
+        )
+    mask = np.all(pts < ref, axis=1)
+    pts = pts[mask]
+    if pts.shape[0] == 0:
+        return 0.0
+    transformed = ref[None, :] - pts  # larger = better in every coordinate
+    return _dominated_volume_above_origin(transformed)
+
+
+def paper_unit_scale(power_unit: float = 1e-4, cap_unit: float = 1e-12) -> tuple:
+    """The paper's reporting units: 0.1 mW for power, 1 pF for capacitance."""
+    return (power_unit, cap_unit)

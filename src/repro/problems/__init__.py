@@ -1,0 +1,48 @@
+"""Problem definitions: the vectorized constrained-MOO interface and
+synthetic test problems.  The analog sizing problem lives in
+:mod:`repro.circuits.sizing_problem` and implements the same interface.
+"""
+
+from repro.problems.base import Problem, Evaluation, aggregate_violation
+from repro.problems.scalarize import (
+    WeightedSumProblem,
+    uniform_weights,
+    weighted_sum_front,
+)
+from repro.problems.synthetic import (
+    SCH,
+    ZDT1,
+    ZDT2,
+    ZDT3,
+    ZDT6,
+    BNH,
+    SRN,
+    TNK,
+    CONSTR,
+    OSY,
+    ClusteredFeasibility,
+    ALL_SYNTHETIC,
+    get_problem,
+)
+
+__all__ = [
+    "Problem",
+    "Evaluation",
+    "aggregate_violation",
+    "WeightedSumProblem",
+    "uniform_weights",
+    "weighted_sum_front",
+    "SCH",
+    "ZDT1",
+    "ZDT2",
+    "ZDT3",
+    "ZDT6",
+    "BNH",
+    "SRN",
+    "TNK",
+    "CONSTR",
+    "OSY",
+    "ClusteredFeasibility",
+    "ALL_SYNTHETIC",
+    "get_problem",
+]

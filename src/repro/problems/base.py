@@ -1,0 +1,204 @@
+"""Problem abstraction for constrained multi-objective optimization.
+
+A :class:`Problem` is a vectorized black box: given a ``(n, n_var)`` batch
+of decision vectors it returns an :class:`Evaluation` holding objectives
+(minimization convention), raw constraint values (``g(x) <= 0`` feasible),
+and the aggregate violation used by constrained dominance.
+
+The GA layers never look inside a problem beyond this interface, so the
+analog sizing engine and the synthetic test suite are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_bounds
+
+
+@dataclass
+class Evaluation:
+    """Result of evaluating a batch of decision vectors.
+
+    Attributes
+    ----------
+    objectives:
+        ``(n, n_obj)`` array, minimization convention.
+    constraints:
+        ``(n, n_con)`` array of constraint values; ``g <= 0`` is feasible.
+        Empty second axis for unconstrained problems.
+    violation:
+        ``(n,)`` aggregate violation: sum of positive parts of the
+        (optionally normalized) constraint values.  Zero iff feasible.
+    """
+
+    objectives: np.ndarray
+    constraints: np.ndarray
+    violation: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.objectives = np.atleast_2d(np.asarray(self.objectives, dtype=float))
+        n = self.objectives.shape[0]
+        cons = np.asarray(self.constraints, dtype=float)
+        if cons.size == 0:
+            cons = np.zeros((n, 0))
+        self.constraints = np.atleast_2d(cons)
+        if self.constraints.shape[0] != n:
+            raise ValueError(
+                f"constraints rows ({self.constraints.shape[0]}) do not match "
+                f"objectives rows ({n})"
+            )
+        if self.violation is None:
+            self.violation = aggregate_violation(self.constraints)
+        else:
+            self.violation = np.asarray(self.violation, dtype=float).reshape(n)
+
+    @property
+    def n_points(self) -> int:
+        return self.objectives.shape[0]
+
+    @property
+    def feasible(self) -> np.ndarray:
+        """Boolean feasibility mask, ``(n,)``."""
+        return self.violation <= 0.0
+
+    def subset(self, indices: np.ndarray) -> "Evaluation":
+        """Row-select a sub-evaluation (used by archive maintenance)."""
+        idx = np.asarray(indices)
+        return Evaluation(
+            objectives=self.objectives[idx],
+            constraints=self.constraints[idx],
+            violation=self.violation[idx],
+        )
+
+
+def aggregate_violation(constraints: np.ndarray) -> np.ndarray:
+    """Sum of positive parts of each row of *constraints* (0 = feasible)."""
+    cons = np.atleast_2d(np.asarray(constraints, dtype=float))
+    if cons.shape[1] == 0:
+        return np.zeros(cons.shape[0])
+    return np.sum(np.maximum(cons, 0.0), axis=1)
+
+
+class Problem:
+    """Base class for vectorized constrained multi-objective problems.
+
+    Subclasses implement :meth:`_evaluate` taking an ``(n, n_var)`` array
+    and returning ``(objectives, constraints)`` arrays.  Everything else
+    (bounds bookkeeping, clipping, scalar convenience evaluation) lives
+    here.
+
+    Parameters
+    ----------
+    n_var, n_obj, n_con:
+        Dimensions of the decision, objective and constraint spaces.
+    lower, upper:
+        Box bounds on the decision variables.
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    def __init__(
+        self,
+        n_var: int,
+        n_obj: int,
+        n_con: int,
+        lower: Sequence[float],
+        upper: Sequence[float],
+        name: Optional[str] = None,
+    ) -> None:
+        if n_var <= 0 or n_obj <= 0 or n_con < 0:
+            raise ValueError(
+                f"invalid dimensions n_var={n_var}, n_obj={n_obj}, n_con={n_con}"
+            )
+        self.n_var = int(n_var)
+        self.n_obj = int(n_obj)
+        self.n_con = int(n_con)
+        self.lower, self.upper = check_bounds(lower, upper)
+        if self.lower.size != n_var:
+            raise ValueError(
+                f"bounds have {self.lower.size} entries but n_var={n_var}"
+            )
+        self.name = name or type(self).__name__
+        self._n_evaluations = 0
+
+    # ------------------------------------------------------------------ API
+
+    def evaluate(self, x: np.ndarray) -> Evaluation:
+        """Evaluate a batch ``(n, n_var)`` (or a single vector) of designs."""
+        arr = np.atleast_2d(np.asarray(x, dtype=float))
+        if arr.shape[1] != self.n_var:
+            raise ValueError(
+                f"{self.name}: expected {self.n_var} variables, got {arr.shape[1]}"
+            )
+        objectives, constraints = self._evaluate(arr)
+        objectives = np.atleast_2d(np.asarray(objectives, dtype=float))
+        if objectives.shape != (arr.shape[0], self.n_obj):
+            raise ValueError(
+                f"{self.name}: _evaluate returned objectives of shape "
+                f"{objectives.shape}, expected {(arr.shape[0], self.n_obj)}"
+            )
+        cons = np.asarray(constraints, dtype=float)
+        if self.n_con == 0:
+            cons = np.zeros((arr.shape[0], 0))
+        elif cons.shape != (arr.shape[0], self.n_con):
+            raise ValueError(
+                f"{self.name}: _evaluate returned constraints of shape "
+                f"{cons.shape}, expected {(arr.shape[0], self.n_con)}"
+            )
+        # Totality guard: a single NaN/inf would silently poison
+        # non-dominated sorting, so fail loudly at the boundary instead.
+        if not np.all(np.isfinite(objectives)):
+            bad = int(np.flatnonzero(~np.isfinite(objectives).all(axis=1))[0])
+            raise ValueError(
+                f"{self.name}: non-finite objective for design row {bad}: "
+                f"{objectives[bad]!r}"
+            )
+        if cons.size and not np.all(np.isfinite(cons)):
+            bad = int(np.flatnonzero(~np.isfinite(cons).all(axis=1))[0])
+            raise ValueError(
+                f"{self.name}: non-finite constraint for design row {bad}: "
+                f"{cons[bad]!r}"
+            )
+        self._n_evaluations += arr.shape[0]
+        return Evaluation(objectives=objectives, constraints=cons)
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- helpers
+
+    @property
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.lower.copy(), self.upper.copy()
+
+    @property
+    def n_evaluations(self) -> int:
+        """Total number of design points evaluated so far."""
+        return self._n_evaluations
+
+    def reset_evaluation_counter(self) -> None:
+        self._n_evaluations = 0
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Clip decision vectors into the box bounds."""
+        return np.clip(x, self.lower, self.upper)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random sample of *n* decision vectors inside the box."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return rng.uniform(self.lower, self.upper, size=(n, self.n_var))
+
+    def pareto_front(self, n_points: int = 200) -> Optional[np.ndarray]:
+        """Analytic Pareto front, if known (synthetic problems override)."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n_var={self.n_var}, n_obj={self.n_obj}, "
+            f"n_con={self.n_con})"
+        )

@@ -1,0 +1,159 @@
+"""Weighted-sum scalarization — the classical alternative the paper cites.
+
+Section 1 of the paper: "One method of solving a multi-objective circuit
+optimization problem is to transform it into a set of scalarized single
+objective optimization problems by the weighted sum approach or the
+Normal-Boundary Intersection method", and then argues population-based
+multi-objective GAs are preferable.  This module provides that baseline
+so the comparison can be run:
+
+* :class:`WeightedSumProblem` wraps any constrained MOO problem into a
+  single-objective one (objectives are normalized against user-supplied
+  ranges so the weights are meaningful);
+* :func:`weighted_sum_front` sweeps a set of weight vectors, solving one
+  single-objective problem per weight with any optimizer factory, and
+  returns the merged non-dominated front.
+
+Known limitation (and the reason the paper moves on): a weighted sum can
+only reach *convex-hull* points of the front, and each weight costs a
+full optimization run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.problems.base import Problem
+from repro.utils.pareto import pareto_mask
+
+
+class WeightedSumProblem(Problem):
+    """Single-objective view of a multi-objective problem.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped multi-objective problem.
+    weights:
+        Non-negative weights, one per inner objective (normalized to sum
+        to 1 internally).
+    objective_ranges:
+        ``(n_obj, 2)`` array of (low, high) used to normalize each
+        objective into [0, 1] before weighting; defaults to raw values
+        (which makes weights scale-dependent — supply ranges for
+        physical problems).
+    """
+
+    def __init__(
+        self,
+        inner: Problem,
+        weights: Sequence[float],
+        objective_ranges: Optional[np.ndarray] = None,
+    ) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (inner.n_obj,):
+            raise ValueError(
+                f"need {inner.n_obj} weights, got {weights.shape}"
+            )
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative and not all zero")
+        super().__init__(
+            n_var=inner.n_var,
+            n_obj=1,
+            n_con=inner.n_con,
+            lower=inner.lower,
+            upper=inner.upper,
+            name=f"WeightedSum[{inner.name}]",
+        )
+        self.inner = inner
+        self.weights = weights / weights.sum()
+        if objective_ranges is not None:
+            ranges = np.asarray(objective_ranges, dtype=float)
+            if ranges.shape != (inner.n_obj, 2):
+                raise ValueError(
+                    f"objective_ranges must be ({inner.n_obj}, 2), got {ranges.shape}"
+                )
+            if np.any(ranges[:, 1] <= ranges[:, 0]):
+                raise ValueError("objective_ranges must have high > low")
+            self.ranges: Optional[np.ndarray] = ranges
+        else:
+            self.ranges = None
+        self.last_inner_objectives: Optional[np.ndarray] = None
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        ev = self.inner.evaluate(x)
+        objs = ev.objectives
+        self.last_inner_objectives = objs.copy()
+        if self.ranges is not None:
+            lo = self.ranges[:, 0]
+            hi = self.ranges[:, 1]
+            objs = (objs - lo) / (hi - lo)
+        scalar = objs @ self.weights
+        return scalar.reshape(-1, 1), ev.constraints
+
+
+def uniform_weights(n_weights: int, n_obj: int = 2) -> np.ndarray:
+    """Evenly spaced weight vectors on the simplex (2-objective case)."""
+    if n_obj != 2:
+        raise NotImplementedError("uniform_weights currently supports 2 objectives")
+    if n_weights < 2:
+        raise ValueError(f"need at least 2 weights, got {n_weights}")
+    w1 = np.linspace(0.02, 0.98, n_weights)
+    return np.column_stack([w1, 1.0 - w1])
+
+
+OptimizerFactory = Callable[[Problem, int], "object"]
+
+
+def weighted_sum_front(
+    problem: Problem,
+    optimizer_factory: OptimizerFactory,
+    n_weights: int = 10,
+    generations: int = 50,
+    objective_ranges: Optional[np.ndarray] = None,
+    base_seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Classical front extraction: one scalarized run per weight vector.
+
+    Parameters
+    ----------
+    problem:
+        The multi-objective problem to scalarize.
+    optimizer_factory:
+        ``factory(problem, seed) -> optimizer`` where the optimizer has a
+        ``run(n_generations)`` returning an OptimizationResult (NSGA-II
+        on a single objective degenerates to an elitist GA and works).
+    n_weights, generations:
+        Sweep size and per-run budget.
+    objective_ranges:
+        Passed through to :class:`WeightedSumProblem`.
+
+    Returns
+    -------
+    (front_x, front_objectives):
+        Merged feasible non-dominated set in the *original* objective
+        space.
+    """
+    all_x = []
+    all_f = []
+    for idx, weights in enumerate(uniform_weights(n_weights, problem.n_obj)):
+        scalar_problem = WeightedSumProblem(
+            problem, weights, objective_ranges=objective_ranges
+        )
+        optimizer = optimizer_factory(scalar_problem, base_seed + idx)
+        result = optimizer.run(generations)
+        if result.front_x.shape[0] == 0:
+            continue
+        # Re-evaluate the winners in the original objective space.
+        ev = problem.evaluate(result.front_x)
+        feasible = ev.feasible
+        all_x.append(result.front_x[feasible])
+        all_f.append(ev.objectives[feasible])
+    if not all_x:
+        return np.zeros((0, problem.n_var)), np.zeros((0, problem.n_obj))
+    x = np.vstack(all_x)
+    f = np.vstack(all_f)
+    keep = pareto_mask(f)
+    return x[keep], f[keep]

@@ -1,0 +1,349 @@
+"""Synthetic multi-objective test problems.
+
+These serve two roles:
+
+1. Regression tests for the GA substrate — problems with known analytic
+   Pareto fronts (SCH, ZDT family, BNH, SRN, TNK, CONSTR, OSY).
+2. A cheap stand-in for the analog sizing problem's pathology —
+   :class:`ClusteredFeasibility` reproduces the diversity trap of the
+   paper's Section 3 (feasible designs are abundant at one end of the
+   trade-off axis and vanishingly rare at the other), so algorithm-level
+   claims can be exercised in milliseconds.
+
+All problems follow the minimization convention of :mod:`repro.problems.base`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.problems.base import Problem
+
+
+class SCH(Problem):
+    """Schaffer's single-variable problem: f1 = x^2, f2 = (x - 2)^2.
+
+    Pareto set: x in [0, 2]; front: f2 = (sqrt(f1) - 2)^2.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(n_var=1, n_obj=2, n_con=0, lower=[-1e3], upper=[1e3])
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        f1 = x[:, 0] ** 2
+        f2 = (x[:, 0] - 2.0) ** 2
+        return np.column_stack([f1, f2]), np.zeros((x.shape[0], 0))
+
+    def pareto_front(self, n_points: int = 200) -> np.ndarray:
+        xs = np.linspace(0.0, 2.0, n_points)
+        return np.column_stack([xs**2, (xs - 2.0) ** 2])
+
+
+class _ZDTBase(Problem):
+    """Common scaffolding for the ZDT family (30 variables in [0, 1])."""
+
+    def __init__(self, n_var: int = 30) -> None:
+        super().__init__(
+            n_var=n_var,
+            n_obj=2,
+            n_con=0,
+            lower=np.zeros(n_var),
+            upper=np.ones(n_var),
+        )
+
+    def _g(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 + 9.0 * np.sum(x[:, 1:], axis=1) / (self.n_var - 1)
+
+
+class ZDT1(_ZDTBase):
+    """Convex front: f2 = 1 - sqrt(f1)."""
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        f1 = x[:, 0]
+        g = self._g(x)
+        f2 = g * (1.0 - np.sqrt(f1 / g))
+        return np.column_stack([f1, f2]), np.zeros((x.shape[0], 0))
+
+    def pareto_front(self, n_points: int = 200) -> np.ndarray:
+        f1 = np.linspace(0.0, 1.0, n_points)
+        return np.column_stack([f1, 1.0 - np.sqrt(f1)])
+
+
+class ZDT2(_ZDTBase):
+    """Concave front: f2 = 1 - f1^2."""
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        f1 = x[:, 0]
+        g = self._g(x)
+        f2 = g * (1.0 - (f1 / g) ** 2)
+        return np.column_stack([f1, f2]), np.zeros((x.shape[0], 0))
+
+    def pareto_front(self, n_points: int = 200) -> np.ndarray:
+        f1 = np.linspace(0.0, 1.0, n_points)
+        return np.column_stack([f1, 1.0 - f1**2])
+
+
+class ZDT3(_ZDTBase):
+    """Disconnected front (five pieces)."""
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        f1 = x[:, 0]
+        g = self._g(x)
+        ratio = f1 / g
+        f2 = g * (1.0 - np.sqrt(ratio) - ratio * np.sin(10.0 * np.pi * f1))
+        return np.column_stack([f1, f2]), np.zeros((x.shape[0], 0))
+
+    def pareto_front(self, n_points: int = 500) -> np.ndarray:
+        # Dense sample of the g = 1 surface filtered to its non-dominated part.
+        f1 = np.linspace(0.0, 1.0, n_points)
+        f2 = 1.0 - np.sqrt(f1) - f1 * np.sin(10.0 * np.pi * f1)
+        pts = np.column_stack([f1, f2])
+        from repro.utils.pareto import pareto_mask
+
+        return pts[pareto_mask(pts)]
+
+
+class ZDT6(_ZDTBase):
+    """Non-uniform density along a concave front (10 variables)."""
+
+    def __init__(self, n_var: int = 10) -> None:
+        super().__init__(n_var=n_var)
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        f1 = 1.0 - np.exp(-4.0 * x[:, 0]) * np.sin(6.0 * np.pi * x[:, 0]) ** 6
+        g = 1.0 + 9.0 * (np.sum(x[:, 1:], axis=1) / (self.n_var - 1)) ** 0.25
+        f2 = g * (1.0 - (f1 / g) ** 2)
+        return np.column_stack([f1, f2]), np.zeros((x.shape[0], 0))
+
+    def pareto_front(self, n_points: int = 200) -> np.ndarray:
+        f1_min = 1.0 - np.exp(-4.0 * 0.081) * np.sin(6.0 * np.pi * 0.081) ** 6
+        f1 = np.linspace(f1_min, 1.0, n_points)
+        return np.column_stack([f1, 1.0 - f1**2])
+
+
+class BNH(Problem):
+    """Binh and Korn's constrained problem (two variables, two constraints)."""
+
+    def __init__(self) -> None:
+        super().__init__(n_var=2, n_obj=2, n_con=2, lower=[0.0, 0.0], upper=[5.0, 3.0])
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x1, x2 = x[:, 0], x[:, 1]
+        f1 = 4.0 * x1**2 + 4.0 * x2**2
+        f2 = (x1 - 5.0) ** 2 + (x2 - 5.0) ** 2
+        g1 = (x1 - 5.0) ** 2 + x2**2 - 25.0
+        g2 = 7.7 - ((x1 - 8.0) ** 2 + (x2 + 3.0) ** 2)
+        return np.column_stack([f1, f2]), np.column_stack([g1, g2])
+
+
+class SRN(Problem):
+    """Srinivas and Deb's constrained problem."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            n_var=2, n_obj=2, n_con=2, lower=[-20.0, -20.0], upper=[20.0, 20.0]
+        )
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x1, x2 = x[:, 0], x[:, 1]
+        f1 = (x1 - 2.0) ** 2 + (x2 - 1.0) ** 2 + 2.0
+        f2 = 9.0 * x1 - (x2 - 1.0) ** 2
+        g1 = x1**2 + x2**2 - 225.0
+        g2 = x1 - 3.0 * x2 + 10.0
+        return np.column_stack([f1, f2]), np.column_stack([g1, g2])
+
+
+class TNK(Problem):
+    """Tanaka's problem: front lies exactly on a wavy constraint boundary."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            n_var=2, n_obj=2, n_con=2, lower=[1e-9, 1e-9], upper=[np.pi, np.pi]
+        )
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x1, x2 = x[:, 0], x[:, 1]
+        f1, f2 = x1, x2
+        with np.errstate(invalid="ignore", divide="ignore"):
+            atan = np.arctan2(x2, x1)
+        g1 = -(x1**2 + x2**2 - 1.0 - 0.1 * np.cos(16.0 * atan))
+        g2 = (x1 - 0.5) ** 2 + (x2 - 0.5) ** 2 - 0.5
+        return np.column_stack([f1, f2]), np.column_stack([g1, g2])
+
+
+class CONSTR(Problem):
+    """Deb's CONSTR problem; constraints cut away part of an easy front."""
+
+    def __init__(self) -> None:
+        super().__init__(n_var=2, n_obj=2, n_con=2, lower=[0.1, 0.0], upper=[1.0, 5.0])
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x1, x2 = x[:, 0], x[:, 1]
+        f1 = x1
+        f2 = (1.0 + x2) / x1
+        g1 = 6.0 - (x2 + 9.0 * x1)
+        g2 = 1.0 + x2 - 9.0 * x1
+        return np.column_stack([f1, f2]), np.column_stack([g1, g2])
+
+
+class OSY(Problem):
+    """Osyczka and Kundu's six-variable, six-constraint problem."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            n_var=6,
+            n_obj=2,
+            n_con=6,
+            lower=[0.0, 0.0, 1.0, 0.0, 1.0, 0.0],
+            upper=[10.0, 10.0, 5.0, 6.0, 5.0, 10.0],
+        )
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x1, x2, x3, x4, x5, x6 = (x[:, i] for i in range(6))
+        f1 = -(
+            25.0 * (x1 - 2.0) ** 2
+            + (x2 - 2.0) ** 2
+            + (x3 - 1.0) ** 2
+            + (x4 - 4.0) ** 2
+            + (x5 - 1.0) ** 2
+        )
+        f2 = np.sum(x**2, axis=1)
+        g1 = -(x1 + x2 - 2.0)
+        g2 = -(6.0 - x1 - x2)
+        g3 = -(2.0 - x2 + x1)
+        g4 = -(2.0 - x1 + 3.0 * x2)
+        g5 = -(4.0 - (x3 - 3.0) ** 2 - x4)
+        g6 = -((x5 - 3.0) ** 2 + x6 - 4.0)
+        return np.column_stack([f1, f2]), np.column_stack([g1, g2, g3, g4, g5, g6])
+
+
+class ClusteredFeasibility(Problem):
+    """Cheap surrogate for the analog sizing problem's diversity trap.
+
+    Two objectives over ``x in [0, 1]^n_var``:
+
+    * ``f1`` — a "power-like" cost ``0.3 + 0.7*x0 + detune`` where
+      *detune* is the rms distance of the auxiliary variables from the
+      cost-optimal ridge at 0.5 (mirroring power = h(C_load) + tuning
+      penalty).
+    * ``f2 = 1 - x0`` — the coverage deficit (analogue of
+      ``C_max - C_load``), so the Pareto front spans the whole x0 range.
+
+    The single constraint reproduces the paper's Section-3 trap: the
+    feasible region is a tube around a *drifting* center — at ``x0 = 1``
+    the tube is wide and centered on the cost ridge (random designs are
+    routinely feasible there), while toward ``x0 = 0`` it narrows to
+    *tightness* and its center drifts away from the ridge by *drift* per
+    auxiliary dimension (alternating sign).  Random populations are
+    therefore feasible almost exclusively at high ``x0``; feasible
+    low-``x0`` designs require coordinated moves that crossover between
+    high-``x0`` parents cannot produce, and their higher cost makes them
+    lose global competition while immature — exactly the diversity-loss
+    mechanism the partitioned algorithms are designed to fix.
+
+    Parameters
+    ----------
+    n_var:
+        Total number of variables (>= 2); variable 0 is the coverage axis.
+    tightness:
+        Tube radius at ``x0 = 0``.  Smaller = harder left edge.
+    drift:
+        Per-dimension offset of the feasible tube center at ``x0 = 0``.
+    """
+
+    def __init__(
+        self, n_var: int = 8, tightness: float = 0.02, drift: float = 0.15
+    ) -> None:
+        if n_var < 2:
+            raise ValueError("ClusteredFeasibility needs n_var >= 2")
+        if not 0.0 < tightness < 0.5:
+            raise ValueError("tightness must lie in (0, 0.5)")
+        if not 0.0 <= drift <= 0.3:
+            raise ValueError("drift must lie in [0, 0.3]")
+        super().__init__(
+            n_var=n_var,
+            n_obj=2,
+            n_con=1,
+            lower=np.zeros(n_var),
+            upper=np.ones(n_var),
+        )
+        self.tightness = float(tightness)
+        self.drift = float(drift)
+        signs = np.ones(n_var - 1)
+        signs[1::2] = -1.0
+        self._drift_signs = signs
+
+    #: tube radius at x0 = 1 — wide enough that random designs are
+    #: routinely feasible there, and shallow enough that the optimal
+    #: detune (and with it f1) stays monotone along the front.
+    RADIUS_END = 0.25
+
+    def _tube_radius(self, x0: np.ndarray) -> np.ndarray:
+        return self.tightness + (self.RADIUS_END - self.tightness) * x0
+
+    def _tube_center(self, x0: np.ndarray) -> np.ndarray:
+        """Feasible-tube center per auxiliary dimension, ``(n, n_var-1)``."""
+        offset = self.drift * (1.0 - np.asarray(x0, float))[:, None]
+        return 0.5 + offset * self._drift_signs[None, :]
+
+    def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x0 = x[:, 0]
+        aux = x[:, 1:]
+        detune = np.sqrt(np.mean((aux - 0.5) ** 2, axis=1))
+        dist_to_tube = np.sqrt(
+            np.mean((aux - self._tube_center(x0)) ** 2, axis=1)
+        )
+        f1 = 0.3 + 0.7 * x0 + detune
+        f2 = 1.0 - x0
+        g = dist_to_tube - self._tube_radius(x0)
+        return np.column_stack([f1, f2]), g.reshape(-1, 1)
+
+    def pareto_front(self, n_points: int = 200) -> np.ndarray:
+        """Analytic front: at each x0 the best feasible detune is the gap
+        between the drifting tube and the ridge, clipped by the radius."""
+        x0 = np.linspace(0.0, 1.0, n_points)
+        gap = self.drift * (1.0 - x0)  # per-dimension ridge-to-center distance
+        best_detune = np.maximum(gap - self._tube_radius(x0), 0.0)
+        return np.column_stack([0.3 + 0.7 * x0 + best_detune, 1.0 - x0])
+
+    def feasible_fraction_by_band(
+        self, rng: np.random.Generator, n_samples: int = 20000, n_bands: int = 10
+    ) -> np.ndarray:
+        """Empirical feasibility rate per x0 band (diagnostic for tests)."""
+        x = self.sample(n_samples, rng)
+        ev = self.evaluate(x)
+        bands = np.clip((x[:, 0] * n_bands).astype(int), 0, n_bands - 1)
+        rates = np.zeros(n_bands)
+        for b in range(n_bands):
+            mask = bands == b
+            rates[b] = ev.feasible[mask].mean() if mask.any() else 0.0
+        return rates
+
+
+ALL_SYNTHETIC = {
+    "SCH": SCH,
+    "ZDT1": ZDT1,
+    "ZDT2": ZDT2,
+    "ZDT3": ZDT3,
+    "ZDT6": ZDT6,
+    "BNH": BNH,
+    "SRN": SRN,
+    "TNK": TNK,
+    "CONSTR": CONSTR,
+    "OSY": OSY,
+    "ClusteredFeasibility": ClusteredFeasibility,
+}
+
+
+def get_problem(name: str, **kwargs) -> Problem:
+    """Instantiate a synthetic problem by (case-insensitive) name."""
+    key = name.strip()
+    lookup = {k.lower(): v for k, v in ALL_SYNTHETIC.items()}
+    try:
+        cls = lookup[key.lower()]
+    except KeyError:
+        known = ", ".join(sorted(ALL_SYNTHETIC))
+        raise KeyError(f"unknown synthetic problem {name!r}; known: {known}") from None
+    return cls(**kwargs)

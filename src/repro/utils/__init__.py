@@ -1,0 +1,40 @@
+"""Shared utilities: RNG handling, Pareto primitives, validation helpers."""
+
+from repro.utils.rng import as_rng, spawn_rngs, stable_seed, bounded_uniform
+from repro.utils.pareto import (
+    dominates,
+    weakly_dominates,
+    constrained_dominates,
+    pareto_mask,
+    pareto_filter,
+    merge_fronts,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_in_range,
+    check_shape,
+    check_probability,
+    check_bounds,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "stable_seed",
+    "bounded_uniform",
+    "dominates",
+    "weakly_dominates",
+    "constrained_dominates",
+    "pareto_mask",
+    "pareto_filter",
+    "merge_fronts",
+    "check_positive",
+    "check_in_range",
+    "check_shape",
+    "check_probability",
+    "check_bounds",
+]
+
+# repro.utils.serialization is intentionally not re-exported here: it
+# depends on repro.core (results), which itself imports repro.utils —
+# import it as `from repro.utils import serialization` directly.

@@ -1,0 +1,120 @@
+"""Pareto-dominance primitives (minimization convention throughout).
+
+All objective arrays are ``(n_points, n_obj)`` float arrays; constraint
+violation vectors are ``(n_points,)`` with 0.0 meaning feasible and
+positive values meaning total violation magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Return ``True`` if objective vector *a* Pareto-dominates *b*.
+
+    *a* dominates *b* when it is no worse in every objective and strictly
+    better in at least one (minimization).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def weakly_dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Return ``True`` if *a* is no worse than *b* in every objective."""
+    return bool(np.all(np.asarray(a, dtype=float) <= np.asarray(b, dtype=float)))
+
+
+def constrained_dominates(
+    a_obj: np.ndarray,
+    b_obj: np.ndarray,
+    a_violation: float = 0.0,
+    b_violation: float = 0.0,
+) -> bool:
+    """Deb's constrained-dominance rule.
+
+    1. A feasible solution dominates any infeasible one.
+    2. Between two infeasible solutions the smaller total violation wins.
+    3. Between two feasible solutions ordinary Pareto dominance applies.
+    """
+    a_feasible = a_violation <= 0.0
+    b_feasible = b_violation <= 0.0
+    if a_feasible and not b_feasible:
+        return True
+    if b_feasible and not a_feasible:
+        return False
+    if not a_feasible:  # both infeasible
+        return a_violation < b_violation
+    return dominates(a_obj, b_obj)
+
+
+def pareto_mask(
+    objectives: np.ndarray,
+    violations: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Boolean mask of the non-dominated points in *objectives*.
+
+    With *violations* supplied, constrained dominance is used: any feasible
+    point beats every infeasible one, and infeasible points compete by
+    violation only.
+
+    Duplicated points are all kept (a point never dominates an exact copy
+    of itself).
+    """
+    objs = np.atleast_2d(np.asarray(objectives, dtype=float))
+    n = objs.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if violations is None:
+        violations = np.zeros(n)
+    violations = np.asarray(violations, dtype=float).reshape(n)
+
+    feasible = violations <= 0.0
+    mask = np.ones(n, dtype=bool)
+    if feasible.any():
+        # Infeasible points are dominated outright by any feasible point.
+        mask[~feasible] = False
+        idx = np.flatnonzero(feasible)
+        sub = objs[idx]
+        keep = _pareto_mask_unconstrained(sub)
+        mask[idx] = keep
+    else:
+        best = violations.min()
+        mask = violations <= best
+    return mask
+
+
+def _pareto_mask_unconstrained(objs: np.ndarray) -> np.ndarray:
+    """Non-dominated mask, plain minimization, O(n^2) vectorized by row."""
+    n = objs.shape[0]
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        # Points dominated by i: <= in all objectives and < in at least one.
+        le = np.all(objs[i] <= objs, axis=1)
+        lt = np.any(objs[i] < objs, axis=1)
+        dominated = le & lt
+        dominated[i] = False
+        keep &= ~dominated
+    return keep
+
+
+def pareto_filter(
+    objectives: np.ndarray,
+    violations: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Indices of the non-dominated subset, in original order."""
+    return np.flatnonzero(pareto_mask(objectives, violations))
+
+
+def merge_fronts(*fronts: np.ndarray) -> np.ndarray:
+    """Merge several objective arrays and return their joint Pareto front."""
+    stacked = [np.atleast_2d(np.asarray(f, dtype=float)) for f in fronts if np.size(f)]
+    if not stacked:
+        return np.zeros((0, 0))
+    allpts = np.vstack(stacked)
+    return allpts[pareto_mask(allpts)]

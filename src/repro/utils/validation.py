@@ -1,0 +1,85 @@
+"""Small argument-validation helpers used across the library.
+
+These raise early, with messages naming the offending argument, so that
+configuration errors surface at construction time rather than deep inside
+a 1000-generation run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless *value* is positive (or >= 0 when not strict)."""
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: Number,
+    low: Number,
+    high: Number,
+    inclusive: Tuple[bool, bool] = (True, True),
+) -> None:
+    """Raise ``ValueError`` unless ``low <?= value <?= high``."""
+    lo_ok = value >= low if inclusive[0] else value > low
+    hi_ok = value <= high if inclusive[1] else value < high
+    if not (lo_ok and hi_ok):
+        lo_b = "[" if inclusive[0] else "("
+        hi_b = "]" if inclusive[1] else ")"
+        raise ValueError(f"{name} must lie in {lo_b}{low}, {high}{hi_b}, got {value!r}")
+
+
+def check_probability(name: str, value: Number) -> None:
+    """Raise ``ValueError`` unless *value* is a probability in [0, 1]."""
+    check_in_range(name, value, 0.0, 1.0)
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int]) -> None:
+    """Raise ``ValueError`` unless *array* has the expected shape.
+
+    A ``-1`` entry in *shape* matches any extent in that axis.
+    """
+    arr = np.asarray(array)
+    expected = tuple(shape)
+    if arr.ndim != len(expected):
+        raise ValueError(
+            f"{name} must have {len(expected)} dimensions, got {arr.ndim}"
+        )
+    for axis, want in enumerate(expected):
+        if want != -1 and arr.shape[axis] != want:
+            raise ValueError(
+                f"{name} has shape {arr.shape}, expected {expected} "
+                f"(mismatch on axis {axis})"
+            )
+
+
+def check_bounds(lower: np.ndarray, upper: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and normalize a bound pair to float arrays."""
+    # Copy so that callers mutating problem bounds (e.g. to pin a design
+    # variable) can never alias a module-level constant array.
+    lo = np.array(lower, dtype=float, copy=True).ravel()
+    hi = np.array(upper, dtype=float, copy=True).ravel()
+    if lo.shape != hi.shape:
+        raise ValueError(f"bound shapes differ: {lo.shape} vs {hi.shape}")
+    if lo.size == 0:
+        raise ValueError("bounds must be non-empty")
+    if not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
+        raise ValueError("bounds must be finite")
+    if np.any(hi <= lo):
+        bad = int(np.flatnonzero(hi <= lo)[0])
+        raise ValueError(
+            f"upper bound must exceed lower bound in every dimension "
+            f"(dimension {bad}: [{lo[bad]}, {hi[bad]}])"
+        )
+    return lo, hi

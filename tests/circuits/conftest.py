@@ -1,0 +1,14 @@
+"""Shared fixtures/constants for the circuit tests."""
+
+import numpy as np
+
+# A hand-checked near-feasible design extracted from a converged optimizer
+# run (w1 l1 w3 l3 w5 l5 w6 l6 w7 l7 itail i2 cc cs c_load).  Used as a
+# regression canary: if a model change moves the feasible region, the
+# tests referencing this vector fail and the change needs recalibration
+# (DESIGN.md section 6.7, docs/circuits.md section 6).
+KNOWN_FEASIBLE_DESIGN = np.array([
+    3.77e-05, 2.0e-06, 1.31e-05, 1.75e-06, 4.56e-05, 1.94e-06,
+    6.94e-05, 5.17e-07, 3.57e-05, 8.34e-07,
+    5.05e-05, 5.77e-05, 4.99e-12, 3.85e-12, 4.99e-14,
+])

@@ -1,0 +1,95 @@
+"""Corner-behaviour tests across the whole analysis stack."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.integrator import analyze_integrator
+from repro.circuits.opamp import analyze_opamp
+from repro.circuits.technology import all_corners, corner_technology, nominal_technology
+
+from tests.circuits.test_integrator import make_design
+
+
+class TestGateDriveOrdering:
+    @pytest.mark.parametrize("device", ["m1", "m5", "m7"])
+    def test_nmos_vgs_ff_lt_tt_lt_ss(self, device):
+        design = make_design()
+        vgs = {}
+        for corner in ("FF", "TT", "SS"):
+            perf = analyze_opamp(corner_technology(corner), design.opamp, 3e-12)
+            vgs[corner] = float(perf.vgs[device])
+        assert vgs["FF"] < vgs["TT"] < vgs["SS"]
+
+    @pytest.mark.parametrize("device", ["m3", "m6"])
+    def test_pmos_vsg_ordering(self, device):
+        design = make_design()
+        vgs = {}
+        for corner in ("FF", "TT", "SS"):
+            perf = analyze_opamp(corner_technology(corner), design.opamp, 3e-12)
+            vgs[corner] = float(perf.vgs[device])
+        assert vgs["FF"] < vgs["TT"] < vgs["SS"]
+
+    def test_skewed_corners_split_by_type(self):
+        design = make_design()
+        fs = analyze_opamp(corner_technology("FS"), design.opamp, 3e-12)
+        sf = analyze_opamp(corner_technology("SF"), design.opamp, 3e-12)
+        # FS: fast NMOS (lower VGS1), slow PMOS (higher VSG3); SF mirrored.
+        assert fs.vgs["m1"] < sf.vgs["m1"]
+        assert fs.vgs["m3"] > sf.vgs["m3"]
+
+
+class TestCornerInvariants:
+    def test_power_is_corner_independent(self):
+        # Power = VDD * currents: bias currents are design variables, so
+        # the figure must not move across corners.
+        design = make_design()
+        powers = []
+        for tech in all_corners().values():
+            perf = analyze_integrator(tech, design)
+            powers.append(float(perf.power))
+        assert np.ptp(powers) == pytest.approx(0.0, abs=1e-15)
+
+    def test_area_is_corner_independent(self):
+        design = make_design()
+        areas = []
+        for tech in all_corners().values():
+            perf = analyze_integrator(tech, design)
+            areas.append(float(perf.area))
+        assert np.ptp(areas) == pytest.approx(0.0, abs=1e-20)
+
+    def test_performance_varies_across_corners(self):
+        design = make_design()
+        st = []
+        dr = []
+        for tech in all_corners().values():
+            perf = analyze_integrator(tech, design)
+            st.append(float(perf.settling_time))
+            dr.append(float(perf.dynamic_range_db))
+        assert np.ptp(st) > 0
+        assert np.ptp(dr) > 0
+
+    def test_worst_corner_is_not_nominal_for_settling(self):
+        design = make_design()
+        tt = analyze_integrator(nominal_technology(), design)
+        worst = max(
+            float(analyze_integrator(t, design).settling_time)
+            for t in all_corners().values()
+        )
+        assert worst >= float(tt.settling_time)
+
+
+class TestCornerFeasibilityDirection:
+    def test_ss_tightens_settling_constraint(self):
+        from repro.circuits.sizing_problem import IntegratorSizingProblem
+        from repro.utils.rng import as_rng
+
+        problem = IntegratorSizingProblem(n_mc=2, use_corners=False)
+        x = problem.sample(50, as_rng(0))
+        nominal_st = problem.evaluate(x).constraints[:, 2]
+
+        # Same designs evaluated under a slow-corner "nominal" card.
+        slow = IntegratorSizingProblem(n_mc=2, use_corners=False)
+        slow.tech = corner_technology("SS")
+        slow._mc_tech = slow.sampler.stacked(slow.tech)
+        ss_st = slow.evaluate(x).constraints[:, 2]
+        assert ss_st.mean() > nominal_st.mean()

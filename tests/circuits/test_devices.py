@@ -1,0 +1,66 @@
+"""Tests for passive-device models."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.devices import (
+    CapacitorModel,
+    switch_charge_injection,
+    switch_on_resistance,
+    switch_time_constant,
+)
+from repro.circuits.technology import nominal_technology
+
+TECH = nominal_technology()
+
+
+class TestCapacitorModel:
+    def test_from_technology(self):
+        caps = CapacitorModel.from_technology(TECH)
+        assert caps.density == TECH.cap_density
+        assert caps.bottom_ratio == TECH.cap_bottom_ratio
+
+    def test_area(self):
+        caps = CapacitorModel(density=1e-3, bottom_ratio=0.1)
+        assert caps.area(2e-12) == pytest.approx(2e-9)  # 2 pF at 1 fF/um^2
+
+    def test_bottom_plate_fraction(self):
+        caps = CapacitorModel(density=1e-3, bottom_ratio=0.08)
+        assert caps.bottom_plate(1e-12) == pytest.approx(8e-14)
+
+    def test_vectorized(self):
+        caps = CapacitorModel.from_technology(TECH)
+        c = np.array([1e-12, 2e-12, 4e-12])
+        assert caps.area(c).shape == (3,)
+        assert np.all(np.diff(caps.bottom_plate(c)) > 0)
+
+
+class TestSwitch:
+    def test_on_resistance_decreases_with_width(self):
+        r_small = switch_on_resistance(TECH, 1e-6)
+        r_big = switch_on_resistance(TECH, 10e-6)
+        assert r_big == pytest.approx(r_small / 10)
+
+    def test_on_resistance_magnitude(self):
+        # A 10 um / 0.18 um switch at full gate drive: on the order of kOhm.
+        r = switch_on_resistance(TECH, 10e-6)
+        assert 10 < r < 5000
+
+    def test_insufficient_gate_drive(self):
+        with pytest.raises(ValueError, match="gate drive"):
+            switch_on_resistance(TECH, 1e-6, vgs=TECH.nmos.vt0)
+
+    def test_time_constant(self):
+        tau = switch_time_constant(TECH, 10e-6, 2e-12)
+        assert tau == pytest.approx(switch_on_resistance(TECH, 10e-6) * 2e-12)
+        # Must be far below the half clock period for the model to hold.
+        assert tau < 25e-9
+
+    def test_charge_injection_scales(self):
+        dv_small_c = switch_charge_injection(TECH, 5e-6, 0.5e-12)
+        dv_big_c = switch_charge_injection(TECH, 5e-6, 5e-12)
+        assert dv_small_c == pytest.approx(10 * dv_big_c)
+
+    def test_charge_injection_magnitude(self):
+        dv = switch_charge_injection(TECH, 5e-6, 2e-12)
+        assert 1e-5 < dv < 1e-2

@@ -1,0 +1,92 @@
+"""Hypothesis property tests over the whole circuit evaluation engine.
+
+Anywhere inside the 15-parameter design box the analysis must return
+finite, physically-signed figures — the GA will visit arbitrary corners
+of the box, and a single NaN would poison non-dominated sorting.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.integrator import analyze_integrator
+from repro.circuits.sizing_problem import _LOWER, _UPPER, IntegratorSizingProblem
+from repro.circuits.technology import nominal_technology
+
+TECH = nominal_technology()
+PROBLEM = IntegratorSizingProblem(n_mc=2)
+
+
+def design_vectors(draw, n):
+    fractions = draw(
+        st.lists(
+            st.lists(st.floats(0.0, 1.0), min_size=15, max_size=15),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    arr = np.asarray(fractions)
+    return _LOWER + arr * (_UPPER - _LOWER)
+
+
+@st.composite
+def design_batches(draw):
+    n = draw(st.integers(1, 4))
+    return design_vectors(draw, n)
+
+
+class TestEngineTotality:
+    @given(design_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_integrator_analysis_is_finite(self, x):
+        design = PROBLEM.build_design(x)
+        perf = analyze_integrator(TECH, design)
+        for field in (
+            perf.beta,
+            perf.settling_time,
+            perf.settling_error,
+            perf.dynamic_range_db,
+            perf.output_range,
+            perf.phase_margin_deg,
+            perf.power,
+            perf.area,
+            perf.offset_systematic,
+            perf.min_saturation_margin,
+            perf.min_overdrive,
+            perf.noise_total,
+        ):
+            assert np.all(np.isfinite(field))
+
+    @given(design_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_physical_signs(self, x):
+        design = PROBLEM.build_design(x)
+        perf = analyze_integrator(TECH, design)
+        assert np.all(perf.beta > 0) and np.all(perf.beta < 1)
+        assert np.all(perf.settling_time > 0)
+        assert np.all(perf.settling_error > 0)
+        assert np.all(perf.settling_error < 1)
+        assert np.all(perf.power > 0)
+        assert np.all(perf.area > 0)
+        assert np.all(perf.noise_total > 0)
+        assert np.all(perf.output_range >= 0)
+
+    @given(design_batches())
+    @settings(max_examples=30, deadline=None)
+    def test_problem_evaluation_is_finite(self, x):
+        ev = PROBLEM.evaluate(x)
+        assert np.all(np.isfinite(ev.objectives))
+        assert np.all(np.isfinite(ev.constraints))
+        assert np.all(ev.violation >= 0)
+
+    @given(design_batches())
+    @settings(max_examples=20, deadline=None)
+    def test_power_independent_of_passives(self, x):
+        """Power depends only on currents and the supply — moving the
+        capacitors must not change it."""
+        x2 = np.atleast_2d(x).copy()
+        x2[:, 12] = _LOWER[12]  # cc
+        x2[:, 13] = _UPPER[13]  # cs
+        p1 = PROBLEM.evaluate(x).objectives[:, 0]
+        p2 = PROBLEM.evaluate(x2).objectives[:, 0]
+        np.testing.assert_allclose(p1, p2, rtol=1e-12)

@@ -1,0 +1,216 @@
+"""Tests for the CDS SC integrator behavioural model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.integrator import (
+    FULL_SCALE_LIMIT,
+    INTEGRATOR_GAIN,
+    IntegratorDesign,
+    amplifier_load,
+    analyze_integrator,
+    feedback_factor,
+    noise_budget,
+    settling_time,
+)
+from repro.circuits.opamp import OpAmpSizing, analyze_opamp
+from repro.circuits.technology import nominal_technology
+from repro.circuits.yield_est import stacked_technology
+from repro.circuits.technology import corner_technology
+
+TECH = nominal_technology()
+
+
+def make_design(n=1, **overrides):
+    params = dict(
+        w1=60e-6, l1=0.5e-6, w3=30e-6, l3=0.5e-6,
+        w5=80e-6, l5=0.5e-6, w6=200e-6, l6=0.35e-6,
+        w7=100e-6, l7=0.35e-6, itail=60e-6, i2=150e-6, cc=3e-12,
+    )
+    cs = overrides.pop("cs", 2e-12)
+    c_load = overrides.pop("c_load", 2e-12)
+    params.update(overrides)
+    if n > 1:
+        params = {k: np.full(n, v) for k, v in params.items()}
+        cs = np.full(n, cs)
+        c_load = np.full(n, c_load)
+    return IntegratorDesign(opamp=OpAmpSizing(**params), cs=cs, c_load=c_load)
+
+
+class TestCapacitorNetwork:
+    def test_cf_follows_gain(self):
+        design = make_design(cs=1e-12)
+        assert design.cf == pytest.approx(1e-12 / INTEGRATOR_GAIN)
+
+    def test_coc_mirrors_cs(self):
+        design = make_design(cs=1.5e-12)
+        assert design.coc == pytest.approx(1.5e-12)
+
+    def test_feedback_factor_in_unit_interval(self):
+        design = make_design()
+        amp = analyze_opamp(TECH, design.opamp, 3e-12)
+        beta = feedback_factor(TECH, design, amp.cgs1)
+        assert 0.0 < beta < 1.0
+
+    def test_bigger_input_cap_lowers_beta(self):
+        design = make_design()
+        beta_small = feedback_factor(TECH, design, 0.05e-12)
+        beta_big = feedback_factor(TECH, design, 2.0e-12)
+        assert beta_big < beta_small
+
+    def test_amplifier_load_grows_with_c_load(self):
+        d1 = make_design(c_load=0.2e-12)
+        d2 = make_design(c_load=5e-12)
+        amp = analyze_opamp(TECH, d1.opamp, 3e-12)
+        beta = feedback_factor(TECH, d1, amp.cgs1)
+        assert amplifier_load(TECH, d2, amp.cgs1, beta) > amplifier_load(
+            TECH, d1, amp.cgs1, beta
+        )
+
+
+class TestSettling:
+    def test_settling_time_positive(self):
+        perf = analyze_integrator(TECH, make_design())
+        assert perf.settling_time > 0
+
+    def test_more_current_settles_faster(self):
+        slow = analyze_integrator(TECH, make_design(itail=20e-6, i2=50e-6))
+        fast = analyze_integrator(TECH, make_design(itail=120e-6, i2=400e-6))
+        assert fast.settling_time < slow.settling_time
+
+    def test_heavier_load_settles_slower(self):
+        light = analyze_integrator(TECH, make_design(c_load=0.2e-12))
+        heavy = analyze_integrator(TECH, make_design(c_load=5e-12))
+        assert heavy.settling_time > light.settling_time
+
+    def test_tighter_epsilon_takes_longer(self):
+        loose = analyze_integrator(TECH, make_design(), settle_epsilon=1e-2)
+        tight = analyze_integrator(TECH, make_design(), settle_epsilon=1e-5)
+        assert tight.settling_time > loose.settling_time
+
+    def test_settling_monotone_in_slew(self):
+        design = make_design()
+        amp = analyze_opamp(TECH, design.opamp, 5e-12)
+        beta = np.asarray(0.4)
+        base = settling_time(amp, beta, 1e-4)
+        # Artificially double the slew rate: settling cannot get slower.
+        import dataclasses
+
+        faster = dataclasses.replace(amp, slew_rate=amp.slew_rate * 2)
+        assert settling_time(faster, beta, 1e-4) <= base + 1e-15
+
+
+class TestAccuracyAndNoise:
+    def test_settling_error_is_gain_error(self):
+        perf = analyze_integrator(TECH, make_design())
+        expected = 1.0 / (1.0 + perf.amp.a0 * perf.beta)
+        assert perf.settling_error == pytest.approx(expected)
+
+    def test_noise_terms_positive(self):
+        design = make_design()
+        amp = analyze_opamp(TECH, design.opamp, 3e-12)
+        beta = feedback_factor(TECH, design, amp.cgs1)
+        assert noise_budget(TECH, design, amp, beta) > 0
+
+    def test_bigger_cs_less_noise(self):
+        small = analyze_integrator(TECH, make_design(cs=0.5e-12))
+        big = analyze_integrator(TECH, make_design(cs=4e-12))
+        assert big.noise_total < small.noise_total
+
+    def test_bigger_c_load_less_noise(self):
+        # The output kT/C term: the diversity-trap mechanism.
+        small = analyze_integrator(TECH, make_design(c_load=0.05e-12))
+        big = analyze_integrator(TECH, make_design(c_load=5e-12))
+        assert big.noise_total < small.noise_total
+
+    def test_dynamic_range_improves_with_c_load(self):
+        small = analyze_integrator(TECH, make_design(c_load=0.05e-12))
+        big = analyze_integrator(TECH, make_design(c_load=5e-12))
+        assert big.dynamic_range_db > small.dynamic_range_db
+
+    def test_dynamic_range_realistic(self):
+        perf = analyze_integrator(TECH, make_design())
+        assert 70 < perf.dynamic_range_db < 120
+
+    def test_signal_clipped_at_full_scale(self):
+        perf = analyze_integrator(TECH, make_design())
+        # output_range exceeds the full-scale cap, so DR uses the cap.
+        assert perf.output_range > FULL_SCALE_LIMIT
+        implied_signal = 10 ** (perf.dynamic_range_db / 10) * perf.noise_total
+        assert implied_signal == pytest.approx(FULL_SCALE_LIMIT**2 / 8, rel=1e-6)
+
+
+class TestBatchAndCorners:
+    def test_batch_shapes(self):
+        perf = analyze_integrator(TECH, make_design(n=7))
+        assert perf.settling_time.shape == (7,)
+        assert perf.dynamic_range_db.shape == (7,)
+        assert perf.min_overdrive.shape == (7,)
+
+    def test_stacked_corners_shape(self):
+        stacked = stacked_technology(
+            [corner_technology(c) for c in ("FF", "SS")]
+        )
+        perf = analyze_integrator(stacked, make_design(n=4))
+        assert perf.settling_time.shape == (2, 4)
+
+    def test_ss_corner_slower(self):
+        tt = analyze_integrator(TECH, make_design())
+        ss = analyze_integrator(corner_technology("SS"), make_design())
+        assert ss.settling_time > tt.settling_time
+
+    def test_area_includes_differential_capacitors(self):
+        small = analyze_integrator(TECH, make_design(cs=0.5e-12))
+        big = analyze_integrator(TECH, make_design(cs=2.5e-12))
+        # d(area) = 2 * (dCs + dCf + dCoc)/density = 2 * 4 * dCs / density.
+        expected = 2 * 4 * 2e-12 / TECH.cap_density
+        assert big.area - small.area == pytest.approx(expected)
+
+    def test_power_passthrough(self):
+        perf = analyze_integrator(TECH, make_design())
+        assert perf.power == pytest.approx(perf.amp.power)
+
+
+class TestNoiseBreakdown:
+    def test_terms_sum_to_budget(self):
+        from repro.circuits.integrator import noise_breakdown
+
+        design = make_design(n=3)
+        amp = analyze_opamp(TECH, design.opamp, 3e-12)
+        beta = feedback_factor(TECH, design, amp.cgs1)
+        terms = noise_breakdown(TECH, design, amp, beta)
+        total = noise_budget(TECH, design, amp, beta)
+        np.testing.assert_allclose(
+            terms["input"] + terms["amplifier"] + terms["output"], total
+        )
+
+    def test_each_term_targets_its_knob(self):
+        from repro.circuits.integrator import noise_breakdown
+
+        def terms_for(**kw):
+            design = make_design(**kw)
+            amp = analyze_opamp(TECH, design.opamp, 3e-12)
+            beta = feedback_factor(TECH, design, amp.cgs1)
+            return noise_breakdown(TECH, design, amp, beta)
+
+        base = terms_for()
+        bigger_cs = terms_for(cs=4e-12)
+        assert bigger_cs["input"] < base["input"]
+        bigger_cc = terms_for(cc=6e-12)
+        assert bigger_cc["amplifier"] < base["amplifier"]
+        bigger_load = terms_for(c_load=5e-12)
+        assert bigger_load["output"] < base["output"]
+
+    def test_output_term_is_the_load_dependent_one(self):
+        from repro.circuits.integrator import noise_breakdown
+
+        def terms_for(c_load):
+            design = make_design(c_load=c_load)
+            amp = analyze_opamp(TECH, design.opamp, 3e-12)
+            beta = feedback_factor(TECH, design, amp.cgs1)
+            return noise_breakdown(TECH, design, amp, beta)
+
+        low = terms_for(0.05e-12)
+        high = terms_for(5e-12)
+        np.testing.assert_allclose(low["input"], high["input"])
+        assert low["output"] > 2 * high["output"]

@@ -1,0 +1,198 @@
+"""Tests for the eqn (1) MOSFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.mosfet import MIN_VSAT_FACTOR, MosfetModel, operating_point
+from repro.circuits.technology import nominal_technology
+from repro.circuits.yield_est import stacked_technology
+from repro.circuits.technology import corner_technology
+
+TECH = nominal_technology()
+NMOS = MosfetModel(TECH.nmos)
+PMOS = MosfetModel(TECH.pmos)
+
+W, L = 20e-6, 0.5e-6
+
+
+class TestDrainCurrent:
+    def test_zero_below_threshold(self):
+        assert NMOS.drain_current(W, L, TECH.nmos.vt0 - 0.05, 0.9) == 0.0
+
+    def test_positive_above_threshold(self):
+        assert NMOS.drain_current(W, L, 0.8, 0.9) > 0.0
+
+    def test_monotone_in_vgs(self):
+        vgs = np.linspace(0.5, 1.2, 30)
+        ids = NMOS.drain_current(W, L, vgs, 0.9)
+        assert np.all(np.diff(ids) > 0)
+
+    def test_scales_with_width(self):
+        i1 = NMOS.drain_current(W, L, 0.8, 0.9)
+        i2 = NMOS.drain_current(2 * W, L, 0.8, 0.9)
+        assert i2 == pytest.approx(2 * i1)
+
+    def test_channel_length_modulation(self):
+        low = NMOS.drain_current(W, L, 0.8, 0.2)
+        high = NMOS.drain_current(W, L, 0.8, 1.5)
+        assert high > low
+
+    def test_velocity_saturation_reduces_current(self):
+        # Short channel: the vsat factor bites at high overdrive.
+        short = NMOS.drain_current(W, 0.18e-6, 1.2, 0.9)
+        naive = (
+            0.5 * TECH.nmos.kprime * (W / 0.18e-6) * (1.2 - TECH.nmos.vt0) ** 2
+        )
+        assert short < naive
+
+    def test_pmos_weaker_than_nmos(self):
+        assert PMOS.drain_current(W, L, 0.8, 0.9) < NMOS.drain_current(W, L, 0.8, 0.9)
+
+    def test_vsat_factor_clamped(self):
+        # Absurd overdrive would drive the factor negative; it is clamped.
+        ids = NMOS.drain_current(W, 0.18e-6, 2.5, 0.9)
+        assert ids > 0
+
+
+class TestDerivatives:
+    def test_gm_matches_numeric(self):
+        vgs = np.linspace(0.6, 1.1, 8)
+        gm = NMOS.transconductance(W, L, vgs, 0.9)
+        h = 1e-6
+        numeric = (
+            NMOS.drain_current(W, L, vgs + h, 0.9)
+            - NMOS.drain_current(W, L, vgs - h, 0.9)
+        ) / (2 * h)
+        np.testing.assert_allclose(gm, numeric, rtol=1e-4)
+
+    def test_gds_matches_numeric(self):
+        vds = np.linspace(0.3, 1.4, 8)
+        gds = NMOS.output_conductance(W, L, 0.8, vds)
+        h = 1e-6
+        numeric = (
+            NMOS.drain_current(W, L, 0.8, vds + h)
+            - NMOS.drain_current(W, L, 0.8, vds - h)
+        ) / (2 * h)
+        np.testing.assert_allclose(gds, numeric, rtol=1e-4)
+
+    def test_gm_positive_in_operating_range(self):
+        vgs = np.linspace(0.55, 1.3, 20)
+        assert np.all(NMOS.transconductance(W, L, vgs, 0.9) > 0)
+
+    def test_pmos_gm_numeric(self):
+        vgs = np.linspace(0.65, 1.2, 8)
+        gm = PMOS.transconductance(W, L, vgs, 0.9)
+        h = 1e-6
+        numeric = (
+            PMOS.drain_current(W, L, vgs + h, 0.9)
+            - PMOS.drain_current(W, L, vgs - h, 0.9)
+        ) / (2 * h)
+        np.testing.assert_allclose(gm, numeric, rtol=1e-4)
+
+
+class TestBiasSolver:
+    def test_roundtrip(self):
+        target = 50e-6
+        vgs = NMOS.vgs_for_current(W, L, target, 0.9)
+        achieved = NMOS.drain_current(W, L, vgs, 0.9)
+        assert achieved == pytest.approx(target, rel=1e-6)
+
+    def test_vectorized_roundtrip(self):
+        targets = np.array([5e-6, 20e-6, 100e-6, 300e-6])
+        vgs = NMOS.vgs_for_current(W, L, targets, 0.9)
+        achieved = NMOS.drain_current(W, L, vgs, 0.9)
+        np.testing.assert_allclose(achieved, targets, rtol=1e-5)
+
+    def test_unreachable_target_saturates_bracket(self):
+        vgs = NMOS.vgs_for_current(1e-6, 2e-6, 1.0, 0.9)  # 1 A from a tiny device
+        assert vgs == pytest.approx(TECH.nmos.vt0 + 1.2, abs=1e-3)
+
+    def test_operating_point_bundle(self):
+        vgs, gm, gds, vdsat = operating_point(NMOS, W, L, 50e-6, 0.9)
+        assert vgs > TECH.nmos.vt0
+        assert gm > 0 and gds > 0
+        assert 0 < vdsat < vgs - TECH.nmos.vt0 + 1e-12
+
+
+class TestVdsat:
+    def test_below_overdrive(self):
+        vdsat = NMOS.vdsat(0.9, 0.18e-6)
+        assert vdsat < 0.9 - TECH.nmos.vt0
+
+    def test_long_channel_approaches_overdrive(self):
+        vov = 0.3
+        vdsat = NMOS.vdsat(TECH.nmos.vt0 + vov, 100e-6)
+        assert vdsat == pytest.approx(vov, rel=0.01)
+
+    def test_zero_below_threshold(self):
+        assert NMOS.vdsat(0.1, L) == 0.0
+
+
+class TestCapacitances:
+    def test_cgs_scales_with_area(self):
+        small = NMOS.gate_source_cap(W, L)
+        big = NMOS.gate_source_cap(2 * W, 2 * L)
+        assert big > 2 * small  # area term quadruples, overlap doubles
+
+    def test_cgd_is_overlap_only(self):
+        assert NMOS.gate_drain_cap(W) == pytest.approx(TECH.nmos.cov * W)
+
+    def test_cdb_positive_and_grows_with_w(self):
+        assert NMOS.drain_bulk_cap(2 * W) > NMOS.drain_bulk_cap(W) > 0
+
+
+class TestRegionChecks:
+    def test_saturation_margin_sign(self):
+        vgs = 0.8
+        deep = NMOS.saturation_margin(1.5, vgs, L)
+        shallow = NMOS.saturation_margin(0.1, vgs, L)
+        assert deep > 0 > shallow
+
+    def test_velocity_headroom(self):
+        ok = NMOS.velocity_headroom(0.7, 1e-6)
+        bad = NMOS.velocity_headroom(3.0, 0.18e-6)
+        assert ok > MIN_VSAT_FACTOR
+        assert bad < ok
+
+
+class TestStackedBroadcasting:
+    def test_corner_stack_shapes(self):
+        stacked = stacked_technology(
+            [corner_technology(c) for c in ("TT", "FF", "SS")]
+        )
+        model = MosfetModel(stacked.nmos)
+        w = np.full(7, W)
+        ids = model.drain_current(w, L, 0.8, 0.9)
+        assert ids.shape == (3, 7)
+
+    def test_stacked_bias_solver(self):
+        stacked = stacked_technology(
+            [corner_technology(c) for c in ("FF", "SS")]
+        )
+        model = MosfetModel(stacked.nmos)
+        targets = np.full(5, 40e-6)
+        vgs = model.vgs_for_current(np.full(5, W), L, targets, 0.9)
+        assert vgs.shape == (2, 5)
+        # FF (row 0) needs less gate drive than SS (row 1).
+        assert np.all(vgs[0] < vgs[1])
+
+
+@given(
+    st.floats(2e-6, 400e-6),
+    st.floats(0.18e-6, 2e-6),
+    st.floats(1e-6, 5e-4),
+    st.floats(0.1, 1.7),
+)
+@settings(max_examples=80, deadline=None)
+def test_bias_solver_roundtrip_property(w, l, ids, vds):
+    """Anywhere in the design box, solving VGS and re-evaluating recovers
+    the target current (or saturates at the bracket for unreachable ones)."""
+    vgs = NMOS.vgs_for_current(w, l, ids, vds)
+    achieved = NMOS.drain_current(w, l, vgs, vds)
+    at_bracket = vgs >= TECH.nmos.vt0 + 1.2 - 1e-3
+    if not at_bracket:
+        assert achieved == pytest.approx(ids, rel=1e-4)
+    else:
+        assert achieved <= ids

@@ -1,0 +1,181 @@
+"""Tests for the two-stage op-amp analytics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mosfet import MosfetModel
+from repro.circuits.opamp import OpAmpSizing, analyze_opamp, phase_margin_deg
+from repro.circuits.technology import corner_technology, nominal_technology
+from repro.circuits.yield_est import stacked_technology
+
+TECH = nominal_technology()
+
+
+def reference_sizing(n=1, **overrides):
+    """A sane mid-range design (scalar or batched)."""
+    params = dict(
+        w1=60e-6, l1=0.5e-6,
+        w3=30e-6, l3=0.5e-6,
+        w5=80e-6, l5=0.5e-6,
+        w6=200e-6, l6=0.35e-6,
+        w7=100e-6, l7=0.35e-6,
+        itail=40e-6, i2=120e-6, cc=2e-12,
+    )
+    params.update(overrides)
+    if n > 1:
+        params = {k: np.full(n, v) for k, v in params.items()}
+    return OpAmpSizing(**params)
+
+
+CL = 3e-12
+
+
+class TestShapes:
+    def test_scalar_design(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        assert np.ndim(perf.a0) == 0 or perf.a0.shape == ()
+
+    def test_batched_design(self):
+        perf = analyze_opamp(TECH, reference_sizing(n=5), CL)
+        assert perf.a0.shape == (5,)
+        assert perf.power.shape == (5,)
+
+    def test_broadcasting_validates(self):
+        sizing = OpAmpSizing(
+            w1=np.full(4, 60e-6), l1=0.5e-6, w3=30e-6, l3=0.5e-6,
+            w5=80e-6, l5=0.5e-6, w6=200e-6, l6=0.35e-6,
+            w7=100e-6, l7=0.35e-6, itail=40e-6, i2=120e-6, cc=2e-12,
+        )
+        assert sizing.shape == (4,)
+
+    def test_stacked_technology_adds_axis(self):
+        stacked = stacked_technology(
+            [corner_technology(c) for c in ("TT", "FF", "SS", "FS", "SF")]
+        )
+        perf = analyze_opamp(stacked, reference_sizing(n=6), CL)
+        assert perf.a0.shape == (5, 6)
+        assert perf.min_saturation_margin().shape == (5, 6)
+        assert perf.min_overdrive().shape == (5, 6)
+
+
+class TestSmallSignal:
+    def test_gain_is_realistic(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        a0_db = 20 * np.log10(perf.a0)
+        assert 50 < a0_db < 110  # two-stage amp territory
+
+    def test_gbw_definition(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        assert perf.gbw == pytest.approx(perf.gm1 / 2e-12)
+
+    def test_zero_is_gm6_over_cc(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        assert perf.z1 == pytest.approx(perf.gm6 / 2e-12)
+
+    def test_longer_channel_higher_gain_at_constant_aspect(self):
+        # Scale W with L (constant W/L, hence constant gm): the lambda/L
+        # reduction in gds then raises the intrinsic gain.
+        short = analyze_opamp(
+            TECH, reference_sizing(l1=0.3e-6, w1=36e-6, l3=0.3e-6, w3=18e-6), CL
+        )
+        long = analyze_opamp(
+            TECH, reference_sizing(l1=1.2e-6, w1=144e-6, l3=1.2e-6, w3=72e-6), CL
+        )
+        assert long.a0 > short.a0
+
+    def test_more_tail_current_more_gm1(self):
+        low = analyze_opamp(TECH, reference_sizing(itail=20e-6), CL)
+        high = analyze_opamp(TECH, reference_sizing(itail=80e-6), CL)
+        assert high.gm1 > low.gm1
+
+    def test_p2_decreases_with_load(self):
+        light = analyze_opamp(TECH, reference_sizing(), 0.5e-12)
+        heavy = analyze_opamp(TECH, reference_sizing(), 8e-12)
+        assert light.p2 > heavy.p2
+
+    def test_phase_margin_drops_with_load(self):
+        light = analyze_opamp(TECH, reference_sizing(), 0.5e-12)
+        heavy = analyze_opamp(TECH, reference_sizing(), 10e-12)
+        assert phase_margin_deg(light, 0.4) > phase_margin_deg(heavy, 0.4)
+
+    def test_phase_margin_bounded(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        pm = phase_margin_deg(perf, 0.4)
+        assert -90 <= pm <= 90
+
+
+class TestLargeSignal:
+    def test_slew_rate_is_binding_minimum(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        internal = 40e-6 / 2e-12
+        assert perf.slew_rate <= internal + 1e-6
+
+    def test_more_i2_helps_output_slew(self):
+        low = analyze_opamp(TECH, reference_sizing(i2=30e-6), 10e-12)
+        high = analyze_opamp(TECH, reference_sizing(i2=300e-6), 10e-12)
+        assert high.slew_rate >= low.slew_rate
+
+    def test_output_range_below_supply(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        assert 0 < perf.output_range < 2 * TECH.vdd
+
+    def test_swing_window_ordered(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        assert perf.swing_low < perf.swing_high
+
+
+class TestBudgetsAndMatching:
+    def test_power_formula(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        expected = 1.8 * (1.2 * 40e-6 + 2 * 120e-6)
+        assert perf.power == pytest.approx(expected)
+
+    def test_area_includes_compensation_caps(self):
+        small_cc = analyze_opamp(TECH, reference_sizing(cc=0.5e-12), CL)
+        big_cc = analyze_opamp(TECH, reference_sizing(cc=8e-12), CL)
+        assert big_cc.area - small_cc.area == pytest.approx(
+            2 * 7.5e-12 / TECH.cap_density
+        )
+
+    def test_noise_factor_above_one(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        assert perf.noise_factor > 1.0
+
+    def test_balanced_second_stage_has_small_offset(self):
+        # Choose i2 equal to the current M6 naturally mirrors from the
+        # first stage, making the systematic offset collapse.
+        sizing = reference_sizing()
+        perf0 = analyze_opamp(TECH, sizing, CL)
+        pmos = MosfetModel(TECH.pmos)
+        vsg3 = perf0.vgs["m3"]
+        i6_natural = pmos.drain_current(200e-6, 0.35e-6, vsg3, 0.9)
+        balanced = analyze_opamp(TECH, reference_sizing(i2=float(i6_natural)), CL)
+        assert abs(balanced.offset_systematic) < abs(perf0.offset_systematic) + 1e-12
+        assert abs(balanced.offset_systematic) < 1e-4
+
+    def test_margins_and_overdrives_per_device(self):
+        perf = analyze_opamp(TECH, reference_sizing(), CL)
+        assert set(perf.saturation_margins) == {"m1", "m3", "m5", "m6", "m7"}
+        assert set(perf.overdrives) == {"m1", "m3", "m5", "m6", "m7"}
+        assert perf.min_overdrive() <= perf.overdrives["m1"]
+
+    def test_overdrive_falls_with_width(self):
+        narrow = analyze_opamp(TECH, reference_sizing(w1=10e-6), CL)
+        wide = analyze_opamp(TECH, reference_sizing(w1=300e-6), CL)
+        assert wide.overdrives["m1"] < narrow.overdrives["m1"]
+
+
+class TestCornerBehaviour:
+    def test_ss_corner_needs_more_drive(self):
+        tt = analyze_opamp(TECH, reference_sizing(), CL)
+        ss = analyze_opamp(corner_technology("SS"), reference_sizing(), CL)
+        assert ss.vgs["m1"] > tt.vgs["m1"]
+
+    def test_corner_spread_in_offset(self):
+        stacked = stacked_technology(
+            [corner_technology(c) for c in ("FF", "SS", "FS", "SF")]
+        )
+        perf = analyze_opamp(stacked, reference_sizing(n=3), CL)
+        # Skewed corners must not all coincide with nominal offset.
+        spread = np.ptp(perf.offset_systematic, axis=0)
+        assert np.all(spread > 0)

@@ -1,0 +1,72 @@
+"""Tests for the design-datasheet generator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.report import (
+    constraint_margins,
+    datasheet,
+    device_operating_points,
+)
+from repro.circuits.sizing_problem import CONSTRAINT_NAMES, IntegratorSizingProblem
+from tests.circuits.conftest import KNOWN_FEASIBLE_DESIGN as DESIGN
+
+
+class TestDeviceOperatingPoints:
+    def test_five_device_rows(self):
+        rows = device_operating_points(DESIGN)
+        assert len(rows) == 5
+        assert rows[0].name.startswith("M1/M2")
+
+    def test_branch_currents(self):
+        rows = device_operating_points(DESIGN)
+        itail, i2 = DESIGN[10], DESIGN[11]
+        assert rows[0].ids == pytest.approx(itail / 2)  # input pair
+        assert rows[2].ids == pytest.approx(itail)      # tail
+        assert rows[3].ids == pytest.approx(i2)         # driver
+
+    def test_physical_sanity(self):
+        for op in device_operating_points(DESIGN):
+            assert op.vgs > 0.4          # above threshold
+            assert 0 < op.vdsat < op.vov + 1e-9
+            assert op.gm > 0
+            assert 1 < op.gm_over_id < 25  # strong-inversion range
+
+    def test_overdrive_consistency(self):
+        # The known-good design runs every device in strong inversion.
+        for op in device_operating_points(DESIGN):
+            assert op.vov > 0.05
+
+
+class TestConstraintMargins:
+    def test_names_match_problem(self):
+        problem = IntegratorSizingProblem(n_mc=4)
+        margins = constraint_margins(DESIGN, problem)
+        assert set(margins) == set(CONSTRAINT_NAMES)
+
+    def test_known_design_mostly_feasible(self):
+        margins = constraint_margins(DESIGN)
+        violated = [n for n, g in margins.items() if g > 0.25]
+        assert not violated, f"unexpected large violations: {violated}"
+
+
+class TestDatasheet:
+    def test_renders_all_sections(self):
+        text = datasheet(DESIGN)
+        for section in ("Devices", "Capacitor network", "Performance",
+                        "Constraint margins"):
+            assert section in text
+        assert "M6 (driver)" in text
+        assert "dynamic range (dB)" in text
+
+    def test_batch_input_uses_first_row(self):
+        batch = np.vstack([DESIGN, DESIGN * 1.01])
+        text = datasheet(batch)
+        assert "datasheet" in text
+
+    def test_violated_constraints_flagged(self):
+        problem = IntegratorSizingProblem(n_mc=4)
+        bad = DESIGN.copy()
+        bad[10] = 5e-6  # starve the first stage -> settling/PM violations
+        text = datasheet(bad, problem)
+        assert "VIOLATED" in text

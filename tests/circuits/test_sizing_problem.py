@@ -1,0 +1,148 @@
+"""Tests for the 15-parameter integrator sizing problem."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sizing_problem import (
+    C_LOAD_MAX,
+    CONSTRAINT_NAMES,
+    MIN_OVERDRIVE,
+    PARAMETER_NAMES,
+    IntegratorSizingProblem,
+)
+from repro.circuits.specs import spec_ladder
+from repro.utils.rng import as_rng
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return IntegratorSizingProblem(n_mc=4)
+
+
+class TestStructure:
+    def test_dimensions(self, problem):
+        assert problem.n_var == 15 == len(PARAMETER_NAMES)
+        assert problem.n_obj == 2
+        assert problem.n_con == len(CONSTRAINT_NAMES)
+
+    def test_c_load_bounds(self, problem):
+        assert problem.upper[14] == pytest.approx(C_LOAD_MAX)
+
+    def test_decode_names(self, problem):
+        x = problem.sample(3, as_rng(0))
+        decoded = problem.decode(x)
+        assert set(decoded) == set(PARAMETER_NAMES)
+        np.testing.assert_array_equal(decoded["c_load"], x[:, 14])
+
+    def test_partition_grid_covers_load_range(self, problem):
+        grid = problem.partition_grid(8)
+        assert grid.axis == 1
+        assert grid.low == 0.0
+        assert grid.high == pytest.approx(C_LOAD_MAX)
+        assert grid.n_partitions == 8
+
+    def test_build_design_shapes(self, problem):
+        x = problem.sample(5, as_rng(1))
+        design = problem.build_design(x)
+        assert design.opamp.shape == (5,)
+        assert design.cs.shape == (5,)
+
+
+class TestEvaluation:
+    def test_shapes_and_finiteness(self, problem):
+        x = problem.sample(20, as_rng(2))
+        ev = problem.evaluate(x)
+        assert ev.objectives.shape == (20, 2)
+        assert ev.constraints.shape == (20, len(CONSTRAINT_NAMES))
+        assert np.all(np.isfinite(ev.objectives))
+        assert np.all(np.isfinite(ev.constraints))
+
+    def test_objective_definitions(self, problem):
+        x = problem.sample(6, as_rng(3))
+        ev = problem.evaluate(x)
+        np.testing.assert_allclose(ev.objectives[:, 1], C_LOAD_MAX - x[:, 14])
+        assert np.all(ev.objectives[:, 0] > 0)  # power
+
+    def test_power_increases_with_current(self, problem):
+        x = problem.sample(1, as_rng(4))
+        x_hi = x.copy()
+        x_hi[0, 10] *= 2  # itail
+        x_hi[0, 11] *= 2  # i2
+        p_lo = problem.evaluate(x).objectives[0, 0]
+        p_hi = problem.evaluate(x_hi).objectives[0, 0]
+        assert p_hi > p_lo
+
+    def test_deterministic_evaluation(self, problem):
+        x = problem.sample(4, as_rng(5))
+        a = problem.evaluate(x)
+        b = problem.evaluate(x)
+        np.testing.assert_array_equal(a.constraints, b.constraints)
+
+    def test_robustness_constraint_in_unit_range(self, problem):
+        x = problem.sample(30, as_rng(6))
+        ev = problem.evaluate(x)
+        rob = problem.spec.robustness_min - ev.constraints[:, -1]
+        assert np.all(rob >= -1e-9) and np.all(rob <= 1.0 + 1e-9)
+
+    def test_corner_toggle(self):
+        lenient = IntegratorSizingProblem(n_mc=4, use_corners=False)
+        strict = IntegratorSizingProblem(n_mc=4, use_corners=True)
+        x = lenient.sample(40, as_rng(7))
+        v_lenient = lenient.evaluate(x).violation
+        v_strict = strict.evaluate(x).violation
+        # Worst-corner checking can only make things harder.
+        assert np.all(v_strict >= v_lenient - 1e-9)
+
+    def test_spec_tightening_increases_violation(self):
+        ladder = spec_ladder()
+        loose = IntegratorSizingProblem(spec=ladder[0], n_mc=4)
+        tight = IntegratorSizingProblem(spec=ladder[-1], n_mc=4)
+        x = loose.sample(60, as_rng(8))
+        assert tight.evaluate(x).violation.mean() > loose.evaluate(x).violation.mean()
+
+    def test_performance_report_keys(self, problem):
+        x = problem.sample(2, as_rng(9))
+        rows = problem.performance_report(x)
+        assert len(rows) == 2
+        assert {"c_load_pF", "power_mW", "dr_dB", "st_ns", "pm_deg"} <= set(rows[0])
+
+
+class TestKnownFeasibleDesign:
+    """Regression canary: a hand-checked feasible design must stay feasible.
+
+    The vector was extracted from a converged optimizer run; if a model
+    change silently shifts the feasible region, this fails and the change
+    needs recalibration (see DESIGN.md section 6.7).
+    """
+
+    from tests.circuits.conftest import KNOWN_FEASIBLE_DESIGN as DESIGN
+
+    def test_near_feasible(self, problem):
+        ev = problem.evaluate(self.DESIGN.reshape(1, -1))
+        # Allow small drift from retuning, but the design must stay close
+        # to the feasible region (violation below a small threshold).
+        assert ev.violation[0] < 0.25
+
+    def test_constraint_name_alignment(self, problem):
+        ev = problem.evaluate(self.DESIGN.reshape(1, -1))
+        named = dict(zip(CONSTRAINT_NAMES, ev.constraints[0]))
+        # This known design runs every device in strong inversion.
+        assert named["inversion"] <= 0.05
+
+
+class TestTrapMechanism:
+    def test_dr_easier_at_high_load(self, problem):
+        """The Section-3 mechanism: the DR constraint relaxes as the load
+        capacitance grows (output kT/C noise shrinks)."""
+        rng = as_rng(10)
+        x = problem.sample(300, rng)
+        x_low = x.copy()
+        x_low[:, 14] = 0.1e-12
+        x_high = x.copy()
+        x_high[:, 14] = 5.0e-12
+        g_dr_low = problem.evaluate(x_low).constraints[:, 0]
+        g_dr_high = problem.evaluate(x_high).constraints[:, 0]
+        assert g_dr_high.mean() < g_dr_low.mean()
+
+    def test_min_overdrive_constant(self):
+        assert 0.05 <= MIN_OVERDRIVE <= 0.2

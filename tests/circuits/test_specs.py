@@ -1,0 +1,88 @@
+"""Tests for the specification ladder."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.specs import (
+    PUBLISHED_RUNG,
+    IntegratorSpec,
+    published_spec,
+    spec_ladder,
+)
+
+
+class TestIntegratorSpec:
+    def test_published_values(self):
+        spec = published_spec()
+        assert spec.dr_min_db == 96.0
+        assert spec.or_min == 1.4
+        assert spec.st_max == pytest.approx(0.24e-6)
+        assert spec.se_max == pytest.approx(7e-4)
+        assert spec.robustness_min == 0.85
+
+    def test_describe_mentions_limits(self):
+        text = published_spec().describe()
+        assert "96" in text and "0.24" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            IntegratorSpec(
+                name="bad", dr_min_db=90, or_min=1, st_max=-1e-6,
+                se_max=1e-3, robustness_min=0.8,
+            )
+        with pytest.raises(ValueError, match="robustness"):
+            IntegratorSpec(
+                name="bad", dr_min_db=90, or_min=1, st_max=1e-6,
+                se_max=1e-3, robustness_min=1.2,
+            )
+
+    def test_frozen(self):
+        spec = published_spec()
+        with pytest.raises(Exception):
+            spec.dr_min_db = 100  # type: ignore[misc]
+
+
+class TestSpecLadder:
+    def test_default_length(self):
+        assert len(spec_ladder()) == 20
+
+    def test_published_rung_matches(self):
+        ladder = spec_ladder()
+        rung = ladder[PUBLISHED_RUNG]
+        pub = published_spec()
+        assert rung.dr_min_db == pytest.approx(pub.dr_min_db)
+        assert rung.or_min == pytest.approx(pub.or_min)
+        assert rung.st_max == pytest.approx(pub.st_max)
+        assert rung.se_max == pytest.approx(pub.se_max)
+        assert rung.robustness_min == pytest.approx(pub.robustness_min)
+
+    def test_difficulty_monotone(self):
+        ladder = spec_ladder()
+        dr = [s.dr_min_db for s in ladder]
+        st = [s.st_max for s in ladder]
+        se = [s.se_max for s in ladder]
+        rob = [s.robustness_min for s in ladder]
+        assert all(b > a for a, b in zip(dr, dr[1:]))
+        assert all(b < a for a, b in zip(st, st[1:]))
+        assert all(b < a for a, b in zip(se, se[1:]))
+        assert all(b > a for a, b in zip(rob, rob[1:]))
+
+    def test_all_limits_positive(self):
+        for spec in spec_ladder():
+            assert spec.st_max > 0
+            assert spec.se_max > 0
+            assert spec.area_max > 0
+            assert 0 <= spec.robustness_min <= 1
+
+    def test_custom_length(self):
+        ladder = spec_ladder(7)
+        assert len(ladder) == 7
+        assert ladder[0].dr_min_db < ladder[-1].dr_min_db
+
+    def test_minimum_length(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            spec_ladder(1)
+
+    def test_names_are_ordered(self):
+        names = [s.name for s in spec_ladder(5)]
+        assert names == sorted(names)

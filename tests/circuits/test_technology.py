@@ -1,0 +1,105 @@
+"""Tests for the technology card and corners."""
+
+import pytest
+
+from repro.circuits.technology import (
+    CORNERS,
+    DeviceParams,
+    Technology,
+    all_corners,
+    corner_technology,
+    nominal_technology,
+    perturbed_technology,
+)
+
+
+class TestNominal:
+    def test_basic_values(self):
+        tech = nominal_technology()
+        assert tech.vdd == pytest.approx(1.8)
+        assert tech.min_length == pytest.approx(0.18e-6)
+        assert tech.nmos.polarity == 1
+        assert tech.pmos.polarity == -1
+
+    def test_nmos_faster_than_pmos(self):
+        tech = nominal_technology()
+        assert tech.nmos.u0 > tech.pmos.u0
+
+    def test_kprime(self):
+        dev = nominal_technology().nmos
+        assert dev.kprime == pytest.approx(dev.u0 * dev.cox)
+
+    def test_device_lookup(self):
+        tech = nominal_technology()
+        assert tech.device("nmos") is tech.nmos
+        assert tech.device("pmos") is tech.pmos
+        with pytest.raises(KeyError, match="unknown device kind"):
+            tech.device("jfet")
+
+    def test_kt_positive(self):
+        assert nominal_technology().kt > 0
+
+
+class TestCorners:
+    def test_known_corner_names(self):
+        assert set(CORNERS) == {"TT", "FF", "SS", "FS", "SF"}
+
+    def test_tt_matches_nominal(self):
+        base = nominal_technology()
+        tt = corner_technology("TT", base)
+        assert tt.nmos.u0 == base.nmos.u0
+        assert tt.nmos.vt0 == base.nmos.vt0
+
+    def test_ff_is_fast(self):
+        base = nominal_technology()
+        ff = corner_technology("FF", base)
+        assert ff.nmos.u0 > base.nmos.u0
+        assert ff.nmos.vt0 < base.nmos.vt0
+        assert ff.pmos.u0 > base.pmos.u0
+
+    def test_ss_is_slow(self):
+        base = nominal_technology()
+        ss = corner_technology("SS", base)
+        assert ss.nmos.u0 < base.nmos.u0
+        assert ss.nmos.vt0 > base.nmos.vt0
+
+    def test_fs_is_skewed(self):
+        base = nominal_technology()
+        fs = corner_technology("FS", base)
+        assert fs.nmos.u0 > base.nmos.u0
+        assert fs.pmos.u0 < base.pmos.u0
+
+    def test_case_insensitive(self):
+        assert corner_technology("ff").nmos.u0 > nominal_technology().nmos.u0
+
+    def test_unknown_corner(self):
+        with pytest.raises(KeyError, match="unknown corner"):
+            corner_technology("XX")
+
+    def test_all_corners_dict(self):
+        corners = all_corners()
+        assert set(corners) == set(CORNERS)
+        assert all(isinstance(t, Technology) for t in corners.values())
+
+    def test_corner_names_embedded(self):
+        assert corner_technology("SF").name.endswith("SF")
+
+
+class TestPerturbed:
+    def test_perturbation_applies(self):
+        base = nominal_technology()
+        mc = perturbed_technology(base, 1.1, 0.02, 0.9, -0.02)
+        assert mc.nmos.u0 == pytest.approx(base.nmos.u0 * 1.1)
+        assert mc.nmos.vt0 == pytest.approx(base.nmos.vt0 + 0.02)
+        assert mc.pmos.u0 == pytest.approx(base.pmos.u0 * 0.9)
+
+    def test_base_unmodified(self):
+        base = nominal_technology()
+        u0 = base.nmos.u0
+        perturbed_technology(base, 2.0, 0.1, 2.0, 0.1)
+        assert base.nmos.u0 == u0
+
+    def test_frozen_dataclass(self):
+        tech = nominal_technology()
+        with pytest.raises(Exception):
+            tech.vdd = 3.3  # type: ignore[misc]

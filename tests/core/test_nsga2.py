@@ -1,0 +1,114 @@
+"""Tests for the NSGA-II baseline (the paper's TPG)."""
+
+import numpy as np
+import pytest
+
+from repro.core.nsga2 import NSGA2
+from repro.metrics.convergence import inverted_generational_distance
+from repro.problems.synthetic import BNH, CONSTR, SCH, ZDT1
+
+
+class TestConfiguration:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError, match="population_size"):
+            NSGA2(SCH(), population_size=2)
+
+    def test_rejects_negative_generations(self):
+        with pytest.raises(ValueError, match="n_generations"):
+            NSGA2(SCH(), population_size=8, seed=0).run(-1)
+
+    def test_zero_generations_returns_initial_front(self):
+        result = NSGA2(SCH(), population_size=16, seed=0).run(0)
+        assert result.n_generations == 0
+        assert result.population.size == 16
+        assert result.front_size > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        r1 = NSGA2(SCH(), population_size=16, seed=7).run(10)
+        r2 = NSGA2(SCH(), population_size=16, seed=7).run(10)
+        np.testing.assert_array_equal(r1.front_objectives, r2.front_objectives)
+
+    def test_different_seed_different_result(self):
+        r1 = NSGA2(ZDT1(), population_size=16, seed=1).run(5)
+        r2 = NSGA2(ZDT1(), population_size=16, seed=2).run(5)
+        assert not np.array_equal(r1.population.x, r2.population.x)
+
+
+class TestMechanics:
+    def test_population_size_constant(self):
+        algo = NSGA2(ZDT1(), population_size=24, seed=0)
+        sizes = []
+        algo.add_callback(lambda gen, pop: sizes.append(pop.size))
+        algo.run(8)
+        assert all(s == 24 for s in sizes)
+
+    def test_evaluation_count(self):
+        result = NSGA2(SCH(), population_size=20, seed=0).run(10)
+        # Initial population + one offspring batch per generation.
+        assert result.n_evaluations == 20 * 11
+
+    def test_history_recorded_each_generation(self):
+        result = NSGA2(SCH(), population_size=16, seed=0).run(7)
+        gens = [rec.generation for rec in result.history]
+        assert gens == list(range(8))
+
+    def test_initial_population_override(self):
+        problem = SCH()
+        x0 = np.full((12, 1), 3.0)
+        result = NSGA2(problem, population_size=12, seed=0).run(0, initial_x=x0)
+        np.testing.assert_allclose(result.population.x, 3.0)
+
+    def test_initial_population_wrong_size_rejected(self):
+        with pytest.raises(ValueError, match="initial population"):
+            NSGA2(SCH(), population_size=10, seed=0).run(1, initial_x=np.zeros((4, 1)))
+
+    def test_ranks_assigned_after_run(self):
+        result = NSGA2(SCH(), population_size=16, seed=0).run(3)
+        assert np.all(result.population.rank >= 0)
+
+
+class TestConvergence:
+    def test_sch_converges(self):
+        result = NSGA2(SCH(), population_size=40, seed=1).run(60)
+        reference = SCH().pareto_front(100)
+        igd = inverted_generational_distance(result.front_objectives, reference)
+        # SCH's search interval is [-1000, 1000]; covering the whole [0, 4]
+        # front in 60 generations to within a few tenths is converged.
+        assert igd < 0.35
+
+    def test_zdt1_approaches_front(self):
+        result = NSGA2(ZDT1(), population_size=60, seed=1).run(120)
+        reference = ZDT1().pareto_front(100)
+        igd = inverted_generational_distance(result.front_objectives, reference)
+        assert igd < 0.25
+
+    def test_improvement_over_generations(self):
+        problem = ZDT1()
+        short = NSGA2(problem, population_size=40, seed=3).run(10)
+        long = NSGA2(ZDT1(), population_size=40, seed=3).run(80)
+        ref = problem.pareto_front(100)
+        assert inverted_generational_distance(
+            long.front_objectives, ref
+        ) < inverted_generational_distance(short.front_objectives, ref)
+
+
+class TestConstrainedProblems:
+    def test_bnh_front_is_feasible(self):
+        result = NSGA2(BNH(), population_size=40, seed=2).run(50)
+        assert result.front_size > 5
+        x = result.front_x
+        ev = BNH().evaluate(x)
+        assert ev.feasible.all()
+
+    def test_constr_finds_feasible_region(self):
+        result = NSGA2(CONSTR(), population_size=40, seed=2).run(60)
+        assert result.front_size > 5
+        ev = CONSTR().evaluate(result.front_x)
+        assert ev.feasible.all()
+
+    def test_metadata_present(self):
+        result = NSGA2(SCH(), population_size=16, seed=0).run(2)
+        assert result.algorithm == "NSGA-II"
+        assert "population_size" in result.metadata

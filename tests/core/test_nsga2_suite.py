@@ -1,0 +1,59 @@
+"""NSGA-II regression suite across the synthetic problem family."""
+
+import numpy as np
+import pytest
+
+from repro.core.nsga2 import NSGA2
+from repro.metrics.convergence import inverted_generational_distance
+from repro.metrics.diversity import range_coverage
+from repro.problems.synthetic import OSY, SRN, TNK, ZDT2, ZDT3, ZDT6
+
+
+class TestZdtFamily:
+    def test_zdt2_concave_front(self):
+        problem = ZDT2(n_var=12)
+        result = NSGA2(problem, population_size=48, seed=4).run(120)
+        igd = inverted_generational_distance(
+            result.front_objectives, ZDT2().pareto_front(100)
+        )
+        assert igd < 0.3
+
+    def test_zdt3_disconnected_front(self):
+        problem = ZDT3(n_var=12)
+        result = NSGA2(problem, population_size=48, seed=4).run(120)
+        igd = inverted_generational_distance(
+            result.front_objectives, ZDT3().pareto_front()
+        )
+        assert igd < 0.3
+        # The front has multiple pieces: coverage of f1 should span them.
+        assert range_coverage(
+            result.front_objectives, axis=0, low=0.0, high=0.86, n_bins=5
+        ) >= 0.6
+
+    def test_zdt6_biased_density(self):
+        problem = ZDT6()
+        result = NSGA2(problem, population_size=48, seed=4).run(150)
+        igd = inverted_generational_distance(
+            result.front_objectives, ZDT6().pareto_front(100)
+        )
+        assert igd < 0.6  # ZDT6 is the hard one; rough convergence suffices
+
+
+class TestConstrainedSuite:
+    @pytest.mark.parametrize("problem_cls", [TNK, SRN, OSY])
+    def test_feasible_nondominated_front(self, problem_cls):
+        problem = problem_cls()
+        result = NSGA2(problem, population_size=48, seed=5).run(80)
+        assert result.front_size > 3, problem_cls.__name__
+        ev = problem_cls().evaluate(result.front_x)
+        assert ev.feasible.all()
+
+    def test_tnk_front_on_constraint_boundary(self):
+        # TNK's front lies on g1 = 0; the found points must be close to it.
+        problem = TNK()
+        result = NSGA2(problem, population_size=64, seed=6).run(150)
+        ev = problem.evaluate(result.front_x)
+        g1 = ev.constraints[:, 0]
+        # Feasible (g1 <= 0) but near the boundary for at least half the front.
+        near = np.mean(g1 > -0.1)
+        assert near > 0.5

@@ -1,0 +1,171 @@
+"""Tests for SBX crossover and polynomial mutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators import PolynomialMutation, SBXCrossover, variation
+from repro.utils.rng import as_rng
+
+LOWER = np.array([0.0, -5.0, 1.0])
+UPPER = np.array([1.0, 5.0, 100.0])
+
+
+def random_parents(n, rng):
+    return rng.uniform(LOWER, UPPER, size=(n, 3))
+
+
+class TestSBXCrossover:
+    def test_children_within_bounds(self):
+        rng = as_rng(0)
+        a, b = random_parents(200, rng), random_parents(200, rng)
+        c1, c2 = SBXCrossover(probability=1.0)(a, b, LOWER, UPPER, rng)
+        for c in (c1, c2):
+            assert np.all(c >= LOWER - 1e-12) and np.all(c <= UPPER + 1e-12)
+
+    def test_zero_probability_copies_parents(self):
+        rng = as_rng(1)
+        a, b = random_parents(50, rng), random_parents(50, rng)
+        c1, c2 = SBXCrossover(probability=0.0)(a, b, LOWER, UPPER, rng)
+        np.testing.assert_array_equal(c1, a)
+        np.testing.assert_array_equal(c2, b)
+
+    def test_identical_parents_unchanged(self):
+        rng = as_rng(2)
+        a = random_parents(50, rng)
+        c1, c2 = SBXCrossover(probability=1.0)(a, a.copy(), LOWER, UPPER, rng)
+        np.testing.assert_allclose(c1, a)
+        np.testing.assert_allclose(c2, a)
+
+    def test_mean_preserved_per_gene(self):
+        # SBX children are symmetric around the parent midpoint.
+        rng = as_rng(3)
+        a, b = random_parents(2000, rng), random_parents(2000, rng)
+        c1, c2 = SBXCrossover(probability=1.0, per_variable_probability=1.0)(
+            a, b, LOWER, UPPER, rng
+        )
+        # Bounded SBX distorts the symmetry near the box edges, so compare
+        # means loosely, with a tolerance proportional to each gene's range.
+        span = UPPER - LOWER
+        np.testing.assert_allclose(
+            (c1 + c2).mean(axis=0), (a + b).mean(axis=0), atol=0.02 * span.max(), rtol=0.05
+        )
+
+    def test_high_eta_children_near_parents(self):
+        rng = as_rng(4)
+        a, b = random_parents(300, rng), random_parents(300, rng)
+        tight1, _ = SBXCrossover(probability=1.0, eta=1000.0)(a, b, LOWER, UPPER, as_rng(9))
+        loose1, _ = SBXCrossover(probability=1.0, eta=2.0)(a, b, LOWER, UPPER, as_rng(9))
+        d_tight = np.abs(np.sort(np.stack([a, b]), axis=0) - np.sort(np.stack([tight1, tight1]), axis=0)).mean()
+        # Qualitative: large eta keeps children close to one of the parents.
+        spread_tight = np.minimum(np.abs(tight1 - a), np.abs(tight1 - b)).mean()
+        spread_loose = np.minimum(np.abs(loose1 - a), np.abs(loose1 - b)).mean()
+        assert spread_tight < spread_loose
+
+    def test_shape_mismatch_rejected(self):
+        rng = as_rng(0)
+        with pytest.raises(ValueError, match="shapes differ"):
+            SBXCrossover()(np.zeros((2, 3)), np.zeros((3, 3)), LOWER, UPPER, rng)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SBXCrossover(probability=1.5)
+        with pytest.raises(ValueError):
+            SBXCrossover(eta=-1.0)
+
+    def test_empty_batch(self):
+        rng = as_rng(0)
+        c1, c2 = SBXCrossover()(np.zeros((0, 3)), np.zeros((0, 3)), LOWER, UPPER, rng)
+        assert c1.shape == (0, 3)
+
+
+class TestPolynomialMutation:
+    def test_within_bounds(self):
+        rng = as_rng(0)
+        x = random_parents(300, rng)
+        y = PolynomialMutation(probability=1.0)(x, LOWER, UPPER, rng)
+        assert np.all(y >= LOWER - 1e-12) and np.all(y <= UPPER + 1e-12)
+
+    def test_zero_probability_identity(self):
+        rng = as_rng(1)
+        x = random_parents(50, rng)
+        y = PolynomialMutation(probability=0.0)(x, LOWER, UPPER, rng)
+        np.testing.assert_array_equal(y, x)
+
+    def test_default_rate_is_one_over_nvar(self):
+        rng = as_rng(2)
+        x = random_parents(4000, rng)
+        y = PolynomialMutation()(x, LOWER, UPPER, as_rng(3))
+        changed = (y != x).mean()
+        assert 0.2 < changed * 3 < 1.4  # ~1/3 of genes mutate
+
+    def test_does_not_modify_input(self):
+        rng = as_rng(4)
+        x = random_parents(20, rng)
+        x_copy = x.copy()
+        PolynomialMutation(probability=1.0)(x, LOWER, UPPER, rng)
+        np.testing.assert_array_equal(x, x_copy)
+
+    def test_higher_eta_smaller_steps(self):
+        x = np.tile((LOWER + UPPER) / 2.0, (3000, 1))
+        small = PolynomialMutation(probability=1.0, eta=200.0)(x, LOWER, UPPER, as_rng(5))
+        large = PolynomialMutation(probability=1.0, eta=5.0)(x, LOWER, UPPER, as_rng(5))
+        assert np.abs(small - x).mean() < np.abs(large - x).mean()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialMutation(probability=2.0)
+        with pytest.raises(ValueError):
+            PolynomialMutation(eta=0.0)
+
+
+class TestVariation:
+    def test_preserves_batch_size_even(self):
+        rng = as_rng(0)
+        parents = random_parents(10, rng)
+        children = variation(parents, LOWER, UPPER, rng, SBXCrossover(), PolynomialMutation())
+        assert children.shape == parents.shape
+
+    def test_preserves_batch_size_odd(self):
+        rng = as_rng(0)
+        parents = random_parents(7, rng)
+        children = variation(parents, LOWER, UPPER, rng, SBXCrossover(), PolynomialMutation())
+        assert children.shape == parents.shape
+
+    def test_empty(self):
+        rng = as_rng(0)
+        out = variation(np.zeros((0, 3)), LOWER, UPPER, rng, SBXCrossover(), PolynomialMutation())
+        assert out.shape == (0, 3)
+
+    def test_children_in_bounds(self):
+        rng = as_rng(1)
+        parents = random_parents(99, rng)
+        children = variation(parents, LOWER, UPPER, rng, SBXCrossover(), PolynomialMutation())
+        assert np.all(children >= LOWER - 1e-12) and np.all(children <= UPPER + 1e-12)
+
+
+@given(
+    st.integers(0, 40),
+    st.integers(1, 6),
+    st.floats(0.0, 1.0),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_operator_pipeline_property(n, n_var, p_cross, seed):
+    """Bounds respected and batch size preserved for arbitrary configs."""
+    rng = as_rng(seed)
+    lower = np.arange(n_var, dtype=float)
+    upper = lower + np.linspace(1.0, 3.0, n_var)
+    parents = rng.uniform(lower, upper, size=(n, n_var))
+    children = variation(
+        parents,
+        lower,
+        upper,
+        rng,
+        SBXCrossover(probability=p_cross),
+        PolynomialMutation(),
+    )
+    assert children.shape == (n, n_var)
+    assert np.all(children >= lower - 1e-9)
+    assert np.all(children <= upper + 1e-9)

@@ -1,0 +1,207 @@
+"""Tests for objective-space partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.individual import Population
+from repro.core.partitions import (
+    PartitionGrid,
+    PartitionedPopulation,
+    expanding_schedule,
+)
+from repro.problems.synthetic import ClusteredFeasibility, SCH
+from repro.utils.pareto import pareto_mask
+from repro.utils.rng import as_rng
+
+
+class TestPartitionGrid:
+    def test_edges_and_width(self):
+        grid = PartitionGrid(axis=0, low=0.0, high=10.0, n_partitions=5)
+        np.testing.assert_allclose(grid.edges, [0, 2, 4, 6, 8, 10])
+        assert grid.width == 2.0
+
+    def test_assign_basic(self):
+        grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=4)
+        objs = np.array([[9, 0.1], [9, 0.3], [9, 0.6], [9, 0.9]])
+        np.testing.assert_array_equal(grid.assign(objs), [0, 1, 2, 3])
+
+    def test_assign_clamps_out_of_range(self):
+        grid = PartitionGrid(axis=0, low=0.0, high=1.0, n_partitions=4)
+        objs = np.array([[-0.5, 0], [1.5, 0], [1.0, 0]])
+        np.testing.assert_array_equal(grid.assign(objs), [0, 3, 3])
+
+    def test_assign_boundary_goes_to_upper_slice(self):
+        grid = PartitionGrid(axis=0, low=0.0, high=1.0, n_partitions=2)
+        objs = np.array([[0.5, 0.0]])
+        np.testing.assert_array_equal(grid.assign(objs), [1])
+
+    def test_assign_axis_out_of_range(self):
+        grid = PartitionGrid(axis=5, low=0.0, high=1.0, n_partitions=2)
+        with pytest.raises(ValueError, match="axis 5"):
+            grid.assign(np.zeros((3, 2)))
+
+    def test_with_partitions(self):
+        grid = PartitionGrid(axis=0, low=0.0, high=1.0, n_partitions=8)
+        shrunk = grid.with_partitions(2)
+        assert shrunk.n_partitions == 2
+        assert shrunk.low == grid.low and shrunk.high == grid.high
+
+    def test_centers(self):
+        grid = PartitionGrid(axis=0, low=0.0, high=4.0, n_partitions=4)
+        np.testing.assert_allclose(grid.centers(), [0.5, 1.5, 2.5, 3.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionGrid(axis=0, low=1.0, high=0.0, n_partitions=2)
+        with pytest.raises(ValueError):
+            PartitionGrid(axis=-1, low=0.0, high=1.0, n_partitions=2)
+        with pytest.raises(ValueError):
+            PartitionGrid(axis=0, low=0.0, high=1.0, n_partitions=0)
+
+    @given(
+        st.integers(1, 40),
+        st.floats(-100, 100),
+        st.floats(0.1, 100),
+        st.integers(1, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_assign_always_in_range(self, m, low, span, n_pts):
+        grid = PartitionGrid(axis=0, low=low, high=low + span, n_partitions=m)
+        rng = as_rng(0)
+        objs = rng.uniform(low - span, low + 2 * span, size=(n_pts, 2))
+        parts = grid.assign(objs)
+        assert parts.min() >= 0 and parts.max() < m
+
+
+class TestExpandingSchedule:
+    def test_paper_schedule(self):
+        assert expanding_schedule(20) == [20, 13, 8, 5, 3, 2, 1]
+
+    def test_always_ends_at_one(self):
+        for start in (2, 3, 7, 16, 50):
+            assert expanding_schedule(start)[-1] == 1
+
+    def test_strictly_decreasing(self):
+        sched = expanding_schedule(33, ratio=0.8)
+        assert all(b < a for a, b in zip(sched, sched[1:]))
+
+    def test_n_phases_resampling(self):
+        sched = expanding_schedule(20, n_phases=4)
+        assert len(sched) == 4
+        assert sched[0] == 20 and sched[-1] == 1
+        assert all(b < a for a, b in zip(sched, sched[1:]))
+
+    def test_single_phase(self):
+        assert expanding_schedule(20, n_phases=1) == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expanding_schedule(0)
+        with pytest.raises(ValueError):
+            expanding_schedule(10, ratio=1.5)
+        with pytest.raises(ValueError):
+            expanding_schedule(10, n_phases=0)
+
+    @given(st.integers(1, 100), st.floats(0.1, 0.9))
+    @settings(max_examples=80, deadline=None)
+    def test_schedule_properties(self, start, ratio):
+        sched = expanding_schedule(start, ratio=ratio)
+        assert sched[0] == start
+        assert sched[-1] == 1
+        assert all(b < a for a, b in zip(sched, sched[1:]))
+
+
+def make_partitioned(n=60, m=4, seed=0):
+    problem = ClusteredFeasibility(n_var=4)
+    pop = Population.random(problem, n, as_rng(seed))
+    grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=m)
+    return PartitionedPopulation(pop, grid), problem
+
+
+class TestPartitionedPopulation:
+    def test_partition_assignment_consistent(self):
+        parted, _ = make_partitioned()
+        pop = parted.population
+        expected = parted.grid.assign(pop.objectives)
+        np.testing.assert_array_equal(pop.partition, expected)
+
+    def test_occupancy_sums_to_population(self):
+        parted, _ = make_partitioned(n=50, m=5)
+        assert parted.occupancy().sum() == 50
+
+    def test_local_ranks_are_partitionwise_nds(self):
+        parted, _ = make_partitioned(n=80, m=4, seed=3)
+        pop = parted.population
+        for p in range(4):
+            members = parted.members_of(p)
+            if members.size == 0:
+                continue
+            rank0 = members[pop.rank[members] == 0]
+            mask = pareto_mask(pop.objectives[members], pop.violation[members])
+            np.testing.assert_array_equal(np.sort(rank0), np.sort(members[mask]))
+
+    def test_locally_superior_subset_of_members(self):
+        parted, _ = make_partitioned()
+        for p in range(parted.grid.n_partitions):
+            superior = parted.locally_superior(p)
+            members = parted.members_of(p)
+            assert set(superior.tolist()).issubset(set(members.tolist()))
+
+    def test_partitions_with_feasible(self):
+        parted, _ = make_partitioned(n=200, m=4, seed=1)
+        pop = parted.population
+        live = parted.partitions_with_feasible()
+        for p in live:
+            members = parted.members_of(int(p))
+            assert pop.feasible[members].any()
+
+    def test_local_truncate_respects_capacity(self):
+        parted, _ = make_partitioned(n=120, m=4, seed=2)
+        out = parted.local_truncate(10)
+        counts = np.bincount(
+            parted.grid.assign(out.objectives), minlength=4
+        )
+        assert np.all(counts <= 10)
+
+    def test_local_truncate_drops_non_live(self):
+        parted, _ = make_partitioned(n=80, m=4, seed=4)
+        out = parted.local_truncate(50, live_partitions=[0, 1])
+        parts = parted.grid.assign(out.objectives)
+        assert set(parts.tolist()).issubset({0, 1})
+
+    def test_local_truncate_prefers_low_rank(self):
+        parted, _ = make_partitioned(n=100, m=2, seed=5)
+        pop = parted.population
+        out = parted.local_truncate(3)
+        # All survivors should be among the lowest local ranks of their slice.
+        for p in range(2):
+            members = parted.members_of(p)
+            if members.size <= 3:
+                continue
+            kept_mask = np.isin(
+                np.arange(pop.size)[members], members
+            )
+            survivors_ranks = sorted(pop.rank[members])[:3]
+            assert max(survivors_ranks) <= np.median(pop.rank[members])
+
+    def test_local_truncate_invalid_capacity(self):
+        parted, _ = make_partitioned()
+        with pytest.raises(ValueError, match="capacity"):
+            parted.local_truncate(0)
+
+    def test_rebuild(self):
+        parted, problem = make_partitioned()
+        pop2 = Population.random(problem, 10, as_rng(9))
+        rebuilt = parted.rebuild(pop2)
+        assert rebuilt.population.size == 10
+        assert rebuilt.grid is parted.grid
+
+    def test_empty_population(self):
+        problem = SCH()
+        pop = Population.empty(problem.n_var, 2, 0)
+        grid = PartitionGrid(axis=0, low=0.0, high=1.0, n_partitions=3)
+        parted = PartitionedPopulation(pop, grid)
+        assert parted.occupancy().sum() == 0
+        assert parted.partitions_with_feasible().size == 0

@@ -1,0 +1,93 @@
+"""Hypothesis property tests on the Population container."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.individual import Population
+from repro.problems.base import Evaluation
+
+
+@st.composite
+def populations(draw):
+    n = draw(st.integers(0, 20))
+    n_var = draw(st.integers(1, 5))
+    n_obj = draw(st.integers(1, 3))
+    n_con = draw(st.integers(0, 2))
+    x = np.asarray(
+        draw(
+            st.lists(
+                st.lists(st.floats(-10, 10), min_size=n_var, max_size=n_var),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    ).reshape(n, n_var)
+    objs = np.asarray(
+        draw(
+            st.lists(
+                st.lists(st.floats(-10, 10), min_size=n_obj, max_size=n_obj),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    ).reshape(n, n_obj)
+    cons = np.asarray(
+        draw(
+            st.lists(
+                st.lists(st.floats(-1, 1), min_size=n_con, max_size=n_con),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    ).reshape(n, n_con)
+    ev = Evaluation(objectives=objs, constraints=cons)
+    return Population(x, ev)
+
+
+class TestPopulationProperties:
+    @given(populations())
+    @settings(max_examples=50, deadline=None)
+    def test_subset_of_everything_is_identity(self, pop):
+        dup = pop.subset(np.arange(pop.size))
+        np.testing.assert_array_equal(dup.x, pop.x)
+        np.testing.assert_array_equal(dup.objectives, pop.objectives)
+        np.testing.assert_array_equal(dup.violation, pop.violation)
+
+    @given(populations())
+    @settings(max_examples=50, deadline=None)
+    def test_concat_size_additive(self, pop):
+        merged = pop.concat(pop)
+        assert merged.size == 2 * pop.size
+
+    @given(populations())
+    @settings(max_examples=50, deadline=None)
+    def test_split_concat_roundtrip(self, pop):
+        if pop.size < 2:
+            return
+        k = pop.size // 2
+        merged = pop.subset(np.arange(k)).concat(pop.subset(np.arange(k, pop.size)))
+        np.testing.assert_array_equal(merged.x, pop.x)
+        np.testing.assert_array_equal(merged.violation, pop.violation)
+
+    @given(populations())
+    @settings(max_examples=50, deadline=None)
+    def test_feasibility_matches_violation(self, pop):
+        np.testing.assert_array_equal(pop.feasible, pop.violation <= 0)
+
+    @given(populations())
+    @settings(max_examples=50, deadline=None)
+    def test_pareto_front_subset_of_population(self, pop):
+        front = pop.pareto_front()
+        assert front.size <= pop.size
+        if pop.size and pop.feasible.any():
+            assert front.size >= 1
+
+    @given(populations())
+    @settings(max_examples=50, deadline=None)
+    def test_views_match_arrays(self, pop):
+        for i in range(min(pop.size, 3)):
+            view = pop[i]
+            np.testing.assert_array_equal(view.x, pop.x[i])
+            np.testing.assert_array_equal(view.objectives, pop.objectives[i])
+            assert view.violation == pop.violation[i]

@@ -1,0 +1,114 @@
+"""Tests for the quantile-partitioning extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantile_partitions import AdaptiveSACGA, QuantilePartitionGrid
+from repro.problems.synthetic import ClusteredFeasibility
+from repro.utils.rng import as_rng
+
+
+def clustered_values(n=400, seed=0):
+    """Objective rows whose axis-1 values bunch near 0.9."""
+    rng = as_rng(seed)
+    dense = rng.normal(0.9, 0.03, size=int(n * 0.8))
+    sparse = rng.uniform(0.0, 1.0, size=n - dense.size)
+    f2 = np.clip(np.concatenate([dense, sparse]), 0.0, 1.0)
+    return np.column_stack([rng.random(n), f2])
+
+
+class TestGridConstruction:
+    def test_fit_equal_occupancy(self):
+        objs = clustered_values()
+        grid = QuantilePartitionGrid.fit(objs, axis=1, n_partitions=5)
+        counts = np.bincount(grid.assign(objs), minlength=5)
+        # Quantile edges balance occupancy to within ~a few percent.
+        assert counts.min() > 0.7 * counts.max()
+
+    def test_unequal_widths_track_density(self):
+        objs = clustered_values()
+        grid = QuantilePartitionGrid.fit(objs, axis=1, n_partitions=5, low=0.0, high=1.0)
+        widths = grid.widths()
+        # The slice containing the dense cluster (around 0.9) is narrow.
+        dense_slice = grid.assign(np.array([[0.0, 0.9]]))[0]
+        assert widths[dense_slice] < widths.max() / 2
+
+    def test_pinned_outer_range(self):
+        objs = clustered_values()
+        grid = QuantilePartitionGrid.fit(objs, axis=1, n_partitions=4, low=0.0, high=1.0)
+        assert grid.low == 0.0
+        assert grid.high == 1.0
+
+    def test_assign_clamps(self):
+        grid = QuantilePartitionGrid(axis=0, edges=np.array([0.0, 0.5, 1.0]))
+        parts = grid.assign(np.array([[-1.0, 0], [2.0, 0], [0.25, 0]]))
+        np.testing.assert_array_equal(parts, [0, 1, 0])
+
+    def test_duplicate_quantiles_repaired(self):
+        # All values identical: edges must still be strictly increasing.
+        objs = np.column_stack([np.zeros(50), np.full(50, 0.5)])
+        grid = QuantilePartitionGrid.fit(objs, axis=1, n_partitions=4, low=0.0, high=1.0)
+        assert np.all(np.diff(grid.edges) > 0)
+        assert grid.n_partitions == 4
+
+    def test_with_partitions_falls_back_to_equal(self):
+        grid = QuantilePartitionGrid(axis=0, edges=np.array([0.0, 0.9, 1.0]))
+        expanded = grid.with_partitions(4)
+        np.testing.assert_allclose(np.diff(expanded.edges), 0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            QuantilePartitionGrid(axis=0, edges=np.array([0.0, 0.0, 1.0]))
+        with pytest.raises(ValueError, match="at least 2"):
+            QuantilePartitionGrid(axis=0, edges=np.array([1.0]))
+        with pytest.raises(ValueError, match="axis"):
+            QuantilePartitionGrid(axis=-1, edges=np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="empty"):
+            QuantilePartitionGrid.fit(np.zeros((0, 2)), axis=1, n_partitions=3)
+
+    def test_interface_parity_with_equal_grid(self):
+        """Same duck-typed surface as PartitionGrid (SACGA's contract)."""
+        grid = QuantilePartitionGrid(axis=1, edges=np.linspace(0, 1, 5))
+        assert grid.n_partitions == 4
+        assert grid.centers().shape == (4,)
+        assert grid.assign(np.array([[0, 0.3]]))[0] == 1
+
+
+class TestAdaptiveSACGA:
+    def make(self, seed=0, refit_every=10):
+        problem = ClusteredFeasibility(n_var=6)
+        grid = QuantilePartitionGrid(axis=1, edges=np.linspace(0.0, 1.0, 7))
+        return (
+            AdaptiveSACGA(
+                problem,
+                grid,
+                population_size=48,
+                seed=seed,
+                refit_every=refit_every,
+            ),
+            problem,
+        )
+
+    def test_runs_and_front_feasible(self):
+        algo, problem = self.make(seed=1)
+        result = algo.run(40)
+        assert result.algorithm == "AdaptiveSACGA"
+        assert result.front_size > 0
+        assert problem.evaluate(result.front_x).feasible.all()
+
+    def test_edges_actually_move(self):
+        algo, _ = self.make(seed=2, refit_every=5)
+        before = algo.grid.edges
+        algo.run(30)
+        after = algo.grid.edges
+        assert not np.allclose(before, after)
+        assert after[0] == before[0] and after[-1] == before[-1]  # pinned range
+
+    def test_refit_validation(self):
+        with pytest.raises(ValueError, match="refit_every"):
+            self.make(refit_every=0)
+
+    def test_deterministic(self):
+        r1 = self.make(seed=5)[0].run(25)
+        r2 = self.make(seed=5)[0].run(25)
+        np.testing.assert_array_equal(r1.front_objectives, r2.front_objectives)

@@ -1,0 +1,142 @@
+"""Tests for SACGA."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitions import PartitionGrid
+from repro.core.sacga import SACGA, SACGAConfig
+from repro.metrics.diversity import range_coverage
+from repro.problems.synthetic import ClusteredFeasibility, ZDT1
+
+
+def make_sacga(n_partitions=4, population=32, seed=0, **cfg):
+    problem = ClusteredFeasibility(n_var=6)
+    grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=n_partitions)
+    config = SACGAConfig(**cfg) if cfg else None
+    return SACGA(problem, grid, population_size=population, seed=seed, config=config), problem
+
+
+class TestConfiguration:
+    def test_rejects_small_n_per_partition(self):
+        with pytest.raises(ValueError, match="n_per_partition"):
+            make_sacga(n_per_partition=1)
+
+    def test_default_config(self):
+        algo, _ = make_sacga()
+        assert algo.config.n_per_partition == 5
+        assert algo.config.phase1_max_iterations == 100
+
+    def test_capacity_floor(self):
+        algo, _ = make_sacga(population=32)
+        assert algo._capacity(4) == 8
+        assert algo._capacity(100) == 2  # never below 2
+
+
+class TestRun:
+    def test_runs_and_returns_feasible_front(self):
+        algo, problem = make_sacga(seed=1)
+        result = algo.run(30)
+        assert result.algorithm == "SACGA"
+        assert result.front_size > 0
+        ev = problem.evaluate(result.front_x)
+        assert ev.feasible.all()
+
+    def test_deterministic(self):
+        r1 = make_sacga(seed=5)[0].run(20)
+        r2 = make_sacga(seed=5)[0].run(20)
+        np.testing.assert_array_equal(r1.front_objectives, r2.front_objectives)
+
+    def test_metadata_fields(self):
+        result = make_sacga(seed=2)[0].run(25)
+        meta = result.metadata
+        assert meta["n_partitions"] == 4
+        assert "gen_t" in meta and "span" in meta
+        assert meta["gen_t"] + meta["span"] >= 25
+        assert set(meta["gate"]) == {"k1", "k2", "alpha", "t_init", "n"}
+
+    def test_phase1_terminates_when_covered(self):
+        # ClusteredFeasibility has feasible designs in every x0 band, so
+        # phase 1 should end well before the cap.
+        algo, _ = make_sacga(population=64, seed=3)
+        result = algo.run(40)
+        assert result.metadata["gen_t"] < algo.config.phase1_max_iterations
+
+    def test_live_partitions_subset(self):
+        result = make_sacga(seed=4)[0].run(20)
+        live = result.metadata["live_partitions"]
+        assert set(live).issubset(set(range(4)))
+        assert len(live) >= 1
+
+    def test_history_has_phase_extras(self):
+        result = make_sacga(seed=6)[0].run(25)
+        phases = {rec.extras.get("phase") for rec in result.history if rec.extras}
+        assert 2.0 in phases
+        temps = [
+            rec.extras["temperature"]
+            for rec in result.history
+            if rec.extras.get("phase") == 2.0
+        ]
+        assert all(t1 >= t2 for t1, t2 in zip(temps, temps[1:]))
+
+    def test_population_bounded(self):
+        algo, _ = make_sacga(population=32, seed=7)
+        result = algo.run(20)
+        # Per-partition capacity times live partitions bounds the population.
+        capacity = algo._capacity(len(result.metadata["live_partitions"]))
+        assert result.population.size <= capacity * 4 + 1
+
+
+class TestOnUnconstrainedProblem:
+    def test_runs_on_zdt1(self):
+        problem = ZDT1(n_var=8)
+        grid = PartitionGrid(axis=0, low=0.0, high=1.0, n_partitions=4)
+        result = SACGA(problem, grid, population_size=32, seed=0).run(30)
+        assert result.front_size > 0
+        # Unconstrained: phase 1 terminates instantly (everything feasible).
+        assert result.metadata["gen_t"] == 0
+
+
+class TestDiversityClaim:
+    """The paper's core claim, in miniature: SACGA beats pure global
+    competition on coverage of the trade-off axis when feasibility is
+    clustered."""
+
+    def test_sacga_covers_more_than_nsga2(self):
+        from repro.core.nsga2 import NSGA2
+
+        problem_kwargs = dict(n_var=6, tightness=0.01)
+        budget, pop = 60, 48
+
+        nsga_cov, sacga_cov = [], []
+        for seed in (11, 12, 13):
+            p1 = ClusteredFeasibility(**problem_kwargs)
+            r1 = NSGA2(p1, population_size=pop, seed=seed).run(budget)
+            nsga_cov.append(
+                range_coverage(r1.front_objectives, axis=1, low=0.0, high=1.0)
+            )
+            p2 = ClusteredFeasibility(**problem_kwargs)
+            grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=6)
+            r2 = SACGA(p2, grid, population_size=pop, seed=seed).run(budget)
+            sacga_cov.append(
+                range_coverage(r2.front_objectives, axis=1, low=0.0, high=1.0)
+            )
+        assert np.median(sacga_cov) > np.median(nsga_cov)
+
+
+class TestMatingSelectionAblation:
+    def test_invalid_scheme_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="mating_selection"):
+            SACGAConfig(mating_selection="roulette")
+
+    def test_tournament_variant_runs(self):
+        algo, problem = make_sacga(seed=21, mating_selection="tournament")
+        result = algo.run(25)
+        assert result.front_size > 0
+        assert problem.evaluate(result.front_x).feasible.all()
+
+    def test_variants_explore_differently(self):
+        r_rank = make_sacga(seed=22, mating_selection="linear_rank")[0].run(20)
+        r_tour = make_sacga(seed=22, mating_selection="tournament")[0].run(20)
+        assert not np.array_equal(r_rank.population.x, r_tour.population.x)

@@ -1,0 +1,113 @@
+"""Tests for mating-selection schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    binary_tournament,
+    linear_rank_selection,
+    shuffle_for_mating,
+)
+from repro.utils.rng import as_rng
+
+
+class TestBinaryTournament:
+    def test_output_size_and_range(self):
+        rng = as_rng(0)
+        rank = np.array([0, 1, 2, 0, 1])
+        crowd = np.zeros(5)
+        picks = binary_tournament(rank, crowd, 100, rng)
+        assert picks.shape == (100,)
+        assert picks.min() >= 0 and picks.max() < 5
+
+    def test_lower_rank_always_beats_higher(self):
+        rng = as_rng(1)
+        rank = np.array([0, 5])
+        crowd = np.zeros(2)
+        picks = binary_tournament(rank, crowd, 2000, rng)
+        # Index 1 can only win a (1,1) pairing, i.e. ~25% of draws.
+        assert (picks == 0).mean() > 0.6
+
+    def test_crowding_breaks_rank_ties(self):
+        rng = as_rng(2)
+        rank = np.zeros(2, dtype=int)
+        crowd = np.array([10.0, 0.0])
+        picks = binary_tournament(rank, crowd, 2000, rng)
+        assert (picks == 0).mean() > 0.6
+
+    def test_selection_pressure_statistics(self):
+        rng = as_rng(3)
+        rank = np.arange(10)
+        crowd = np.zeros(10)
+        picks = binary_tournament(rank, crowd, 20000, rng)
+        counts = np.bincount(picks, minlength=10)
+        assert counts[0] > counts[5] > counts[9]
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            binary_tournament(np.zeros(0), np.zeros(0), 5, as_rng(0))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            binary_tournament(np.zeros(3), np.zeros(3), -1, as_rng(0))
+
+
+class TestLinearRankSelection:
+    def test_output_size_and_range(self):
+        rng = as_rng(0)
+        picks = linear_rank_selection(np.array([3, 1, 2]), 50, rng)
+        assert picks.shape == (50,)
+        assert set(np.unique(picks)).issubset({0, 1, 2})
+
+    def test_best_selected_most_often(self):
+        rng = as_rng(1)
+        rank = np.array([2.0, 0.0, 1.0])  # index 1 is best
+        picks = linear_rank_selection(rank, 30000, rng)
+        counts = np.bincount(picks, minlength=3)
+        assert counts[1] > counts[2] > counts[0]
+
+    def test_pressure_ratio_matches_baker(self):
+        rng = as_rng(2)
+        n = 20
+        rank = np.arange(n, dtype=float)
+        picks = linear_rank_selection(rank, 200000, rng, selection_pressure=1.8)
+        counts = np.bincount(picks, minlength=n).astype(float)
+        ratio = counts[0] / counts[-1]
+        # Expected 1.8 / 0.2 = 9; allow sampling slack.
+        assert 6.0 < ratio < 13.0
+
+    def test_uniform_at_pressure_one(self):
+        rng = as_rng(3)
+        picks = linear_rank_selection(np.arange(5), 50000, rng, selection_pressure=1.0)
+        counts = np.bincount(picks, minlength=5)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_single_individual(self):
+        picks = linear_rank_selection(np.array([0.0]), 7, as_rng(0))
+        np.testing.assert_array_equal(picks, np.zeros(7, dtype=int))
+
+    def test_float_ranks_supported(self):
+        picks = linear_rank_selection(np.array([0.5, 0.1, 0.9]), 100, as_rng(0))
+        assert picks.shape == (100,)
+
+    def test_invalid_pressure_rejected(self):
+        with pytest.raises(ValueError, match="selection_pressure"):
+            linear_rank_selection(np.zeros(3), 5, as_rng(0), selection_pressure=2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            linear_rank_selection(np.zeros(0), 5, as_rng(0))
+
+
+class TestShuffleForMating:
+    def test_is_permutation(self):
+        rng = as_rng(0)
+        idx = np.arange(20)
+        shuffled = shuffle_for_mating(idx, rng)
+        np.testing.assert_array_equal(np.sort(shuffled), idx)
+
+    def test_preserves_multiplicity(self):
+        rng = as_rng(1)
+        idx = np.array([3, 3, 5, 7])
+        shuffled = shuffle_for_mating(idx, rng)
+        assert sorted(shuffled.tolist()) == [3, 3, 5, 7]

@@ -1,0 +1,139 @@
+"""Tests for early termination (request_stop / StagnationStop)."""
+
+import numpy as np
+import pytest
+
+from repro.core.callbacks import StagnationStop
+from repro.core.mesacga import MESACGA
+from repro.core.nsga2 import NSGA2
+from repro.core.partitions import PartitionGrid
+from repro.core.sacga import SACGA, SACGAConfig
+from repro.problems.synthetic import SCH, ClusteredFeasibility
+
+
+class StopAt:
+    """Callback requesting a stop at a fixed generation."""
+
+    def __init__(self, optimizer, generation):
+        self.optimizer = optimizer
+        self.generation = generation
+
+    def __call__(self, gen, population):
+        if gen >= self.generation:
+            self.optimizer.request_stop()
+
+
+class TestRequestStop:
+    def test_nsga2_stops_early(self):
+        algo = NSGA2(SCH(), population_size=16, seed=0)
+        algo.add_callback(StopAt(algo, 5))
+        result = algo.run(50)
+        last_gen = result.history[-1].generation
+        assert last_gen <= 6
+        assert result.front_size > 0
+
+    def test_sacga_stops_early(self):
+        problem = ClusteredFeasibility(n_var=6)
+        algo = SACGA(
+            problem,
+            PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=4),
+            population_size=24,
+            seed=0,
+            config=SACGAConfig(phase1_max_iterations=5),
+        )
+        algo.add_callback(StopAt(algo, 10))
+        result = algo.run(100)
+        assert result.history[-1].generation <= 11
+
+    def test_mesacga_stops_early(self):
+        problem = ClusteredFeasibility(n_var=6)
+        algo = MESACGA(
+            problem,
+            axis=1,
+            low=0.0,
+            high=1.0,
+            partition_schedule=[4, 2, 1],
+            population_size=24,
+            seed=0,
+            config=SACGAConfig(phase1_max_iterations=3),
+        )
+        algo.add_callback(StopAt(algo, 8))
+        result = algo.run(60)
+        assert result.history[-1].generation <= 9
+
+    def test_flag_resets_between_runs(self):
+        algo = NSGA2(SCH(), population_size=16, seed=0)
+        algo.request_stop()
+        result = algo.run(5)
+        # run() clears the stale request; the run proceeds fully.
+        assert result.history[-1].generation == 5
+        assert not algo.stop_requested
+
+
+class TestStagnationStop:
+    def test_stops_on_flat_metric(self):
+        algo = NSGA2(SCH(), population_size=16, seed=1)
+        stopper = StagnationStop(
+            algo,
+            metric_fn=lambda front: 1.0,  # never improves
+            patience=2,
+            check_every=2,
+            warmup=2,
+        )
+        algo.add_callback(stopper)
+        result = algo.run(100)
+        assert stopper.stopped_at is not None
+        assert result.history[-1].generation < 100
+
+    def test_does_not_stop_while_improving(self):
+        algo = NSGA2(SCH(), population_size=24, seed=2)
+        counter = {"n": 0}
+
+        def improving(front):
+            counter["n"] += 1
+            return float(counter["n"])
+
+        stopper = StagnationStop(
+            algo, metric_fn=improving, patience=2, check_every=2, warmup=0
+        )
+        algo.add_callback(stopper)
+        result = algo.run(30)
+        assert stopper.stopped_at is None
+        assert result.history[-1].generation == 30
+
+    def test_warmup_respected(self):
+        algo = NSGA2(SCH(), population_size=16, seed=3)
+        stopper = StagnationStop(
+            algo, metric_fn=lambda f: 1.0, patience=1, check_every=1, warmup=20
+        )
+        algo.add_callback(stopper)
+        algo.run(25)
+        assert stopper.stopped_at is not None
+        assert stopper.stopped_at > 20
+
+    def test_validation(self):
+        algo = NSGA2(SCH(), population_size=16, seed=0)
+        with pytest.raises(ValueError, match="patience"):
+            StagnationStop(algo, patience=0)
+        with pytest.raises(ValueError, match="check_every"):
+            StagnationStop(algo, check_every=0)
+
+    def test_min_delta_counts_small_gains_as_stagnant(self):
+        algo = NSGA2(SCH(), population_size=16, seed=4)
+        counter = {"n": 0}
+
+        def barely_improving(front):
+            counter["n"] += 1
+            return 1.0 + counter["n"] * 1e-6
+
+        stopper = StagnationStop(
+            algo,
+            metric_fn=barely_improving,
+            patience=2,
+            min_delta=0.1,
+            check_every=1,
+            warmup=0,
+        )
+        algo.add_callback(stopper)
+        algo.run(40)
+        assert stopper.stopped_at is not None

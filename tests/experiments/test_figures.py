@@ -1,0 +1,115 @@
+"""Tests for the figure-reproduction registry (tiny budgets)."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import GenerationRecord, OptimizationResult
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureData,
+    figure2,
+    figure4,
+    phase_end_hypervolumes,
+)
+from repro.experiments.runner import Scale
+
+TINY = Scale(population=16, generations=6, n_mc=2, n_seeds=1, label="tiny")
+
+
+class TestRegistry:
+    def test_expected_ids(self):
+        assert set(ALL_FIGURES) == {
+            "fig2", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11",
+            "t1", "t2",
+        }
+
+    def test_all_callable_with_scale_kw(self):
+        import inspect
+
+        for fid, fn in ALL_FIGURES.items():
+            params = inspect.signature(fn).parameters
+            assert "scale" in params, fid
+
+
+class TestFigure4:
+    def test_analytic_no_ga_needed(self):
+        data = figure4(n=5, span=100, n_points=5)
+        assert data.figure_id == "Fig4"
+        assert len(data.rows) == 5
+        assert len(data.headers) == 6  # offset + i=1..5
+
+    def test_probability_values_match_paper_anchors(self):
+        data = figure4(n=5, span=100, n_points=3)
+        # Rows at offsets 0, 50, 100.
+        mid = data.rows[1]
+        assert mid[1] == pytest.approx(0.5, abs=1e-9)   # i=1 at span/2
+        assert mid[5] == pytest.approx(0.1, abs=1e-9)   # i=5 at span/2
+        end = data.rows[2]
+        assert end[5] == pytest.approx(0.95, abs=1e-9)  # i=5 at span
+
+    def test_render(self):
+        text = figure4(n=3, span=10, n_points=3).render()
+        assert "Fig4" in text and "i=3" in text
+
+
+class TestFigure2Smoke:
+    def test_tiny_run(self):
+        data = figure2(scale=TINY)
+        assert data.figure_id == "Fig2"
+        assert "coverage" in data.notes
+        assert data.headers == ["c_load_pF", "power_mW"]
+
+
+class TestFigureData:
+    def test_render_with_rows(self):
+        data = FigureData(
+            figure_id="X",
+            title="t",
+            headers=["a"],
+            rows=[[1.0]],
+            notes="note",
+        )
+        text = data.render()
+        assert "X: t" in text and "note" in text
+
+    def test_render_without_rows(self):
+        data = FigureData(figure_id="X", title="t")
+        assert data.render() == "== X: t =="
+
+
+class TestPhaseEndHypervolumes:
+    def make_result(self, records):
+        return OptimizationResult(
+            algorithm="MESACGA",
+            problem_name="p",
+            population=None,  # type: ignore[arg-type]
+            front_x=np.zeros((0, 1)),
+            front_objectives=np.zeros((0, 2)),
+            n_generations=0,
+            n_evaluations=0,
+            wall_time=0.0,
+            history=records,
+        )
+
+    def test_last_record_per_phase_wins(self):
+        front_a = np.array([[1e-3, 1e-12]])
+        front_b = np.array([[0.5e-3, 1e-12]])
+        records = [
+            GenerationRecord(1, 1, front_a, 10, {"phase": 1.0}),
+            GenerationRecord(2, 1, front_b, 20, {"phase": 1.0}),
+            GenerationRecord(3, 1, front_a, 30, {"phase": 2.0}),
+        ]
+        hv = phase_end_hypervolumes(self.make_result(records))
+        assert len(hv) == 2
+        assert hv[0] == pytest.approx(5.0)  # front_b in paper units
+        assert hv[1] == pytest.approx(10.0)
+
+    def test_empty_fronts_skipped(self):
+        records = [GenerationRecord(1, 0, np.zeros((0, 2)), 10, {"phase": 1.0})]
+        assert phase_end_hypervolumes(self.make_result(records)) == []
+
+    def test_phase_zero_ignored(self):
+        records = [
+            GenerationRecord(1, 1, np.array([[1e-3, 1e-12]]), 10, {"phase": 0.0})
+        ]
+        assert phase_end_hypervolumes(self.make_result(records)) == []

@@ -1,0 +1,45 @@
+"""Tests for the small helpers inside the figure registry."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import REF_POINT, _front_c_span, _front_xy
+
+
+class TestFrontXy:
+    def test_unit_conversion(self):
+        front = np.array([[0.5e-3, 2e-12]])  # 0.5 mW, deficit 2 pF
+        x, y = _front_xy(front)
+        assert x[0] == pytest.approx(3.0)  # c_load pF
+        assert y[0] == pytest.approx(0.5)  # power mW
+
+    def test_empty(self):
+        x, y = _front_xy(np.zeros((0, 2)))
+        assert x.size == 0 and y.size == 0
+
+    def test_vectorized(self):
+        front = np.column_stack(
+            [np.linspace(1e-4, 1e-3, 5), np.linspace(0, 5e-12, 5)]
+        )
+        x, y = _front_xy(front)
+        assert x.shape == (5,)
+        assert x[0] == pytest.approx(5.0)
+        assert x[-1] == pytest.approx(0.0)
+
+
+class TestFrontCSpan:
+    def test_formats_range(self):
+        front = np.array([[1e-3, 0.0], [1e-3, 4e-12]])
+        span = _front_c_span(front)
+        assert span == "1.00-5.00"
+
+    def test_empty_dash(self):
+        assert _front_c_span(np.zeros((0, 2))) == "-"
+
+
+class TestRefPoint:
+    def test_reference_point_dominates_realistic_fronts(self):
+        # The assertion metric's reference must sit beyond any front the
+        # sizing problem can produce (power < 2 mW, deficit <= 5 pF).
+        assert REF_POINT[0] == pytest.approx(2.0e-3)
+        assert REF_POINT[1] == pytest.approx(5.0e-12)

@@ -1,0 +1,148 @@
+"""Figure-function logic tests with a stubbed runner (no GA execution).
+
+These cover the series construction, table assembly and best-m /
+ordering logic of every expensive figure quickly by monkeypatching
+``run_one`` to return canned summaries.
+"""
+
+import numpy as np
+import pytest
+
+import repro.experiments.figures as figures
+from repro.core.results import GenerationRecord, OptimizationResult
+from repro.experiments.runner import RunSummary, Scale, score_front
+
+TINY = Scale(population=16, generations=10, n_mc=2, n_seeds=1, label="stub")
+
+
+def canned_front(c_loads_pF, powers_mW):
+    deficit = 5e-12 - np.asarray(c_loads_pF) * 1e-12
+    power = np.asarray(powers_mW) * 1e-3
+    return np.column_stack([power, deficit])
+
+
+def make_summary(front, algorithm="X", history=None):
+    result = OptimizationResult(
+        algorithm=algorithm,
+        problem_name="stub",
+        population=None,  # type: ignore[arg-type]
+        front_x=np.zeros((front.shape[0], 15)),
+        front_objectives=front,
+        n_generations=10,
+        n_evaluations=160,
+        wall_time=0.01,
+        history=history or [],
+    )
+    scores = score_front(front)
+    return RunSummary(
+        algorithm=algorithm,
+        seed=0,
+        hv_paper=scores["hv_paper"],
+        coverage=scores["coverage"],
+        cluster_4_5pF=scores["cluster_4_5pF"],
+        front_size=front.shape[0],
+        wall_time=0.01,
+        n_evaluations=160,
+        result=result,
+    )
+
+
+@pytest.fixture
+def stub_run_one(monkeypatch):
+    calls = []
+
+    fronts = {
+        "tpg": canned_front([4.8, 4.9, 5.0], [0.40, 0.41, 0.42]),
+        "sacga": canned_front([0.5, 1.5, 2.5, 3.5, 4.5], [0.30, 0.32, 0.34, 0.36, 0.38]),
+        "mesacga": canned_front(
+            [0.2, 1.0, 2.0, 3.0, 4.0, 5.0], [0.29, 0.31, 0.33, 0.35, 0.37, 0.39]
+        ),
+    }
+
+    def fake_run_one(name, experiment_id, scale=None, generations=None, **kw):
+        calls.append({"name": name, "id": experiment_id, "gens": generations, **kw})
+        history = [
+            GenerationRecord(
+                g,
+                10,
+                fronts[name][: 2 + g % 3],
+                g * 16,
+                {"phase": float(1 + g % 3), "n_partitions": 4.0},
+            )
+            for g in range(1, 7)
+        ]
+        return make_summary(fronts[name], algorithm=name.upper(), history=history)
+
+    monkeypatch.setattr(figures, "run_one", fake_run_one)
+    return calls
+
+
+class TestFigure5Stub:
+    def test_rows_and_series(self, stub_run_one):
+        data = figures.figure5(scale=TINY)
+        assert data.figure_id == "Fig5"
+        assert len(data.rows) == 2
+        assert data.series["sacga_front"].shape[0] == 5
+        assert "c_load (pF)" in data.notes
+
+
+class TestFigure6Stub:
+    def test_sweep_shape_and_best(self, stub_run_one):
+        data = figures.figure6(scale=TINY, partition_counts=[4, 8, 12])
+        assert [r[0] for r in data.rows] == [4, 8, 12]
+        assert "best m" in data.notes
+        assert len(stub_run_one) == 3
+        assert all(c["name"] == "sacga" for c in stub_run_one)
+
+    def test_budget_is_1_5x(self, stub_run_one):
+        figures.figure6(scale=TINY, partition_counts=[4])
+        assert stub_run_one[0]["gens"] == TINY.scaled_generations(1.5)
+
+
+class TestFigure8Stub:
+    def test_three_algorithms(self, stub_run_one):
+        data = figures.figure8(scale=TINY)
+        assert {r[0] for r in data.rows} == {"Only Global", "SACGA", "MESACGA"}
+        assert len(stub_run_one) == 3
+
+
+class TestFigure9Stub:
+    def test_budget_series(self, stub_run_one):
+        data = figures.figure9(scale=TINY, budgets=[0.5, 1.0])
+        assert data.series["iterations"].shape == (2,)
+        assert data.series["hv_paper"].shape == (2,)
+
+
+class TestFigure10Stub:
+    def test_phase_series_from_history(self, stub_run_one):
+        data = figures.figure10(scale=TINY, spans=[0.1])
+        (key,) = [k for k in data.series]
+        assert key.startswith("span=")
+        assert len(data.series[key]) == 3  # phases 1..3 in the stub history
+
+
+class TestFigure11Stub:
+    def test_two_rows(self, stub_run_one):
+        data = figures.figure11(scale=TINY)
+        assert [r[0] for r in data.rows] == ["SACGA m=16", "MESACGA"]
+        assert stub_run_one[0]["n_partitions"] == 16
+
+
+class TestT1Stub:
+    def test_ordering_note(self, stub_run_one):
+        data = figures.table_t1(scale=TINY, rungs=[0, 5])
+        assert len(data.rows) == 6  # 2 rungs x 3 algorithms
+        assert "ordering" in data.notes
+
+    def test_spec_names_in_rows(self, stub_run_one):
+        data = figures.table_t1(scale=TINY, rungs=[3])
+        assert all(row[0] == "spec-03" for row in data.rows)
+
+
+class TestT2Stub:
+    def test_overhead_rows(self, stub_run_one):
+        data = figures.table_t2(scale=TINY)
+        algos = [r[0] for r in data.rows]
+        assert algos == ["tpg", "sacga", "mesacga"]
+        tpg_overhead = data.rows[0][2]
+        assert tpg_overhead == pytest.approx(0.0)

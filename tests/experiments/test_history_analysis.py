@@ -1,0 +1,136 @@
+"""Tests for convergence-curve analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.nsga2 import NSGA2
+from repro.core.results import GenerationRecord, OptimizationResult
+from repro.experiments.history_analysis import (
+    ConvergenceCurve,
+    coverage_curve,
+    curve_from_history,
+    feasibility_curve,
+    first_feasible_generation,
+    hv_paper_curve,
+    hv_ref_curve,
+)
+from repro.problems.synthetic import ClusteredFeasibility
+
+
+def record(gen, front, n_feasible=5):
+    return GenerationRecord(
+        generation=gen,
+        n_feasible=n_feasible,
+        front_objectives=np.asarray(front, dtype=float),
+        n_evaluations=gen * 10,
+    )
+
+
+def make_result(history):
+    return OptimizationResult(
+        algorithm="X",
+        problem_name="stub",
+        population=None,  # type: ignore[arg-type]
+        front_x=np.zeros((0, 1)),
+        front_objectives=np.zeros((0, 2)),
+        n_generations=len(history),
+        n_evaluations=0,
+        wall_time=0.0,
+        history=list(history),
+    )
+
+
+class TestConvergenceCurve:
+    def test_final(self):
+        curve = ConvergenceCurve(np.array([0.0, 1.0]), np.array([2.0, 3.0]), "m")
+        assert curve.final == 3.0
+
+    def test_first_generation_reaching_above(self):
+        curve = ConvergenceCurve(
+            np.array([0.0, 5.0, 10.0]), np.array([0.1, 0.6, 0.9]), "cov"
+        )
+        assert curve.first_generation_reaching(0.5) == 5
+        assert curve.first_generation_reaching(0.95) is None
+
+    def test_first_generation_reaching_below(self):
+        curve = ConvergenceCurve(
+            np.array([0.0, 5.0]), np.array([10.0, 2.0]), "hv"
+        )
+        assert curve.first_generation_reaching(5.0, direction="below") == 5
+
+    def test_direction_validation(self):
+        curve = ConvergenceCurve(np.array([0.0]), np.array([1.0]), "m")
+        with pytest.raises(ValueError, match="direction"):
+            curve.first_generation_reaching(1.0, direction="sideways")
+
+    def test_improvement_over(self):
+        curve = ConvergenceCurve(
+            np.arange(4.0), np.array([1.0, 2.0, 3.0, 5.0]), "m"
+        )
+        assert curve.improvement_over(1) == 2.0
+        assert curve.improvement_over(3) == 4.0
+        with pytest.raises(ValueError, match="window"):
+            curve.improvement_over(4)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ConvergenceCurve(np.zeros(2), np.zeros(3), "m")
+
+
+class TestCurvesFromHistory:
+    def history(self):
+        return [
+            record(0, np.zeros((0, 2)), n_feasible=0),
+            record(5, [[1e-3, 2e-12]], n_feasible=3),
+            record(10, [[0.5e-3, 2e-12]], n_feasible=8),
+        ]
+
+    def test_skip_empty_fronts(self):
+        result = make_result(self.history())
+        curve = hv_paper_curve(result)
+        assert curve.generations.tolist() == [5.0, 10.0]
+        assert curve.values[1] < curve.values[0]  # converging
+
+    def test_hv_ref_curve_rises(self):
+        result = make_result(self.history())
+        curve = hv_ref_curve(result)
+        assert curve.values[1] > curve.values[0]
+
+    def test_coverage_curve(self):
+        result = make_result(self.history())
+        curve = coverage_curve(result)
+        assert curve.metric == "coverage"
+        assert np.all((curve.values >= 0) & (curve.values <= 1))
+
+    def test_feasibility_curve_keeps_empty_generations(self):
+        result = make_result(self.history())
+        curve = feasibility_curve(result)
+        assert curve.generations.tolist() == [0.0, 5.0, 10.0]
+        assert curve.values.tolist() == [0.0, 3.0, 8.0]
+
+    def test_first_feasible_generation(self):
+        result = make_result(self.history())
+        assert first_feasible_generation(result) == 5
+
+    def test_never_feasible(self):
+        result = make_result([record(0, np.zeros((0, 2)), n_feasible=0)])
+        assert first_feasible_generation(result) is None
+
+    def test_custom_metric(self):
+        result = make_result(self.history())
+        curve = curve_from_history(
+            result.history, lambda f: float(f[:, 0].min()), "min_power"
+        )
+        assert curve.metric == "min_power"
+        assert curve.values[-1] == pytest.approx(0.5e-3)
+
+
+class TestOnRealRun:
+    def test_curves_from_actual_optimizer(self):
+        problem = ClusteredFeasibility(n_var=6)
+        result = NSGA2(problem, population_size=24, seed=0).run(20)
+        cov = coverage_curve(result, axis=1, low=0.0, high=1.0)
+        feas = feasibility_curve(result)
+        assert cov.values.size > 0
+        assert feas.values[-1] == 24  # everything feasible by the end
+        assert first_feasible_generation(result) is not None

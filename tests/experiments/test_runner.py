@@ -1,0 +1,163 @@
+"""Tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.mesacga import MESACGA
+from repro.core.nsga2 import NSGA2
+from repro.core.sacga import SACGA
+from repro.experiments.runner import (
+    PAPER_HV_SCALE,
+    Scale,
+    make_algorithm,
+    make_problem,
+    median_hv,
+    run_one,
+    score_front,
+)
+
+
+TINY = Scale(population=16, generations=5, n_mc=2, n_seeds=1, label="tiny")
+
+
+class TestScale:
+    def test_defaults(self):
+        scale = Scale()
+        assert scale.label == "reduced"
+        assert scale.population < Scale.full().population
+
+    def test_full(self):
+        full = Scale.full()
+        assert full.generations == 800
+        assert full.n_seeds >= 2
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert Scale.from_env().label == "reduced"
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert Scale.from_env().label == "full"
+
+    def test_scaled_generations(self):
+        scale = Scale(generations=120)
+        assert scale.scaled_generations(1.5) == 180
+        assert scale.scaled_generations(0.001) == 10  # floor
+
+
+class TestFactories:
+    def test_make_problem_uses_scale_mc(self):
+        problem = make_problem(scale=TINY)
+        assert problem.sampler.n_samples == 2
+
+    def test_make_algorithm_types(self):
+        problem = make_problem(scale=TINY)
+        assert isinstance(make_algorithm("tpg", problem, TINY, 1), NSGA2)
+        assert isinstance(make_algorithm("nsga-ii", problem, TINY, 1), NSGA2)
+        assert isinstance(
+            make_algorithm("sacga", problem, TINY, 1, n_partitions=4), SACGA
+        )
+        assert isinstance(make_algorithm("mesacga", problem, TINY, 1), MESACGA)
+
+    def test_unknown_algorithm(self):
+        problem = make_problem(scale=TINY)
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            make_algorithm("spea2", problem, TINY, 1)
+
+
+class TestScoreFront:
+    def test_empty_front(self):
+        scores = score_front(np.zeros((0, 2)))
+        assert scores["hv_paper"] == float("inf")
+        assert scores["coverage"] == 0.0
+
+    def test_full_coverage_front(self):
+        # One point per coverage bin (bin centers avoid edge jitter).
+        power = np.linspace(3e-4, 6e-4, 20)
+        deficit = (np.arange(20) + 0.5) / 20.0 * 5e-12
+        scores = score_front(np.column_stack([power, deficit]))
+        assert scores["coverage"] == 1.0
+        assert np.isfinite(scores["hv_paper"])
+
+    def test_paper_units(self):
+        # One point: 0.5 mW, deficit 2 pF -> 5 * 2 = 10 units.
+        scores = score_front(np.array([[0.5e-3, 2e-12]]))
+        assert scores["hv_paper"] == pytest.approx(10.0)
+
+    def test_cluster_fraction_metric(self):
+        front = np.array([[4e-4, 0.5e-12], [5e-4, 4.5e-12]])
+        scores = score_front(front)
+        assert scores["cluster_4_5pF"] == pytest.approx(0.5)
+
+
+class TestRunOne:
+    def test_tpg_tiny_run(self):
+        summary = run_one("tpg", "unit-test", scale=TINY)
+        assert summary.algorithm == "NSGA-II"
+        assert summary.n_evaluations == 16 * 6
+        assert summary.wall_time > 0
+
+    def test_seed_stability(self):
+        a = run_one("tpg", "unit-test", scale=TINY, seed_index=0)
+        b = run_one("tpg", "unit-test", scale=TINY, seed_index=0)
+        assert a.seed == b.seed
+        np.testing.assert_array_equal(
+            a.result.front_objectives, b.result.front_objectives
+        )
+
+    def test_distinct_experiments_distinct_seeds(self):
+        a = run_one("tpg", "exp-a", scale=TINY)
+        b = run_one("tpg", "exp-b", scale=TINY)
+        assert a.seed != b.seed
+
+
+class TestMedianHv:
+    def test_median_of_finite(self):
+        class S:
+            def __init__(self, hv):
+                self.hv_paper = hv
+
+        assert median_hv([S(1.0), S(3.0), S(np.inf)]) == 2.0
+
+    def test_all_infinite(self):
+        class S:
+            hv_paper = float("inf")
+
+        assert median_hv([S(), S()]) == float("inf")
+
+
+def test_paper_hv_scale_units():
+    assert PAPER_HV_SCALE == (1.0e-4, 1.0e-12)
+
+
+class TestBudgetScaledDefaults:
+    def test_phase1_cap_proportional(self):
+        from repro.experiments.runner import default_phase1_cap
+
+        assert default_phase1_cap(1250) == 250
+        assert default_phase1_cap(200) == 40
+        assert default_phase1_cap(20) == 10  # floor
+
+    def test_partition_schedule_by_scale(self):
+        from repro.experiments.runner import default_partition_schedule
+        from repro.core.mesacga import PAPER_SCHEDULE
+
+        assert tuple(default_partition_schedule(Scale.full())) == PAPER_SCHEDULE
+        reduced = default_partition_schedule(Scale())
+        assert reduced[0] < 20 and reduced[-1] == 1
+
+    def test_make_algorithm_derives_phase1_from_generations(self):
+        problem = make_problem(scale=TINY)
+        algo = make_algorithm(
+            "sacga", problem, TINY, 1, n_partitions=4, generations=100
+        )
+        assert algo.config.phase1_max_iterations == 20
+
+    def test_explicit_config_wins(self):
+        from repro.core.sacga import SACGAConfig
+
+        problem = make_problem(scale=TINY)
+        config = SACGAConfig(phase1_max_iterations=3)
+        algo = make_algorithm(
+            "sacga", problem, TINY, 1, n_partitions=4,
+            generations=100, config=config,
+        )
+        assert algo.config.phase1_max_iterations == 3

@@ -1,0 +1,95 @@
+"""Tests for multi-seed statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import (
+    PairedComparison,
+    ordering_table,
+    paired_comparison,
+    sign_test_p_value,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.median == 3.0
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        assert s.n == 5
+        assert s.iqr == pytest.approx(2.0)
+
+    def test_nans_excluded(self):
+        s = summarize([1.0, float("nan"), 3.0])
+        assert s.n == 2
+        assert s.median == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+        with pytest.raises(ValueError, match="empty"):
+            summarize([float("nan")])
+
+
+class TestSignTest:
+    def test_balanced_is_one(self):
+        assert sign_test_p_value(3, 3) == 1.0
+
+    def test_no_pairs_is_one(self):
+        assert sign_test_p_value(0, 0) == 1.0
+
+    def test_extreme_is_small(self):
+        assert sign_test_p_value(10, 0) == pytest.approx(2 / 1024)
+
+    def test_known_value(self):
+        # 5 wins, 1 loss: 2 * P(X >= 5 | n=6) = 2 * (6 + 1)/64.
+        assert sign_test_p_value(5, 1) == pytest.approx(2 * 7 / 64)
+
+    def test_symmetry(self):
+        assert sign_test_p_value(7, 2) == sign_test_p_value(2, 7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sign_test_p_value(-1, 2)
+
+
+class TestPairedComparison:
+    def test_counts(self):
+        cmp = paired_comparison([3, 2, 5, 4], [1, 2, 4, 5])
+        assert (cmp.wins, cmp.losses, cmp.ties) == (2, 1, 1)
+        assert cmp.n == 4
+
+    def test_direction_flip(self):
+        # Lower is better (paper hypervolume): smaller values win.
+        cmp = paired_comparison([1.0, 1.0], [2.0, 2.0], higher_is_better=False)
+        assert cmp.wins == 2 and cmp.losses == 0
+
+    def test_tie_tolerance(self):
+        cmp = paired_comparison([1.0], [1.05], tie_tolerance=0.1)
+        assert cmp.ties == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            paired_comparison([1.0], [1.0, 2.0])
+
+    def test_favors_a(self):
+        strong = PairedComparison(wins=9, losses=0, ties=0, p_value=0.004)
+        weak = PairedComparison(wins=2, losses=1, ties=0, p_value=1.0)
+        assert strong.favors_a()
+        assert not weak.favors_a()
+
+
+class TestOrderingTable:
+    def test_renders_all_pairs(self):
+        rng = np.random.default_rng(0)
+        table = ordering_table(
+            {
+                "mesacga": (rng.random(8) + 1.0).tolist(),
+                "sacga": (rng.random(8) + 0.8).tolist(),
+                "tpg": rng.random(8).tolist(),
+            }
+        )
+        assert "mesacga vs sacga" in table
+        assert "sacga vs tpg" in table
+        assert "median" in table

@@ -1,0 +1,117 @@
+"""Tests for the DesignSurface API."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import OptimizationResult
+from repro.experiments.tradeoff import DesignSurface
+
+
+def make_surface(c_loads_pF, powers_mW, c_max=5e-12):
+    c = np.asarray(c_loads_pF) * 1e-12
+    p = np.asarray(powers_mW) * 1e-3
+    x = np.arange(len(c), dtype=float).reshape(-1, 1)
+    return DesignSurface(x, c, p, c_load_max=c_max)
+
+
+def make_result(c_loads_pF, powers_mW):
+    c = np.asarray(c_loads_pF) * 1e-12
+    p = np.asarray(powers_mW) * 1e-3
+    front = np.column_stack([p, 5e-12 - c])
+    return OptimizationResult(
+        algorithm="X",
+        problem_name="stub",
+        population=None,  # type: ignore[arg-type]
+        front_x=np.arange(len(c), dtype=float).reshape(-1, 1),
+        front_objectives=front,
+        n_generations=1,
+        n_evaluations=1,
+        wall_time=0.0,
+    )
+
+
+class TestConstruction:
+    def test_sorted_by_load(self):
+        surface = make_surface([3.0, 1.0, 5.0], [0.4, 0.3, 0.5])
+        np.testing.assert_allclose(surface.c_load * 1e12, [1.0, 3.0, 5.0])
+
+    def test_dominated_designs_dropped(self):
+        # (2 pF, 0.5 mW) is dominated by (3 pF, 0.4 mW).
+        surface = make_surface([2.0, 3.0], [0.5, 0.4])
+        assert surface.size == 1
+        assert surface.load_range[0] == pytest.approx(3e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            make_surface([], [])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            DesignSurface(np.zeros((2, 1)), np.zeros(3), np.zeros(3))
+
+    def test_from_results_merges(self):
+        a = make_result([1.0, 2.0], [0.30, 0.35])
+        b = make_result([3.0, 4.0], [0.40, 0.45])
+        surface = DesignSurface.from_results([a, b])
+        assert surface.size == 4
+
+    def test_from_results_all_empty_rejected(self):
+        empty = make_result([], [])
+        with pytest.raises(ValueError, match="no feasible designs"):
+            DesignSurface.from_results([empty])
+
+
+class TestQueries:
+    def surface(self):
+        return make_surface([1.0, 2.0, 3.0, 5.0], [0.30, 0.33, 0.37, 0.45])
+
+    def test_design_for_picks_cheapest_capable(self):
+        x, c, p = self.surface().design_for(1.5e-12)
+        assert c == pytest.approx(2e-12)
+        assert p == pytest.approx(0.33e-3)
+
+    def test_design_for_exact_match(self):
+        _, c, _ = self.surface().design_for(3e-12)
+        assert c == pytest.approx(3e-12)
+
+    def test_design_for_beyond_range_raises(self):
+        with pytest.raises(ValueError, match="tops out"):
+            self.surface().design_for(6e-12)
+
+    def test_power_at_interpolates(self):
+        p = self.surface().power_at(2.5e-12)
+        assert p == pytest.approx(0.35e-3)
+
+    def test_power_at_below_range_clamps(self):
+        p = self.surface().power_at(0.1e-12)
+        assert p == pytest.approx(0.30e-3)
+
+    def test_power_at_above_range_nan(self):
+        assert np.isnan(self.surface().power_at(6e-12))
+
+    def test_power_at_vectorized(self):
+        p = self.surface().power_at(np.array([1e-12, 5e-12]))
+        np.testing.assert_allclose(p, [0.30e-3, 0.45e-3])
+
+
+class TestMergeAndIo:
+    def test_merged_with(self):
+        a = make_surface([1.0, 3.0], [0.30, 0.40])
+        b = make_surface([2.0, 3.0], [0.32, 0.38])  # better 3 pF design
+        merged = a.merged_with(b)
+        _, _, p3 = merged.design_for(3e-12)
+        assert p3 == pytest.approx(0.38e-3)
+
+    def test_merge_range_mismatch(self):
+        a = make_surface([1.0], [0.3])
+        b = make_surface([1.0], [0.3], c_max=4e-12)
+        with pytest.raises(ValueError, match="load ranges"):
+            a.merged_with(b)
+
+    def test_json_roundtrip(self, tmp_path):
+        surface = make_surface([1.0, 2.0], [0.3, 0.35])
+        path = surface.save(tmp_path / "sub" / "surface.json")
+        loaded = DesignSurface.load(path)
+        np.testing.assert_allclose(loaded.c_load, surface.c_load)
+        np.testing.assert_allclose(loaded.power, surface.power)
+        np.testing.assert_allclose(loaded.x, surface.x)

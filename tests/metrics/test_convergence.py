@@ -1,0 +1,76 @@
+"""Tests for GD / IGD / epsilon indicators."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.convergence import (
+    epsilon_indicator,
+    generational_distance,
+    inverted_generational_distance,
+)
+
+REFERENCE = np.column_stack([np.linspace(0, 1, 50), 1 - np.linspace(0, 1, 50)])
+
+
+class TestGenerationalDistance:
+    def test_zero_on_reference_subset(self):
+        assert generational_distance(REFERENCE[::5], REFERENCE) == pytest.approx(0.0)
+
+    def test_offset_front(self):
+        front = REFERENCE + 0.1
+        gd = generational_distance(front, REFERENCE)
+        assert 0.05 < gd < 0.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            generational_distance(np.zeros((0, 2)), REFERENCE)
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            generational_distance(np.zeros((2, 3)), REFERENCE)
+
+    def test_blind_to_coverage(self):
+        # GD does not punish clustering: one perfect point scores zero.
+        assert generational_distance(REFERENCE[:1], REFERENCE) == pytest.approx(0.0)
+
+
+class TestInvertedGenerationalDistance:
+    def test_zero_when_front_covers_reference(self):
+        assert inverted_generational_distance(REFERENCE, REFERENCE) == pytest.approx(0.0)
+
+    def test_punishes_clustering(self):
+        clustered = REFERENCE[:3]
+        spread_front = REFERENCE[::10]
+        assert inverted_generational_distance(
+            clustered, REFERENCE
+        ) > inverted_generational_distance(spread_front, REFERENCE)
+
+    def test_punishes_distance(self):
+        near = REFERENCE + 0.01
+        far = REFERENCE + 0.3
+        assert inverted_generational_distance(
+            far, REFERENCE
+        ) > inverted_generational_distance(near, REFERENCE)
+
+    def test_p_parameter(self):
+        front = REFERENCE[:5]
+        igd1 = inverted_generational_distance(front, REFERENCE, p=1.0)
+        igd2 = inverted_generational_distance(front, REFERENCE, p=2.0)
+        assert igd1 > 0 and igd2 > 0
+
+
+class TestEpsilonIndicator:
+    def test_zero_for_identical(self):
+        assert epsilon_indicator(REFERENCE, REFERENCE) == pytest.approx(0.0)
+
+    def test_uniform_shift(self):
+        front = REFERENCE + 0.2
+        assert epsilon_indicator(front, REFERENCE) == pytest.approx(0.2)
+
+    def test_negative_when_front_dominates(self):
+        front = REFERENCE - 0.1
+        assert epsilon_indicator(front, REFERENCE) == pytest.approx(-0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            epsilon_indicator(np.zeros((0, 2)), REFERENCE)

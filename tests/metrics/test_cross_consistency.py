@@ -1,0 +1,85 @@
+"""Cross-metric consistency: the two hypervolumes and the diversity
+metrics must agree on unambiguous comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.convergence import inverted_generational_distance
+from repro.metrics.diversity import range_coverage
+from repro.metrics.hypervolume import hypervolume_paper, hypervolume_ref
+
+REF = (10.0, 10.0)
+
+
+def staircase(n, scale=1.0, offset=0.0):
+    f1 = np.linspace(0.5, 5.0, n) * scale + offset
+    f2 = np.linspace(5.0, 0.5, n) * scale + offset
+    return np.column_stack([f1, f2])
+
+
+class TestNestedFronts:
+    """A front strictly closer to the origin (same shape/coverage) must be
+    better by BOTH hypervolume conventions."""
+
+    def test_uniform_shrink(self):
+        far = staircase(12)
+        near = staircase(12, scale=0.7)
+        assert hypervolume_paper(near) < hypervolume_paper(far)
+        assert hypervolume_ref(near, REF) > hypervolume_ref(far, REF)
+
+    def test_uniform_shift(self):
+        far = staircase(12, offset=1.0)
+        near = staircase(12)
+        assert hypervolume_paper(near) < hypervolume_paper(far)
+        assert hypervolume_ref(near, REF) > hypervolume_ref(far, REF)
+
+    @given(st.floats(0.3, 0.95), st.integers(3, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_shrink_property(self, scale, n):
+        far = staircase(n)
+        near = staircase(n, scale=scale)
+        assert hypervolume_paper(near) <= hypervolume_paper(far)
+        assert hypervolume_ref(near, REF) >= hypervolume_ref(far, REF)
+
+
+class TestCoverageDisagreement:
+    """The documented caveat: on fronts of very different coverage the two
+    conventions can disagree — a collapsed corner front can have tiny
+    origin-anchored volume while being clearly worse by the S-metric."""
+
+    def test_corner_collapse(self):
+        full = staircase(12)
+        corner = np.array([[4.8, 0.6], [5.0, 0.5]])  # high-f1 corner only
+        # Paper metric (naively compared) prefers the corner...
+        assert hypervolume_paper(corner) < hypervolume_paper(full)
+        # ...while the reference metric correctly prefers the full front.
+        assert hypervolume_ref(full, REF) > hypervolume_ref(corner, REF)
+        # And coverage/IGD agree with the reference metric.
+        assert range_coverage(full, axis=1, low=0, high=5.5) > range_coverage(
+            corner, axis=1, low=0, high=5.5
+        )
+        assert inverted_generational_distance(
+            corner, full
+        ) > inverted_generational_distance(full, full)
+
+
+class TestDegenerateInputs:
+    def test_single_point_front_consistency(self):
+        p = np.array([[2.0, 3.0]])
+        assert hypervolume_paper(p) == pytest.approx(6.0)
+        assert hypervolume_ref(p, REF) == pytest.approx(8.0 * 7.0)
+
+    def test_point_at_reference_and_origin(self):
+        origin = np.array([[0.0, 0.0]])
+        assert hypervolume_paper(origin) == 0.0
+        assert hypervolume_ref(origin, REF) == pytest.approx(100.0)
+
+    def test_metrics_permutation_invariant(self):
+        front = staircase(9)
+        perm = front[np.random.default_rng(0).permutation(9)]
+        assert hypervolume_paper(perm) == pytest.approx(hypervolume_paper(front))
+        assert hypervolume_ref(perm, REF) == pytest.approx(
+            hypervolume_ref(front, REF)
+        )

@@ -1,0 +1,109 @@
+"""Tests for the diversity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.diversity import (
+    cluster_fraction,
+    extent,
+    range_coverage,
+    spacing,
+    spread,
+)
+
+
+class TestRangeCoverage:
+    def test_full_coverage(self):
+        pts = np.column_stack([np.zeros(20), np.linspace(0, 1, 20)])
+        assert range_coverage(pts, axis=1, low=0.0, high=1.0, n_bins=10) == 1.0
+
+    def test_clustered_front_low_coverage(self):
+        pts = np.column_stack([np.zeros(20), np.linspace(0.9, 1.0, 20)])
+        cov = range_coverage(pts, axis=1, low=0.0, high=1.0, n_bins=10)
+        assert cov <= 0.2
+
+    def test_exact_bin_count(self):
+        pts = np.array([[0.0, 0.05], [0.0, 0.55]])
+        assert range_coverage(pts, axis=1, low=0.0, high=1.0, n_bins=10) == 0.2
+
+    def test_out_of_range_clamped(self):
+        pts = np.array([[0.0, -1.0], [0.0, 2.0]])
+        assert range_coverage(pts, axis=1, low=0.0, high=1.0, n_bins=4) == 0.5
+
+    def test_empty_front(self):
+        assert range_coverage(np.zeros((0, 2)), axis=0, low=0, high=1) == 0.0
+
+    def test_invalid_args(self):
+        pts = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="high"):
+            range_coverage(pts, axis=0, low=1.0, high=0.0)
+        with pytest.raises(ValueError, match="n_bins"):
+            range_coverage(pts, axis=0, low=0.0, high=1.0, n_bins=0)
+
+
+class TestClusterFraction:
+    def test_all_in_band(self):
+        pts = np.array([[0.0, 4.5], [0.0, 4.9]])
+        assert cluster_fraction(pts, axis=1, low=4.0, high=5.0) == 1.0
+
+    def test_half_in_band(self):
+        pts = np.array([[0.0, 1.0], [0.0, 4.5]])
+        assert cluster_fraction(pts, axis=1, low=4.0, high=5.0) == 0.5
+
+    def test_empty(self):
+        assert cluster_fraction(np.zeros((0, 2)), axis=1, low=0, high=1) == 0.0
+
+
+class TestSpacing:
+    def test_uniform_spacing_is_zero(self):
+        pts = np.column_stack([np.arange(10.0), 10.0 - np.arange(10.0)])
+        assert spacing(pts) == pytest.approx(0.0, abs=1e-12)
+
+    def test_irregular_spacing_positive(self):
+        pts = np.array([[0, 10], [0.1, 9.9], [5, 5], [10, 0]], dtype=float)
+        assert spacing(pts) > 0.5
+
+    def test_fewer_than_two_points_nan(self):
+        assert np.isnan(spacing(np.array([[1.0, 2.0]])))
+
+
+class TestSpread:
+    def test_uniform_front_low_spread(self):
+        pts = np.column_stack([np.linspace(0, 1, 30), 1.0 - np.linspace(0, 1, 30)])
+        assert spread(pts) == pytest.approx(0.0, abs=1e-9)
+
+    def test_clustered_front_higher_spread(self):
+        uniform = np.column_stack([np.linspace(0, 1, 30), 1 - np.linspace(0, 1, 30)])
+        clustered = np.column_stack(
+            [np.r_[np.linspace(0, 0.1, 29), 1.0], 1 - np.r_[np.linspace(0, 0.1, 29), 1.0]]
+        )
+        assert spread(clustered) > spread(uniform)
+
+    def test_extremes_penalized(self):
+        pts = np.column_stack([np.linspace(0.4, 0.6, 10), 1 - np.linspace(0.4, 0.6, 10)])
+        ideal = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert spread(pts, ideal_extremes=ideal) > spread(pts)
+
+    def test_requires_two_objectives(self):
+        with pytest.raises(ValueError, match="2-objective"):
+            spread(np.zeros((4, 3)))
+
+    def test_single_point_nan(self):
+        assert np.isnan(spread(np.array([[0.5, 0.5]])))
+
+    def test_bad_extremes_shape(self):
+        pts = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="ideal_extremes"):
+            spread(pts, ideal_extremes=np.zeros((3, 2)))
+
+
+class TestExtent:
+    def test_envelope(self):
+        pts = np.array([[1.0, 5.0], [3.0, 2.0]])
+        lo, hi = extent(pts)
+        np.testing.assert_array_equal(lo, [1.0, 2.0])
+        np.testing.assert_array_equal(hi, [3.0, 5.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            extent(np.zeros((0, 2)))

@@ -1,0 +1,65 @@
+"""Additional hypervolume tests: 4-D slicing path and unit helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.hypervolume import (
+    hypervolume_paper,
+    hypervolume_ref,
+    paper_unit_scale,
+)
+
+
+class TestFourDimensional:
+    def test_single_box(self):
+        assert hypervolume_paper([[1.0, 2.0, 3.0, 0.5]]) == pytest.approx(3.0)
+
+    def test_union_by_inclusion_exclusion(self):
+        a = np.array([2.0, 1.0, 1.0, 1.0])
+        b = np.array([1.0, 2.0, 1.0, 1.0])
+        expected = a.prod() + b.prod() - np.minimum(a, b).prod()
+        assert hypervolume_paper([a, b]) == pytest.approx(expected)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0.3, 1.0, size=(5, 4))
+        exact = hypervolume_paper(pts)
+        samples = rng.uniform(0.0, 1.0, size=(120000, 4))
+        covered = np.zeros(samples.shape[0], dtype=bool)
+        for p in pts:
+            covered |= np.all(samples <= p, axis=1)
+        assert exact == pytest.approx(covered.mean(), abs=0.02)
+
+
+class TestPaperUnits:
+    def test_default_scale(self):
+        assert paper_unit_scale() == (1e-4, 1e-12)
+
+    def test_custom_scale(self):
+        assert paper_unit_scale(1e-3, 1e-9) == (1e-3, 1e-9)
+
+    def test_paper_magnitudes(self):
+        # A front like the paper's best (power 0.3-0.6 mW over 0-5 pF of
+        # deficit) lands in the paper's ~15-25 unit range.
+        power = np.linspace(0.3e-3, 0.6e-3, 25)
+        deficit = np.linspace(5e-12, 0.0, 25)
+        hv = hypervolume_paper(
+            np.column_stack([power, deficit]), scale=paper_unit_scale()
+        )
+        assert 10 < hv < 30
+
+
+class TestRefHypervolumeMore:
+    def test_ref_on_boundary_excluded(self):
+        # A point exactly on the reference contributes nothing.
+        assert hypervolume_ref([[2.0, 3.0]], [2.0, 3.0]) == 0.0
+
+    def test_three_dimensional_ref(self):
+        hv = hypervolume_ref([[0.0, 0.0, 0.0]], [1.0, 2.0, 3.0])
+        assert hv == pytest.approx(6.0)
+
+    def test_additivity_of_disjoint_boxes(self):
+        ref = [10.0, 10.0]
+        pts = [[0.0, 9.0], [9.0, 0.0]]
+        # Boxes (10,1) and (1,10) overlap in (1,1).
+        assert hypervolume_ref(pts, ref) == pytest.approx(10 + 10 - 1)

@@ -1,0 +1,151 @@
+"""Tests for the hypervolume metrics (paper variant and reference S-metric)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.hypervolume import (
+    hypervolume_paper,
+    hypervolume_ref,
+    paper_unit_scale,
+)
+
+
+class TestHypervolumePaper2D:
+    def test_single_point_is_box_area(self):
+        assert hypervolume_paper([[2.0, 3.0]]) == pytest.approx(6.0)
+
+    def test_staircase_union(self):
+        # Boxes (1,4) and (3,2): union = 4 + 3*2 - overlap(1*2) = 8.
+        pts = [[1.0, 4.0], [3.0, 2.0]]
+        assert hypervolume_paper(pts) == pytest.approx(8.0)
+
+    def test_nested_box_ignored(self):
+        # (1,1) lies inside the box of (2,2): union is just 4.
+        assert hypervolume_paper([[2.0, 2.0], [1.0, 1.0]]) == pytest.approx(4.0)
+
+    def test_duplicate_points(self):
+        assert hypervolume_paper([[2.0, 2.0], [2.0, 2.0]]) == pytest.approx(4.0)
+
+    def test_empty_front(self):
+        assert hypervolume_paper(np.zeros((0, 2))) == 0.0
+
+    def test_zero_coordinate_degenerate_box(self):
+        assert hypervolume_paper([[0.0, 5.0]]) == pytest.approx(0.0)
+
+    def test_scale_units(self):
+        # 0.5 mW and 2 pF in paper units (0.1 mW x pF): 5 * 2 = 10.
+        pts = [[0.5e-3, 2.0e-12]]
+        assert hypervolume_paper(pts, scale=paper_unit_scale()) == pytest.approx(10.0)
+
+    def test_lower_is_better_for_converged_fronts(self):
+        far = [[2.0, 4.0], [3.0, 3.0], [4.0, 2.0]]
+        near = [[1.0, 2.0], [1.5, 1.5], [2.0, 1.0]]
+        assert hypervolume_paper(near) < hypervolume_paper(far)
+
+    def test_negative_points_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            hypervolume_paper([[-1.0, 2.0]])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            hypervolume_paper([[np.nan, 1.0]])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            hypervolume_paper([[1.0, 1.0]], scale=(1.0,))
+        with pytest.raises(ValueError, match="positive"):
+            hypervolume_paper([[1.0, 1.0]], scale=(1.0, -1.0))
+
+
+class TestHypervolumePaperHigherD:
+    def test_1d(self):
+        assert hypervolume_paper([[3.0], [5.0], [1.0]]) == pytest.approx(5.0)
+
+    def test_3d_single_box(self):
+        assert hypervolume_paper([[2.0, 3.0, 4.0]]) == pytest.approx(24.0)
+
+    def test_3d_union_matches_inclusion_exclusion(self):
+        a = np.array([2.0, 3.0, 1.0])
+        b = np.array([1.0, 2.0, 4.0])
+        expected = a.prod() + b.prod() - np.minimum(a, b).prod()
+        assert hypervolume_paper([a, b]) == pytest.approx(expected)
+
+    def test_3d_against_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0.2, 1.0, size=(6, 3))
+        exact = hypervolume_paper(pts)
+        samples = rng.uniform(0.0, 1.0, size=(200000, 3))
+        covered = np.zeros(samples.shape[0], dtype=bool)
+        for p in pts:
+            covered |= np.all(samples <= p, axis=1)
+        assert exact == pytest.approx(covered.mean(), abs=0.01)
+
+
+class TestHypervolumeRef:
+    def test_single_point(self):
+        assert hypervolume_ref([[1.0, 1.0]], reference=[3.0, 4.0]) == pytest.approx(6.0)
+
+    def test_point_outside_reference_ignored(self):
+        hv = hypervolume_ref([[1.0, 1.0], [5.0, 0.0]], reference=[3.0, 3.0])
+        assert hv == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert hypervolume_ref(np.zeros((0, 2)), [1.0, 1.0]) == 0.0
+
+    def test_all_outside(self):
+        assert hypervolume_ref([[5.0, 5.0]], [1.0, 1.0]) == 0.0
+
+    def test_staircase(self):
+        pts = [[1.0, 2.0], [2.0, 1.0]]
+        # vs ref (3,3): boxes (2,1) and (1,2): union = 2 + 2 - 1 = 3.
+        assert hypervolume_ref(pts, [3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_higher_is_better(self):
+        ref = [4.0, 4.0]
+        near = [[1.0, 1.0]]
+        far = [[3.0, 3.0]]
+        assert hypervolume_ref(near, ref) > hypervolume_ref(far, ref)
+
+    def test_reference_shape_mismatch(self):
+        with pytest.raises(ValueError, match="reference"):
+            hypervolume_ref([[1.0, 1.0]], [1.0, 1.0, 1.0])
+
+    def test_dominated_point_adds_nothing(self):
+        ref = [5.0, 5.0]
+        base = hypervolume_ref([[1.0, 1.0]], ref)
+        with_dominated = hypervolume_ref([[1.0, 1.0], [2.0, 2.0]], ref)
+        assert with_dominated == pytest.approx(base)
+
+
+positive_fronts = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 15), st.integers(1, 3)),
+    elements=st.floats(0.0, 100.0, allow_nan=False),
+)
+
+
+class TestHypervolumeProperties:
+    @given(positive_fronts)
+    @settings(max_examples=60, deadline=None)
+    def test_paper_hv_bounded_by_sum_and_max(self, pts):
+        hv = hypervolume_paper(pts)
+        volumes = np.prod(pts, axis=1)
+        assert hv <= volumes.sum() + 1e-6
+        assert hv >= volumes.max() - 1e-9
+
+    @given(positive_fronts)
+    @settings(max_examples=60, deadline=None)
+    def test_paper_hv_monotone_under_union(self, pts):
+        hv_all = hypervolume_paper(pts)
+        hv_some = hypervolume_paper(pts[: max(1, pts.shape[0] // 2)])
+        assert hv_all >= hv_some - 1e-9
+
+    @given(positive_fronts)
+    @settings(max_examples=40, deadline=None)
+    def test_ref_hv_non_negative_and_bounded(self, pts):
+        ref = np.full(pts.shape[1], 120.0)
+        hv = hypervolume_ref(pts, ref)
+        assert 0.0 <= hv <= np.prod(ref) + 1e-6

@@ -1,0 +1,100 @@
+"""Failure-injection tests: broken problems must fail loudly, and the
+optimizers must behave sanely at the edges of their configuration space."""
+
+import numpy as np
+import pytest
+
+from repro.core.nsga2 import NSGA2
+from repro.core.partitions import PartitionGrid
+from repro.core.sacga import SACGA, SACGAConfig
+from repro.problems.base import Problem
+from repro.problems.synthetic import ClusteredFeasibility
+
+
+class NaNObjectiveProblem(Problem):
+    """Returns NaN objectives for x0 > 0.5 — a typical model escape."""
+
+    def __init__(self):
+        super().__init__(n_var=2, n_obj=2, n_con=0, lower=[0, 0], upper=[1, 1])
+
+    def _evaluate(self, x):
+        f = np.column_stack([x[:, 0], 1 - x[:, 0]])
+        f[x[:, 0] > 0.5] = np.nan
+        return f, np.zeros((x.shape[0], 0))
+
+
+class InfConstraintProblem(Problem):
+    def __init__(self):
+        super().__init__(n_var=1, n_obj=1, n_con=1, lower=[0], upper=[1])
+
+    def _evaluate(self, x):
+        return x.copy(), np.full((x.shape[0], 1), np.inf)
+
+
+class TestTotalityGuard:
+    def test_nan_objectives_raise_with_row(self):
+        problem = NaNObjectiveProblem()
+        with pytest.raises(ValueError, match="non-finite objective .* row 1"):
+            problem.evaluate([[0.2, 0.0], [0.9, 0.0]])
+
+    def test_inf_constraints_raise(self):
+        with pytest.raises(ValueError, match="non-finite constraint"):
+            InfConstraintProblem().evaluate([[0.5]])
+
+    def test_clean_rows_still_pass(self):
+        problem = NaNObjectiveProblem()
+        ev = problem.evaluate([[0.2, 0.3]])
+        assert np.all(np.isfinite(ev.objectives))
+
+    def test_optimizer_surfaces_the_failure(self):
+        # The GA must not swallow a broken model: the run raises.
+        problem = NaNObjectiveProblem()
+        with pytest.raises(ValueError, match="non-finite"):
+            NSGA2(problem, population_size=16, seed=0).run(5)
+
+
+class TestDegenerateConfigurations:
+    def test_more_partitions_than_population(self):
+        problem = ClusteredFeasibility(n_var=4)
+        grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=32)
+        config = SACGAConfig(phase1_max_iterations=5)
+        result = SACGA(
+            problem, grid, population_size=8, seed=0, config=config
+        ).run(12)
+        # Capacity floor keeps every live partition workable.
+        assert result.population.size >= 4
+
+    def test_single_partition_degenerates_to_global(self):
+        problem = ClusteredFeasibility(n_var=4)
+        grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=1)
+        result = SACGA(problem, grid, population_size=24, seed=1).run(15)
+        assert result.front_size > 0
+
+    def test_zero_span_phase2(self):
+        # Budget smaller than phase 1: SACGA must still return cleanly.
+        problem = ClusteredFeasibility(n_var=4, tightness=0.005)
+        grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=6)
+        config = SACGAConfig(phase1_max_iterations=50)
+        result = SACGA(
+            problem, grid, population_size=16, seed=2, config=config
+        ).run(3)
+        assert result.n_generations == 3
+
+    def test_no_feasible_anywhere_returns_empty_front(self):
+        # A genuinely infeasible problem: the front stays empty but the
+        # run completes and the population carries decreasing violations.
+        class Impossible(Problem):
+            def __init__(self):
+                super().__init__(n_var=2, n_obj=2, n_con=1, lower=[0, 0], upper=[1, 1])
+
+            def _evaluate(self, x):
+                f = np.column_stack([x[:, 0], 1 - x[:, 0]])
+                g = 1.0 + x[:, 1:2]  # always > 0 -> always violated
+                return f, g
+
+        result = NSGA2(Impossible(), population_size=12, seed=3).run(5)
+        assert result.front_objectives.shape == (0, 2)
+        assert result.population.size == 12
+        assert (result.population.violation > 0).all()
+        # Constrained dominance still drives violation down.
+        assert result.population.violation.min() <= 1.2

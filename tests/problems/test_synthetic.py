@@ -1,0 +1,167 @@
+"""Tests for the synthetic MOO problems."""
+
+import numpy as np
+import pytest
+
+from repro.problems.synthetic import (
+    ALL_SYNTHETIC,
+    BNH,
+    CONSTR,
+    OSY,
+    SCH,
+    SRN,
+    TNK,
+    ZDT1,
+    ZDT2,
+    ZDT3,
+    ZDT6,
+    ClusteredFeasibility,
+    get_problem,
+)
+from repro.utils.pareto import pareto_mask
+from repro.utils.rng import as_rng
+
+
+class TestRegistry:
+    def test_all_instantiable(self):
+        for name, cls in ALL_SYNTHETIC.items():
+            problem = cls()
+            assert problem.n_var >= 1, name
+
+    def test_get_problem_case_insensitive(self):
+        assert isinstance(get_problem("zdt1"), ZDT1)
+        assert isinstance(get_problem("SCH"), SCH)
+
+    def test_get_problem_kwargs(self):
+        assert get_problem("ZDT1", n_var=12).n_var == 12
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown synthetic problem"):
+            get_problem("nope")
+
+    def test_evaluate_shapes_everywhere(self):
+        rng = as_rng(0)
+        for name, cls in ALL_SYNTHETIC.items():
+            problem = cls()
+            ev = problem.evaluate(problem.sample(16, rng))
+            assert ev.objectives.shape == (16, problem.n_obj), name
+            assert ev.constraints.shape == (16, problem.n_con), name
+            assert np.all(np.isfinite(ev.objectives)), name
+
+
+class TestKnownFronts:
+    def test_sch_front_values(self):
+        front = SCH().pareto_front(50)
+        # Front satisfies f2 = (sqrt(f1) - 2)^2.
+        np.testing.assert_allclose(front[:, 1], (np.sqrt(front[:, 0]) - 2) ** 2)
+
+    def test_zdt1_front_is_nondominated(self):
+        front = ZDT1().pareto_front(100)
+        assert pareto_mask(front).all()
+
+    def test_zdt2_front_is_nondominated(self):
+        assert pareto_mask(ZDT2().pareto_front(100)).all()
+
+    def test_zdt3_front_is_nondominated(self):
+        assert pareto_mask(ZDT3().pareto_front()).all()
+
+    def test_zdt6_front_is_nondominated(self):
+        assert pareto_mask(ZDT6().pareto_front(100)).all()
+
+    def test_zdt1_optimum_at_zero_tail(self):
+        problem = ZDT1()
+        x = np.zeros((5, problem.n_var))
+        x[:, 0] = np.linspace(0, 1, 5)
+        ev = problem.evaluate(x)
+        np.testing.assert_allclose(
+            ev.objectives[:, 1], 1 - np.sqrt(np.linspace(0, 1, 5)), atol=1e-12
+        )
+
+    def test_zdt6_matches_formula_at_tail_zero(self):
+        problem = ZDT6()
+        x = np.zeros((3, problem.n_var))
+        x[:, 0] = [0.1, 0.5, 0.9]
+        ev = problem.evaluate(x)
+        f1 = ev.objectives[:, 0]
+        np.testing.assert_allclose(ev.objectives[:, 1], 1 - f1**2, atol=1e-12)
+
+
+class TestConstrainedProblems:
+    def test_bnh_known_feasible_point(self):
+        ev = BNH().evaluate([[2.0, 1.0]])
+        assert ev.feasible[0]
+
+    def test_bnh_known_infeasible_point(self):
+        # Inside the forbidden disc around (8, -3)... x2 >= 0 so use g1:
+        # point near (5, 3) violates g1? (0)^2 + 9 - 25 < 0 -> feasible;
+        # try (1, 0.1): (1-5)^2 + 0.01 - 25 = -8.99 feasible. Use g2:
+        # g2 = 7.7 - ((x1-8)^2 + (x2+3)^2); at (5.0, 0.0): 7.7 - (9+9) < 0 ok.
+        # (5, 0.2): still fine; the infeasible pocket needs (x1-8)^2+(x2+3)^2 < 7.7
+        # e.g. x = (5.5, ...) out of bounds; use x1=5, x2=... min is (5-8)^2=9>7.7
+        # so g2 never binds inside the box; check g1 instead at (0.5, 3.0):
+        # (0.5-5)^2 + 9 - 25 = 4.25 > 0 -> infeasible.
+        ev = BNH().evaluate([[0.5, 3.0]])
+        assert not ev.feasible[0]
+
+    def test_tnk_constraint_boundary(self):
+        problem = TNK()
+        # (1, 0): g1 = -(1 - 1 - 0.1*cos(0)) = 0.1 > 0? cos(arctan(0/1)) = 1
+        # g1 = -(1 + 0 - 1 - 0.1) = 0.1 -> infeasible by g1.
+        ev = problem.evaluate([[1.0, 1e-9]])
+        assert ev.constraints.shape == (1, 2)
+
+    def test_srn_feasible_sample_exists(self):
+        problem = SRN()
+        ev = problem.evaluate(problem.sample(500, as_rng(0)))
+        assert ev.feasible.any()
+
+    def test_osy_feasible_sample_exists(self):
+        problem = OSY()
+        ev = problem.evaluate(problem.sample(2000, as_rng(0)))
+        assert ev.feasible.any()
+
+    def test_constr_feasible_region(self):
+        ev = CONSTR().evaluate([[0.8, 2.0]])
+        assert ev.feasible[0]
+
+
+class TestClusteredFeasibility:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_var"):
+            ClusteredFeasibility(n_var=1)
+        with pytest.raises(ValueError, match="tightness"):
+            ClusteredFeasibility(tightness=0.6)
+        with pytest.raises(ValueError, match="drift"):
+            ClusteredFeasibility(drift=0.5)
+
+    def test_feasibility_gradient(self):
+        """The diversity trap: feasibility rate rises steeply with x0."""
+        problem = ClusteredFeasibility(n_var=6, tightness=0.01)
+        rates = problem.feasible_fraction_by_band(as_rng(0), n_samples=30000, n_bands=5)
+        assert rates[0] < 0.002
+        assert rates[-1] > 0.05
+        assert rates[-1] > 20 * max(rates[0], 1e-9)
+
+    def test_front_spans_and_is_monotone(self):
+        front = ClusteredFeasibility().pareto_front(100)
+        assert pareto_mask(front).all()
+        assert np.all(np.diff(front[:, 0]) > 0)  # power rises with coverage var
+
+    def test_front_points_are_feasible_designs(self):
+        problem = ClusteredFeasibility(n_var=4)
+        # Construct the analytic optimum at a few x0 values and check
+        # near-feasibility: the tube center itself is always feasible.
+        x0s = np.array([0.0, 0.5, 1.0])
+        centers = problem._tube_center(x0s)
+        x = np.column_stack([x0s, centers])
+        ev = problem.evaluate(x)
+        assert ev.feasible.all()
+
+    def test_high_x0_easy_low_x0_hard(self):
+        problem = ClusteredFeasibility(n_var=8)
+        rng = as_rng(3)
+        x = problem.sample(5000, rng)
+        ev = problem.evaluate(x)
+        feas_x0 = x[ev.feasible, 0]
+        assert feas_x0.size > 0
+        assert np.median(feas_x0) > 0.6

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.ids == []
+        assert not args.full
+
+    def test_run_requires_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_choices(self):
+        args = build_parser().parse_args(["run", "sacga", "--partitions", "12"])
+        assert args.algorithm == "sacga"
+        assert args.partitions == 12
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestCommands:
+    def test_spec_ladder(self, capsys):
+        assert main(["spec-ladder", "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "DR_dB" in out
+        assert out.count("spec-") == 5
+
+    def test_figures_fig4(self, capsys):
+        assert main(["figures", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig4" in out and "i=5" in out
+
+    def test_figures_unknown_id(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figure ids" in capsys.readouterr().out
+
+    def test_run_tpg_tiny(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        out_file = tmp_path / "front.json"
+        code = main(
+            ["run", "tpg", "--generations", "3", "--json", str(out_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NSGA-II" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["algorithm"] == "NSGA-II"
+        assert "front" in payload
+
+
+class TestFiguresStubbed:
+    def test_figures_renders_selected(self, capsys, monkeypatch):
+        from repro.experiments.figures import FigureData
+        import repro.cli as cli
+
+        calls = []
+
+        def fake_figure(scale=None):
+            calls.append(scale.label)
+            return FigureData(figure_id="FigX", title="stub", headers=["a"], rows=[[1]])
+
+        monkeypatch.setitem(cli.ALL_FIGURES, "figx", fake_figure)
+        assert cli.main(["figures", "figx"]) == 0
+        out = capsys.readouterr().out
+        assert "FigX" in out
+        assert calls == ["reduced"]
+
+    def test_figures_full_flag(self, capsys, monkeypatch):
+        from repro.experiments.figures import FigureData
+        import repro.cli as cli
+
+        seen = {}
+
+        def fake_figure(scale=None):
+            seen["label"] = scale.label
+            return FigureData(figure_id="FigY", title="stub")
+
+        monkeypatch.setitem(cli.ALL_FIGURES, "figy", fake_figure)
+        assert cli.main(["figures", "figy", "--full"]) == 0
+        assert seen["label"] == "full"
+
+
+class TestRunSacgaInProcess:
+    def test_run_sacga_prints_surface(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        code = main(["run", "sacga", "--generations", "4", "--partitions", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SACGA" in out
+        assert "c_load_pF" in out
+
+    def test_run_mesacga(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        code = main(["run", "mesacga", "--generations", "4"])
+        assert code == 0
+        assert "MESACGA" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs end to end at a tiny budget."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "SACGA" in proc.stdout
+        assert "coverage" in proc.stdout
+
+    def test_integrator_tradeoff(self):
+        proc = run_example(
+            "integrator_tradeoff.py", "--generations", "25", "--population", "32"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "NSGA-II" in proc.stdout
+        assert "SACGA" in proc.stdout
+
+    def test_sigma_delta_budgeting(self):
+        proc = run_example(
+            "sigma_delta_budgeting.py", "--generations", "60", "--population", "48"
+        )
+        assert proc.returncode == 0, proc.stderr
+        # Either a full budget table or a clear raise-the-budget message.
+        assert ("modulator power" in proc.stdout) or (
+            "no feasible designs" in proc.stderr
+        )
+
+    def test_algorithm_shootout(self):
+        proc = run_example("algorithm_shootout.py", "--seeds", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "MESACGA" in proc.stdout
+        assert "coverage" in proc.stdout
+
+    def test_convergence_diagnostics(self):
+        proc = run_example(
+            "convergence_diagnostics.py", "--generations", "30", "--population", "32"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "first feasible generation" in proc.stdout
+        assert "archive" in proc.stdout

@@ -1,0 +1,138 @@
+"""Tests for repro.utils.pareto, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.pareto import (
+    constrained_dominates,
+    dominates,
+    merge_fronts,
+    pareto_filter,
+    pareto_mask,
+    weakly_dominates,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+
+    def test_equal_in_one_objective(self):
+        assert dominates([1.0, 1.0], [1.0, 2.0])
+
+    def test_identical_points_do_not_dominate(self):
+        assert not dominates([1.0, 2.0], [1.0, 2.0])
+
+    def test_incomparable(self):
+        assert not dominates([1.0, 3.0], [3.0, 1.0])
+        assert not dominates([3.0, 1.0], [1.0, 3.0])
+
+    def test_weak_dominance_includes_equality(self):
+        assert weakly_dominates([1.0, 2.0], [1.0, 2.0])
+        assert weakly_dominates([1.0, 1.0], [1.0, 2.0])
+        assert not weakly_dominates([1.0, 3.0], [3.0, 1.0])
+
+
+class TestConstrainedDominates:
+    def test_feasible_beats_infeasible(self):
+        assert constrained_dominates([9, 9], [0, 0], 0.0, 1.0)
+        assert not constrained_dominates([0, 0], [9, 9], 1.0, 0.0)
+
+    def test_infeasible_compete_on_violation(self):
+        assert constrained_dominates([9, 9], [0, 0], 0.5, 1.0)
+        assert not constrained_dominates([0, 0], [9, 9], 1.0, 0.5)
+
+    def test_equal_violation_no_dominance(self):
+        assert not constrained_dominates([0, 0], [9, 9], 1.0, 1.0)
+
+    def test_both_feasible_uses_pareto(self):
+        assert constrained_dominates([1, 1], [2, 2], 0.0, 0.0)
+        assert not constrained_dominates([1, 3], [3, 1], 0.0, 0.0)
+
+
+class TestParetoMask:
+    def test_simple_front(self):
+        objs = np.array([[1, 4], [2, 2], [4, 1], [3, 3], [5, 5]])
+        mask = pareto_mask(objs)
+        np.testing.assert_array_equal(mask, [True, True, True, False, False])
+
+    def test_duplicates_all_kept(self):
+        objs = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        mask = pareto_mask(objs)
+        np.testing.assert_array_equal(mask, [True, True, False])
+
+    def test_empty(self):
+        assert pareto_mask(np.zeros((0, 2))).shape == (0,)
+
+    def test_single_point(self):
+        np.testing.assert_array_equal(pareto_mask([[1.0, 2.0]]), [True])
+
+    def test_feasible_point_excludes_all_infeasible(self):
+        objs = np.array([[0.0, 0.0], [9.0, 9.0]])
+        violations = np.array([1.0, 0.0])
+        np.testing.assert_array_equal(pareto_mask(objs, violations), [False, True])
+
+    def test_all_infeasible_keeps_least_violating(self):
+        objs = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        violations = np.array([3.0, 1.0, 1.0])
+        np.testing.assert_array_equal(
+            pareto_mask(objs, violations), [False, True, True]
+        )
+
+    def test_filter_returns_indices_in_order(self):
+        objs = np.array([[5, 5], [1, 4], [4, 1]])
+        np.testing.assert_array_equal(pareto_filter(objs), [1, 2])
+
+
+class TestMergeFronts:
+    def test_merges_and_filters(self):
+        a = np.array([[1.0, 4.0], [3.0, 3.0]])
+        b = np.array([[2.0, 2.0], [4.0, 1.0]])
+        merged = merge_fronts(a, b)
+        # (3,3) is dominated by (2,2)
+        assert merged.shape == (3, 2)
+
+    def test_empty_inputs(self):
+        assert merge_fronts(np.zeros((0, 2))).size == 0
+        assert merge_fronts().size == 0
+
+
+finite_objs = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 25), st.integers(1, 4)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestParetoProperties:
+    @given(finite_objs)
+    @settings(max_examples=60, deadline=None)
+    def test_front_is_mutually_non_dominating(self, objs):
+        front = objs[pareto_mask(objs)]
+        for i in range(front.shape[0]):
+            for j in range(front.shape[0]):
+                if i != j:
+                    assert not dominates(front[i], front[j])
+
+    @given(finite_objs)
+    @settings(max_examples=60, deadline=None)
+    def test_filtering_is_idempotent(self, objs):
+        front = objs[pareto_mask(objs)]
+        again = front[pareto_mask(front)]
+        assert again.shape == front.shape
+
+    @given(finite_objs)
+    @settings(max_examples=60, deadline=None)
+    def test_every_dropped_point_is_dominated(self, objs):
+        mask = pareto_mask(objs)
+        front = objs[mask]
+        for idx in np.flatnonzero(~mask):
+            assert any(dominates(p, objs[idx]) for p in front)
+
+    @given(finite_objs)
+    @settings(max_examples=40, deadline=None)
+    def test_at_least_one_survivor(self, objs):
+        assert pareto_mask(objs).any()

@@ -1,0 +1,97 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, bounded_uniform, spawn_rngs, stable_seed
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(123).integers(0, 1 << 30, size=8)
+        b = as_rng(123).integers(0, 1 << 30, size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_seeds_differ(self):
+        a = as_rng(1).integers(0, 1 << 30, size=8)
+        b = as_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_rng(seq), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="cannot interpret"):
+            as_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(42, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1]
+        assert draws[1] != draws[2]
+
+    def test_deterministic_from_int_seed(self):
+        a = [c.random(3).tolist() for c in spawn_rngs(9, 2)]
+        b = [c.random(3).tolist() for c in spawn_rngs(9, 2)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(1, -1)
+
+    def test_generator_source_advances(self):
+        gen = np.random.default_rng(5)
+        first = spawn_rngs(gen, 1)[0].random(2).tolist()
+        second = spawn_rngs(gen, 1)[0].random(2).tolist()
+        assert first != second
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("exp", 3) == stable_seed("exp", 3)
+
+    def test_sensitive_to_parts(self):
+        assert stable_seed("exp", 3) != stable_seed("exp", 4)
+        assert stable_seed("a", "bc") != stable_seed("ab", "c")
+
+    def test_in_63_bit_range(self):
+        s = stable_seed("anything", 123456)
+        assert 0 <= s < 2**63
+
+
+class TestBoundedUniform:
+    def test_respects_bounds(self):
+        rng = as_rng(0)
+        lo = np.array([0.0, -2.0, 10.0])
+        hi = np.array([1.0, 2.0, 20.0])
+        x = bounded_uniform(rng, lo, hi, size=500)
+        assert x.shape == (500, 3)
+        assert np.all(x >= lo) and np.all(x <= hi)
+
+    def test_scalar_size(self):
+        x = bounded_uniform(as_rng(0), np.zeros(4), np.ones(4))
+        assert x.shape == (4,)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            bounded_uniform(as_rng(0), np.zeros(2), np.ones(3))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="upper bound below"):
+            bounded_uniform(as_rng(0), np.ones(2), np.zeros(2))

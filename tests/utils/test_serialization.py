@@ -1,0 +1,71 @@
+"""Tests for result serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.nsga2 import NSGA2
+from repro.problems.synthetic import SCH
+from repro.utils.serialization import (
+    history_from_dicts,
+    load_result_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return NSGA2(SCH(), population_size=16, seed=0).run(5)
+
+
+class TestResultToDict:
+    def test_core_fields(self, result):
+        payload = result_to_dict(result)
+        assert payload["algorithm"] == "NSGA-II"
+        assert payload["n_generations"] == 5
+        assert len(payload["front_objectives"]) == result.front_size
+
+    def test_history_included_by_default(self, result):
+        payload = result_to_dict(result)
+        assert len(payload["history"]) == len(result.history)
+        assert payload["history"][0]["generation"] == 0
+
+    def test_history_excluded(self, result):
+        payload = result_to_dict(result, include_history=False)
+        assert "history" not in payload
+
+    def test_population_optional(self, result):
+        payload = result_to_dict(result, include_population=True)
+        assert len(payload["population"]["x"]) == result.population.size
+
+    def test_json_safe(self, result):
+        import json
+
+        text = json.dumps(result_to_dict(result, include_population=True))
+        assert "NSGA-II" in text
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, result, tmp_path):
+        path = save_result(result, tmp_path / "sub" / "run.json")
+        assert path.exists()
+        payload = load_result_dict(path)
+        np.testing.assert_allclose(
+            payload["front_objectives"], result.front_objectives
+        )
+        np.testing.assert_allclose(payload["front_x"], result.front_x)
+        assert payload["n_evaluations"] == result.n_evaluations
+
+    def test_history_roundtrip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "run.json")
+        payload = load_result_dict(path)
+        records = history_from_dicts(payload["history"])
+        assert len(records) == len(result.history)
+        np.testing.assert_allclose(
+            records[-1].front_objectives, result.history[-1].front_objectives
+        )
+
+    def test_metadata_survives(self, result, tmp_path):
+        path = save_result(result, tmp_path / "run.json")
+        payload = load_result_dict(path)
+        assert payload["metadata"]["population_size"] == 16

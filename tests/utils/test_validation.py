@@ -1,0 +1,110 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_bounds,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1.5)
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_when_not_strict(self):
+        check_positive("x", 0, strict=False)
+
+    def test_rejects_negative_when_not_strict(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive("x", -1, strict=False)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", float("inf"))
+
+
+class TestCheckInRange:
+    def test_inclusive_edges(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+
+    def test_exclusive_edges(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=(False, True))
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=(True, False))
+
+    def test_out_of_range_message_names_argument(self):
+        with pytest.raises(ValueError, match="myarg"):
+            check_in_range("myarg", 5, 0, 1)
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        check_probability("p", 0.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.01)
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        check_shape("a", np.zeros((3, 2)), (3, 2))
+
+    def test_wildcard(self):
+        check_shape("a", np.zeros((7, 2)), (-1, 2))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("a", np.zeros(3), (3, 1))
+
+    def test_wrong_extent(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("a", np.zeros((3, 2)), (3, 4))
+
+
+class TestCheckBounds:
+    def test_valid_pair(self):
+        lo, hi = check_bounds([0, 1], [1, 2])
+        np.testing.assert_array_equal(lo, [0.0, 1.0])
+        np.testing.assert_array_equal(hi, [1.0, 2.0])
+
+    def test_returns_copies_not_aliases(self):
+        # Regression: mutating the returned bounds must never write through
+        # to a module-level constant that was passed in.
+        source = np.array([1.0, 2.0])
+        lo, _ = check_bounds(source, source + 1)
+        lo[0] = 99.0
+        assert source[0] == 1.0
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            check_bounds([0.0], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_bounds([], [])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_bounds([0.0], [np.inf])
+
+    def test_rejects_equal_bounds_and_names_dimension(self):
+        with pytest.raises(ValueError, match="dimension 1"):
+            check_bounds([0.0, 1.0], [1.0, 1.0])
