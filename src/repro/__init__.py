@@ -18,6 +18,12 @@ Public API highlights::
 
 from repro.core import (
     NSGA2,
+    CachedBackend,
+    EvaluationBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
     IslandNSGA2,
     ParetoArchive,
     QuantilePartitionGrid,
@@ -43,6 +49,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "NSGA2",
+    "CachedBackend",
+    "EvaluationBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "make_backend",
     "IslandNSGA2",
     "ParetoArchive",
     "QuantilePartitionGrid",

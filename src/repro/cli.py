@@ -23,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro.circuits.specs import spec_ladder
+from repro.core.evaluation import BACKEND_NAMES
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.reporting import format_table, front_rows
 from repro.experiments.runner import Scale, run_one
@@ -62,12 +63,30 @@ def cmd_run(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.algorithm == "sacga":
         kwargs["n_partitions"] = args.partitions
-    summary = run_one(args.algorithm, "cli", scale=scale, **kwargs)
+    summary = run_one(
+        args.algorithm,
+        "cli",
+        scale=scale,
+        backend=args.backend,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        **kwargs,
+    )
     front = summary.result.front_objectives
+    stats = summary.result.metadata.get("backend_stats", {})
+    backend_note = f" backend={args.backend or 'serial'}"
+    if args.workers:
+        backend_note += f" workers={args.workers}"
+    if args.cache_size:
+        backend_note += (
+            f" cache_hits={stats.get('cache_hits', 0)}"
+            f"/{stats.get('cache_hits', 0) + stats.get('cache_misses', 0)}"
+        )
     print(
         f"{summary.algorithm}: front={summary.front_size} "
         f"coverage={summary.coverage:.2f} hv_paper={summary.hv_paper:.2f} "
-        f"({summary.n_evaluations} evaluations, {summary.wall_time:.1f}s)"
+        f"({summary.n_evaluations} evaluations, {summary.wall_time:.1f}s,"
+        f"{backend_note})"
     )
     rows = front_rows(front, max_rows=args.max_rows)
     print(format_table(["c_load_pF", "power_mW"], rows))
@@ -123,6 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--partitions", type=int, default=8)
     p_run.add_argument("--full", action="store_true")
     p_run.add_argument("--generations", type=int)
+    p_run.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="evaluation backend (default: serial)",
+    )
+    p_run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for thread/process backends (default: cpu_count-1)",
+    )
+    p_run.add_argument(
+        "--cache-size", type=int, default=None,
+        help="wrap the backend in an LRU evaluation cache of this many designs",
+    )
     p_run.add_argument("--max-rows", type=int, default=20)
     p_run.add_argument("--json", help="write the front to this JSON file")
     p_run.set_defaults(func=cmd_run)

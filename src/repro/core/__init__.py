@@ -13,6 +13,15 @@ Public surface:
 """
 
 from repro.core.individual import Population, IndividualView
+from repro.core.evaluation import (
+    BackendStats,
+    CachedBackend,
+    EvaluationBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
 from repro.core.operators import SBXCrossover, PolynomialMutation, variation
 from repro.core.selection import binary_tournament, linear_rank_selection
 from repro.core.nds import (
@@ -39,6 +48,13 @@ from repro.core.callbacks import HistoryRecorder, StagnationStop
 __all__ = [
     "Population",
     "IndividualView",
+    "BackendStats",
+    "CachedBackend",
+    "EvaluationBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "make_backend",
     "SBXCrossover",
     "PolynomialMutation",
     "variation",

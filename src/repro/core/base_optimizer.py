@@ -14,6 +14,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.callbacks import CallbackList, HistoryRecorder, ProgressCallback
+from repro.core.evaluation import EvaluationBackend, SerialBackend
 from repro.core.individual import Population
 from repro.core.operators import PolynomialMutation, SBXCrossover
 from repro.core.results import OptimizationResult, extract_feasible_front
@@ -35,6 +36,12 @@ class BaseOptimizer:
         polynomial mutation(eta=20, p=1/n_var) as in NSGA-II practice.
     seed:
         Anything :func:`repro.utils.rng.as_rng` accepts.
+    backend:
+        An :class:`repro.core.evaluation.EvaluationBackend` that carries
+        out fitness evaluation (default: serial, the historical
+        behavior).  Backends are semantics-preserving — the choice
+        affects wall time and the stats echoed into result metadata,
+        never the optimization trajectory.
     """
 
     algorithm_name = "BaseOptimizer"
@@ -46,6 +53,7 @@ class BaseOptimizer:
         crossover: Optional[SBXCrossover] = None,
         mutation: Optional[PolynomialMutation] = None,
         seed: RngLike = None,
+        backend: Optional[EvaluationBackend] = None,
     ) -> None:
         if population_size < 4:
             raise ValueError(
@@ -56,7 +64,9 @@ class BaseOptimizer:
         self.crossover = crossover or SBXCrossover()
         self.mutation = mutation or PolynomialMutation()
         self.rng = as_rng(seed)
+        self.backend = backend or SerialBackend()
         self.history = HistoryRecorder()
+        self.history.add_extras_source(self._backend_extras)
         self.callbacks = CallbackList()
         self._n_evaluations = 0
         self._stop_requested = False
@@ -80,9 +90,20 @@ class BaseOptimizer:
         return self._stop_requested
 
     def _evaluate_population(self, x: np.ndarray) -> Population:
-        pop = Population.from_x(self.problem, x)
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        evaluation = self.backend.evaluate(self.problem, x)
+        pop = Population(x, evaluation)
         self._n_evaluations += pop.size
         return pop
+
+    def _backend_extras(self) -> Dict[str, float]:
+        """Per-generation backend telemetry merged into history records."""
+        stats = self.backend.stats
+        extras = {"eval_time_s": float(stats.eval_time)}
+        if stats.cache_hits or stats.cache_misses:
+            extras["cache_hits"] = float(stats.cache_hits)
+            extras["cache_misses"] = float(stats.cache_misses)
+        return extras
 
     def _initial_population(
         self, initial_x: Optional[np.ndarray] = None
@@ -110,6 +131,8 @@ class BaseOptimizer:
             "population_size": self.population_size,
             "crossover": repr(self.crossover),
             "mutation": repr(self.mutation),
+            "backend": self.backend.describe(),
+            "backend_stats": self.backend.stats.as_dict(),
         }
         meta.update(metadata or {})
         return OptimizationResult(

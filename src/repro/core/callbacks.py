@@ -29,6 +29,14 @@ class HistoryRecorder:
         self.every = int(every)
         self.store_fronts = bool(store_fronts)
         self.records: List[GenerationRecord] = []
+        self._extras_sources: List[Callable[[], Dict[str, float]]] = []
+
+    def add_extras_source(self, source: Callable[[], Dict[str, float]]) -> None:
+        """Register a zero-arg callable whose dict is merged into every
+        record's extras (caller-passed extras win on key collision).
+        The evaluation backend plugs in this way to surface per-generation
+        eval wall time and cache counters without touching the algorithms."""
+        self._extras_sources.append(source)
 
     def should_record(self, generation: int) -> bool:
         return generation % self.every == 0
@@ -48,13 +56,17 @@ class HistoryRecorder:
             _, front = extract_feasible_front(population)
         else:
             front = np.zeros((0, population.n_obj))
+        merged: Dict[str, float] = {}
+        for source in self._extras_sources:
+            merged.update(source())
+        merged.update(extras or {})
         self.records.append(
             GenerationRecord(
                 generation=generation,
                 n_feasible=int(population.feasible.sum()),
                 front_objectives=front,
                 n_evaluations=n_evaluations,
-                extras=dict(extras or {}),
+                extras=merged,
             )
         )
 

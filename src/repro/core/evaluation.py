@@ -1,0 +1,443 @@
+"""Pluggable evaluation backends: serial, thread/process pools, memoization.
+
+Every optimizer funnels fitness work through
+:meth:`BaseOptimizer._evaluate_population`; this module makes that call
+site pluggable.  A backend turns a ``(n, n_var)`` decision batch into an
+:class:`~repro.problems.base.Evaluation` and keeps counters
+(:class:`BackendStats`) that the optimizers surface in
+``OptimizationResult.metadata`` and the per-generation history.
+
+Backends must be *semantics-preserving*: for a deterministic, row-wise
+vectorized problem every backend returns bit-identical arrays to
+:class:`SerialBackend` (the equivalence suite in
+``tests/core/test_evaluation_backends.py`` locks this in).  Chunked
+fan-out is therefore row-wise only — a problem whose per-row output
+depended on batch composition would be a contract violation
+(see the totality/determinism notes in ``docs/architecture.md``).
+
+* :class:`SerialBackend` — direct call, the default; zero overhead.
+* :class:`ThreadPoolBackend` — chunked rows on a thread pool; wins when
+  evaluation releases the GIL (numpy-heavy batches) or blocks on I/O.
+* :class:`ProcessPoolBackend` — chunked rows on a process pool; the
+  problem must be picklable (asserted for every shipped problem in
+  ``tests/problems/test_pickling.py``).
+* :class:`CachedBackend` — composable LRU memoization of the inner
+  backend, keyed by the raw bytes of each decision-vector row.
+
+Pool backends degrade gracefully: any pool failure (broken process
+pool, unpicklable problem, executor refusal) falls back to serial
+evaluation for the batch, increments ``stats.fallbacks``, and stops
+retrying the pool for the backend's lifetime.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.problems.base import Evaluation, Problem
+
+__all__ = [
+    "BackendStats",
+    "EvaluationBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "CachedBackend",
+    "make_backend",
+    "BACKEND_NAMES",
+]
+
+#: Names accepted by :func:`make_backend` (and the CLI ``--backend`` flag).
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+@dataclass
+class BackendStats:
+    """Counters accumulated by a backend across a run.
+
+    Attributes
+    ----------
+    n_evaluations:
+        Design rows whose objectives were actually computed (cache hits
+        excluded).
+    n_batches:
+        ``evaluate`` calls served.
+    eval_time:
+        Cumulative wall-clock seconds spent inside ``evaluate``.
+    cache_hits / cache_misses / cache_evictions:
+        Memoization counters (only :class:`CachedBackend` moves these).
+    fallbacks:
+        Batches a pool backend had to evaluate serially after a pool
+        failure.
+    """
+
+    n_evaluations: int = 0
+    n_batches: int = 0
+    eval_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    fallbacks: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for result metadata / serialization."""
+        return {
+            "n_evaluations": int(self.n_evaluations),
+            "n_batches": int(self.n_batches),
+            "eval_time": float(self.eval_time),
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
+            "cache_evictions": int(self.cache_evictions),
+            "fallbacks": int(self.fallbacks),
+        }
+
+
+class EvaluationBackend:
+    """Strategy interface: turn a decision batch into an Evaluation.
+
+    Subclasses implement :meth:`_evaluate_batch`; the public
+    :meth:`evaluate` adds timing and batch accounting so every backend
+    reports uniform stats.
+    """
+
+    name = "backend"
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+
+    # ------------------------------------------------------------------ API
+
+    def evaluate(self, problem: Problem, x: np.ndarray) -> Evaluation:
+        """Evaluate ``(n, n_var)`` decision vectors under *problem*."""
+        arr = np.atleast_2d(np.asarray(x, dtype=float))
+        start = time.perf_counter()
+        evaluation = self._evaluate_batch(problem, arr)
+        self.stats.eval_time += time.perf_counter() - start
+        self.stats.n_batches += 1
+        return evaluation
+
+    def _evaluate_batch(self, problem: Problem, x: np.ndarray) -> Evaluation:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker pools (no-op for poolless backends)."""
+
+    def describe(self) -> Dict[str, Any]:
+        """Configuration echo for result metadata."""
+        return {"name": self.name}
+
+    # ---------------------------------------------------------- conveniences
+
+    def __enter__(self) -> "EvaluationBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(EvaluationBackend):
+    """Direct in-process evaluation — the historical default behavior."""
+
+    name = "serial"
+
+    def _evaluate_batch(self, problem: Problem, x: np.ndarray) -> Evaluation:
+        evaluation = problem.evaluate(x)
+        self.stats.n_evaluations += x.shape[0]
+        return evaluation
+
+
+def _evaluate_rows(problem: Problem, x: np.ndarray) -> Evaluation:
+    """Module-level chunk worker (must be picklable for process pools)."""
+    return problem.evaluate(x)
+
+
+def _merge_evaluations(chunks: List[Evaluation]) -> Evaluation:
+    if len(chunks) == 1:
+        return chunks[0]
+    return Evaluation(
+        objectives=np.vstack([c.objectives for c in chunks]),
+        constraints=np.vstack([c.constraints for c in chunks]),
+        violation=np.concatenate([c.violation for c in chunks]),
+    )
+
+
+def default_workers() -> int:
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class _PoolBackend(EvaluationBackend):
+    """Shared machinery for thread/process fan-out.
+
+    Rows are split into ``n_workers`` contiguous chunks (or
+    ``chunk_size``-row chunks when configured) and dispatched in order;
+    results are merged back in submission order, so the output is
+    bit-identical to a single serial call for row-wise problems.
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.n_workers = int(n_workers) if n_workers else default_workers()
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
+        self._executor: Optional[Executor] = None
+        self._broken = False
+
+    # ------------------------------------------------------------ internals
+
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    def _chunks(self, x: np.ndarray) -> List[np.ndarray]:
+        n = x.shape[0]
+        if self.chunk_size is not None:
+            bounds = list(range(0, n, self.chunk_size)) + [n]
+            return [x[a:b] for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+        return [c for c in np.array_split(x, min(self.n_workers, n)) if c.size]
+
+    def _counts_in_parent(self) -> bool:
+        """Whether worker calls already bump ``problem._n_evaluations``."""
+        return True
+
+    def _evaluate_batch(self, problem: Problem, x: np.ndarray) -> Evaluation:
+        if x.shape[0] == 0:
+            return problem.evaluate(x)
+        if not self._broken:
+            try:
+                evaluation = self._fan_out(problem, x)
+                self.stats.n_evaluations += x.shape[0]
+                return evaluation
+            except Exception:
+                # Any pool-layer failure (broken pool, pickling error,
+                # shutdown race) must not kill the optimization run.
+                self._broken = True
+                self.stats.fallbacks += 1
+                self.close()
+        evaluation = problem.evaluate(x)
+        self.stats.n_evaluations += x.shape[0]
+        return evaluation
+
+    def _fan_out(self, problem: Problem, x: np.ndarray) -> Evaluation:
+        if self._executor is None:
+            self._executor = self._make_executor()
+        chunks = self._chunks(x)
+        if len(chunks) == 1 and self._counts_in_parent():
+            return _evaluate_rows(problem, chunks[0])
+        futures = [
+            self._executor.submit(_evaluate_rows, problem, chunk)
+            for chunk in chunks
+        ]
+        merged = _merge_evaluations([f.result() for f in futures])
+        if not self._counts_in_parent():
+            # Workers ran in another process; mirror the count locally so
+            # problem.n_evaluations matches what serial would report.
+            problem._n_evaluations += x.shape[0]
+        return merged
+
+    # ------------------------------------------------------------------ API
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "n_workers": self.n_workers,
+            "chunk_size": self.chunk_size,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_workers={self.n_workers})"
+
+
+class ThreadPoolBackend(_PoolBackend):
+    """Row-chunked fan-out over a thread pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size; defaults to ``cpu_count - 1``.
+    chunk_size:
+        Rows per task; defaults to splitting the batch evenly across
+        workers.
+    """
+
+    name = "thread"
+
+    def _make_executor(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="repro-eval"
+        )
+
+
+class ProcessPoolBackend(_PoolBackend):
+    """Row-chunked fan-out over a process pool.
+
+    The problem instance is pickled to the workers with every task, so
+    ``Problem`` subclasses must be picklable (all shipped problems are;
+    see ``tests/problems/test_pickling.py``).  Worker-side evaluation
+    counters stay in the workers — the parent mirrors the row count so
+    ``problem.n_evaluations`` agrees with serial runs.
+    """
+
+    name = "process"
+
+    def _make_executor(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.n_workers)
+
+    def _counts_in_parent(self) -> bool:
+        return False
+
+
+@dataclass
+class _CacheEntry:
+    objectives: np.ndarray
+    constraints: np.ndarray
+    violation: float
+
+
+class CachedBackend(EvaluationBackend):
+    """Bounded-LRU memoization wrapped around any inner backend.
+
+    Rows are keyed by their raw float64 bytes, so only *exact* repeats
+    hit — which is precisely what elitist GAs produce (survivors
+    re-entering later merges, duplicate offspring after clipping).
+    Results for hit rows are bit-identical to recomputation because the
+    Problem contract requires deterministic evaluation.
+
+    Parameters
+    ----------
+    inner:
+        Backend performing the actual evaluations (default serial).
+    max_size:
+        Maximum cached rows; least-recently-used entries are evicted.
+    """
+
+    name = "cached"
+
+    def __init__(
+        self,
+        inner: Optional[EvaluationBackend] = None,
+        max_size: int = 100_000,
+    ) -> None:
+        super().__init__()
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.inner = inner or SerialBackend()
+        self.max_size = int(max_size)
+        self._cache: "OrderedDict[bytes, _CacheEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _keys(x: np.ndarray) -> List[bytes]:
+        rows = np.ascontiguousarray(x, dtype=float)
+        return [rows[i].tobytes() for i in range(rows.shape[0])]
+
+    def _evaluate_batch(self, problem: Problem, x: np.ndarray) -> Evaluation:
+        if x.shape[0] == 0:
+            return problem.evaluate(x)
+        keys = self._keys(x)
+        batch: Dict[bytes, _CacheEntry] = {}
+        missing: "OrderedDict[bytes, int]" = OrderedDict()
+        for i, key in enumerate(keys):
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                batch[key] = self._cache[key]
+                self.stats.cache_hits += 1
+            elif key in missing:
+                # Duplicate row inside one batch: one computation serves
+                # both, so the repeat counts as a hit.
+                self.stats.cache_hits += 1
+            else:
+                missing[key] = i
+                self.stats.cache_misses += 1
+        if missing:
+            fresh = self.inner.evaluate(problem, x[list(missing.values())])
+            self.stats.n_evaluations += len(missing)
+            for j, key in enumerate(missing):
+                entry = _CacheEntry(
+                    objectives=fresh.objectives[j].copy(),
+                    constraints=fresh.constraints[j].copy(),
+                    violation=float(fresh.violation[j]),
+                )
+                batch[key] = entry
+                self._cache[key] = entry
+        entries = [batch[key] for key in keys]
+        # Evict only after assembly so an over-capacity batch still
+        # returns every row it computed.
+        while len(self._cache) > self.max_size:
+            self._cache.popitem(last=False)
+            self.stats.cache_evictions += 1
+        return Evaluation(
+            objectives=np.stack([e.objectives for e in entries]),
+            constraints=np.stack([e.constraints for e in entries]),
+            violation=np.array([e.violation for e in entries]),
+        )
+
+    # ------------------------------------------------------------------ API
+
+    def clear(self) -> None:
+        """Drop all cached rows (counters are kept)."""
+        self._cache.clear()
+
+    @property
+    def size(self) -> int:
+        return len(self._cache)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def describe(self) -> Dict[str, Any]:
+        desc = {"name": self.name, "max_size": self.max_size}
+        desc["inner"] = self.inner.describe()
+        return desc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CachedBackend({self.inner!r}, max_size={self.max_size})"
+
+
+def make_backend(
+    name: Optional[str] = None,
+    workers: Optional[int] = None,
+    cache_size: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> EvaluationBackend:
+    """Build a backend from CLI/config-style knobs.
+
+    *name* is one of :data:`BACKEND_NAMES` (``None`` means serial);
+    *cache_size* > 0 wraps the pool (or serial) backend in a
+    :class:`CachedBackend` of that capacity.
+    """
+    key = (name or "serial").strip().lower()
+    if key == "serial":
+        backend: EvaluationBackend = SerialBackend()
+    elif key == "thread":
+        backend = ThreadPoolBackend(n_workers=workers, chunk_size=chunk_size)
+    elif key == "process":
+        backend = ProcessPoolBackend(n_workers=workers, chunk_size=chunk_size)
+    else:
+        raise KeyError(
+            f"unknown backend {name!r} (want one of {', '.join(BACKEND_NAMES)})"
+        )
+    if cache_size:
+        backend = CachedBackend(backend, max_size=cache_size)
+    return backend

@@ -59,6 +59,7 @@ class IslandNSGA2(BaseOptimizer):
         crossover=None,
         mutation=None,
         seed: RngLike = None,
+        backend=None,
     ) -> None:
         super().__init__(
             problem,
@@ -66,6 +67,7 @@ class IslandNSGA2(BaseOptimizer):
             crossover=crossover,
             mutation=mutation,
             seed=seed,
+            backend=backend,
         )
         if n_islands < 1:
             raise ValueError(f"n_islands must be >= 1, got {n_islands}")

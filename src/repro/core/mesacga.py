@@ -67,6 +67,7 @@ class MESACGA(SACGA):
         mutation=None,
         seed: RngLike = None,
         config: Optional[SACGAConfig] = None,
+        backend=None,
     ) -> None:
         schedule = list(partition_schedule or PAPER_SCHEDULE)
         _validate_schedule(schedule)
@@ -81,6 +82,7 @@ class MESACGA(SACGA):
             mutation=mutation,
             seed=seed,
             config=config,
+            backend=backend,
         )
         self.partition_schedule = schedule
         self.span_per_phase = None if span_per_phase is None else int(span_per_phase)

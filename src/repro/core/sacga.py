@@ -119,6 +119,7 @@ class SACGA(BaseOptimizer):
         mutation=None,
         seed: RngLike = None,
         config: Optional[SACGAConfig] = None,
+        backend=None,
     ) -> None:
         super().__init__(
             problem,
@@ -126,6 +127,7 @@ class SACGA(BaseOptimizer):
             crossover=crossover,
             mutation=mutation,
             seed=seed,
+            backend=backend,
         )
         self.grid = grid
         self.config = config or SACGAConfig()

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.circuits.sizing_problem import C_LOAD_MAX, IntegratorSizingProblem
 from repro.circuits.specs import IntegratorSpec
+from repro.core.evaluation import EvaluationBackend, make_backend
 from repro.core.mesacga import MESACGA, PAPER_SCHEDULE
 from repro.core.nsga2 import NSGA2
 from repro.core.results import OptimizationResult
@@ -97,20 +98,25 @@ def make_algorithm(
     partition_schedule: Optional[Sequence[int]] = None,
     config: Optional[SACGAConfig] = None,
     generations: Optional[int] = None,
+    backend: Optional[EvaluationBackend] = None,
 ):
     """Factory for the three compared algorithms.
 
     *name* is one of ``"tpg"`` (NSGA-II, the paper's Traditional Purely
     Global baseline), ``"sacga"`` or ``"mesacga"``.  When *config* is not
     given, the Phase-I cap is derived from the generation budget so that
-    reduced-scale runs keep the paper's phase proportions.
+    reduced-scale runs keep the paper's phase proportions.  *backend*
+    (an :class:`repro.core.evaluation.EvaluationBackend`) selects how
+    fitness batches are evaluated; ``None`` keeps the serial default.
     """
     key = name.strip().lower()
     gens = generations if generations is not None else scale.generations
     if config is None:
         config = SACGAConfig(phase1_max_iterations=default_phase1_cap(gens))
     if key in ("tpg", "nsga2", "nsga-ii"):
-        return NSGA2(problem, population_size=scale.population, seed=seed)
+        return NSGA2(
+            problem, population_size=scale.population, seed=seed, backend=backend
+        )
     if key == "sacga":
         grid = problem.partition_grid(n_partitions)
         return SACGA(
@@ -119,6 +125,7 @@ def make_algorithm(
             population_size=scale.population,
             seed=seed,
             config=config,
+            backend=backend,
         )
     if key == "mesacga":
         return MESACGA(
@@ -130,6 +137,7 @@ def make_algorithm(
             population_size=scale.population,
             seed=seed,
             config=config,
+            backend=backend,
         )
     raise KeyError(f"unknown algorithm {name!r} (want tpg / sacga / mesacga)")
 
@@ -168,21 +176,32 @@ def run_one(
     spec: Optional[IntegratorSpec] = None,
     seed_index: int = 0,
     problem: Optional[IntegratorSizingProblem] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    cache_size: Optional[int] = None,
     **algo_kwargs,
 ) -> RunSummary:
     """Run one algorithm once and score its front.
 
     Seeds are derived deterministically from ``(experiment_id, name,
-    seed_index)`` so benchmarks are reproducible run to run.
+    seed_index)`` so benchmarks are reproducible run to run.  *backend*
+    (``"serial"`` / ``"thread"`` / ``"process"``), *workers* and
+    *cache_size* configure the evaluation backend; the pool is shut down
+    once the run finishes.
     """
     scale = scale or Scale.from_env()
     problem = problem or make_problem(spec, scale)
     seed = stable_seed(experiment_id, name, seed_index)
     gens = generations if generations is not None else scale.generations
+    eval_backend = make_backend(backend, workers=workers, cache_size=cache_size)
     algorithm = make_algorithm(
-        name, problem, scale, seed, generations=gens, **algo_kwargs
+        name, problem, scale, seed, generations=gens, backend=eval_backend,
+        **algo_kwargs,
     )
-    result = algorithm.run(gens)
+    try:
+        result = algorithm.run(gens)
+    finally:
+        eval_backend.close()
     scores = score_front(result.front_objectives)
     return RunSummary(
         algorithm=result.algorithm,

@@ -18,12 +18,29 @@ from repro.core.results import GenerationRecord, OptimizationResult
 PathLike = Union[str, Path]
 
 
+#: Timing fields stripped by ``include_timing=False`` — everything else
+#: in a result is deterministic given (seed, config), and these are the
+#: only wall-clock-dependent values, so the stripped payload is
+#: byte-identical across reruns (locked in by
+#: ``tests/core/test_determinism_regression.py``).
+TIMING_EXTRAS = ("eval_time_s",)
+
+
 def result_to_dict(
     result: OptimizationResult,
     include_history: bool = True,
     include_population: bool = False,
+    include_timing: bool = True,
 ) -> Dict[str, Any]:
-    """Plain-dict view of a result (see :func:`save_result`)."""
+    """Plain-dict view of a result (see :func:`save_result`).
+
+    ``include_timing=False`` zeroes/strips wall-clock fields
+    (``wall_time``, backend ``eval_time``, per-record timing extras) so
+    two runs with the same seed and config serialize byte-identically.
+    """
+    metadata = _jsonable(result.metadata)
+    if not include_timing and isinstance(metadata.get("backend_stats"), dict):
+        metadata["backend_stats"].pop("eval_time", None)
     payload: Dict[str, Any] = {
         "algorithm": result.algorithm,
         "problem": result.problem_name,
@@ -31,20 +48,26 @@ def result_to_dict(
         "front_objectives": np.asarray(result.front_objectives).tolist(),
         "n_generations": int(result.n_generations),
         "n_evaluations": int(result.n_evaluations),
-        "wall_time": float(result.wall_time),
-        "metadata": _jsonable(result.metadata),
+        "wall_time": float(result.wall_time) if include_timing else 0.0,
+        "metadata": metadata,
     }
     if include_history:
-        payload["history"] = [
-            {
-                "generation": rec.generation,
-                "n_feasible": rec.n_feasible,
-                "front_objectives": np.asarray(rec.front_objectives).tolist(),
-                "n_evaluations": rec.n_evaluations,
-                "extras": _jsonable(rec.extras),
-            }
-            for rec in result.history
-        ]
+        history = []
+        for rec in result.history:
+            extras = _jsonable(rec.extras)
+            if not include_timing:
+                for key in TIMING_EXTRAS:
+                    extras.pop(key, None)
+            history.append(
+                {
+                    "generation": rec.generation,
+                    "n_feasible": rec.n_feasible,
+                    "front_objectives": np.asarray(rec.front_objectives).tolist(),
+                    "n_evaluations": rec.n_evaluations,
+                    "extras": extras,
+                }
+            )
+        payload["history"] = history
     if include_population and result.population is not None:
         payload["population"] = {
             "x": result.population.x.tolist(),

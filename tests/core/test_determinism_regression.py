@@ -1,0 +1,108 @@
+"""Same seed + same config => byte-identical serialized results.
+
+This is the regression net under the evaluation-backend layer: if any
+future change to evaluation order, chunking, or caching perturbs the
+optimization trajectory, the serialized payloads stop matching at the
+byte level and this file fails first.  Timing fields are stripped via
+``result_to_dict(include_timing=False)`` — everything else must match
+exactly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import CachedBackend, SerialBackend, ThreadPoolBackend
+from repro.core.mesacga import MESACGA
+from repro.core.nsga2 import NSGA2
+from repro.core.sacga import SACGA, SACGAConfig
+from repro.core.partitions import PartitionGrid
+from repro.problems.synthetic import ClusteredFeasibility
+from repro.utils.serialization import result_to_dict, save_result
+
+POP = 16
+GENS = 5
+SEED = 1234
+
+
+def build(name, backend=None):
+    problem = ClusteredFeasibility(n_var=4)
+    config = SACGAConfig(phase1_max_iterations=2)
+    if name == "nsga2":
+        return NSGA2(problem, population_size=POP, seed=SEED, backend=backend)
+    if name == "sacga":
+        grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=4)
+        return SACGA(
+            problem, grid, population_size=POP, seed=SEED,
+            config=config, backend=backend,
+        )
+    if name == "mesacga":
+        return MESACGA(
+            problem, axis=1, low=0.0, high=1.0, partition_schedule=(4, 2, 1),
+            population_size=POP, seed=SEED, config=config, backend=backend,
+        )
+    raise KeyError(name)
+
+
+def serialized(result):
+    payload = result_to_dict(result, include_timing=False)
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+@pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
+def test_two_runs_serialize_byte_identical(algo):
+    blob_a = serialized(build(algo).run(GENS))
+    blob_b = serialized(build(algo).run(GENS))
+    assert blob_a == blob_b
+
+
+@pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
+def test_serial_and_thread_backends_serialize_byte_identical(algo):
+    serial_blob = serialized(build(algo, SerialBackend()).run(GENS))
+    with ThreadPoolBackend(n_workers=3) as backend:
+        thread_blob = serialized(build(algo, backend).run(GENS))
+    # The backend echo in metadata legitimately differs; everything else
+    # (fronts, history, counters) must not.
+    a = json.loads(serial_blob)
+    b = json.loads(thread_blob)
+    for payload in (a, b):
+        payload["metadata"].pop("backend")
+        payload["metadata"].pop("backend_stats")
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_cached_backend_serializes_identical_fronts():
+    plain = json.loads(serialized(build("nsga2").run(GENS)))
+    cached = json.loads(serialized(build("nsga2", CachedBackend()).run(GENS)))
+    assert plain["front_objectives"] == cached["front_objectives"]
+    assert plain["front_x"] == cached["front_x"]
+    assert plain["n_evaluations"] == cached["n_evaluations"]
+
+
+def test_saved_files_byte_identical(tmp_path):
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    save_result(build("nsga2").run(GENS), path_a, include_timing=False)
+    save_result(build("nsga2").run(GENS), path_b, include_timing=False)
+    assert path_a.read_bytes() == path_b.read_bytes()
+
+
+def test_include_timing_strips_wall_clock_fields():
+    result = build("nsga2").run(GENS)
+    with_timing = result_to_dict(result, include_timing=True)
+    without = result_to_dict(result, include_timing=False)
+    assert with_timing["wall_time"] > 0.0
+    assert without["wall_time"] == 0.0
+    assert "eval_time" in with_timing["metadata"]["backend_stats"]
+    assert "eval_time" not in without["metadata"]["backend_stats"]
+    assert all("eval_time_s" in rec["extras"] for rec in with_timing["history"])
+    assert all("eval_time_s" not in rec["extras"] for rec in without["history"])
+
+
+def test_different_seeds_actually_differ():
+    """Guard against the test proving nothing (e.g. constant output)."""
+    problem = ClusteredFeasibility(n_var=4)
+    r1 = NSGA2(problem, population_size=POP, seed=1).run(GENS)
+    r2 = NSGA2(ClusteredFeasibility(n_var=4), population_size=POP, seed=2).run(GENS)
+    assert not np.array_equal(r1.front_objectives, r2.front_objectives)

@@ -1,0 +1,343 @@
+"""Backend equivalence, cache accounting, and fallback behavior.
+
+The evaluation backend layer must be invisible to the optimizer: for a
+fixed seed, every backend has to produce bit-identical Evaluation arrays
+and bit-identical final fronts.  These tests are the contract that every
+future scaling PR (sharding, async campaigns) must keep green.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sizing_problem import IntegratorSizingProblem
+from repro.core.evaluation import (
+    BACKEND_NAMES,
+    CachedBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
+from repro.core.mesacga import MESACGA
+from repro.core.nsga2 import NSGA2
+from repro.core.sacga import SACGA, SACGAConfig
+from repro.problems.synthetic import ClusteredFeasibility
+
+POP = 16
+GENS = 4
+SMOKE_CONFIG = SACGAConfig(phase1_max_iterations=2)
+
+
+def synthetic_problem():
+    return ClusteredFeasibility(n_var=4)
+
+
+def integrator_problem():
+    return IntegratorSizingProblem(n_mc=2)
+
+
+def make_optimizer(name, problem, seed, backend):
+    """The three compared algorithms at smoke scale on *problem*.
+
+    ClusteredFeasibility's f2 = 1 - x0 spans [0, 1]; the integrator's f2
+    deficit spans [0, 5 pF] — both partition cleanly on axis 1.
+    """
+    high = 5.0e-12 if isinstance(problem, IntegratorSizingProblem) else 1.0
+    if name == "nsga2":
+        return NSGA2(problem, population_size=POP, seed=seed, backend=backend)
+    if name == "sacga":
+        from repro.core.partitions import PartitionGrid
+
+        grid = PartitionGrid(axis=1, low=0.0, high=high, n_partitions=4)
+        return SACGA(
+            problem, grid, population_size=POP, seed=seed,
+            config=SMOKE_CONFIG, backend=backend,
+        )
+    if name == "mesacga":
+        return MESACGA(
+            problem, axis=1, low=0.0, high=high,
+            partition_schedule=(4, 2, 1), population_size=POP, seed=seed,
+            config=SMOKE_CONFIG, backend=backend,
+        )
+    raise KeyError(name)
+
+
+def assert_evaluations_equal(a, b):
+    np.testing.assert_array_equal(a.objectives, b.objectives)
+    np.testing.assert_array_equal(a.constraints, b.constraints)
+    np.testing.assert_array_equal(a.violation, b.violation)
+
+
+class FailingPoolBackend(ThreadPoolBackend):
+    """A pool backend whose executor always refuses work."""
+
+    class _BrokenExecutor:
+        def submit(self, *args, **kwargs):
+            raise RuntimeError("pool is broken")
+
+        def shutdown(self, wait=True):
+            pass
+
+    def _make_executor(self):
+        return self._BrokenExecutor()
+
+    def _chunks(self, x):
+        # Always >= 2 chunks so single-chunk short-circuiting cannot hide
+        # the broken executor.
+        return [x[: max(1, x.shape[0] // 2)], x[max(1, x.shape[0] // 2):]]
+
+
+# --------------------------------------------------------- raw evaluation
+
+
+@pytest.mark.parametrize("problem_factory", [synthetic_problem, integrator_problem])
+@pytest.mark.parametrize("n_workers", [1, 3])
+def test_thread_backend_matches_serial(problem_factory, n_workers):
+    problem = problem_factory()
+    x = problem.sample(23, np.random.default_rng(7))
+    serial = SerialBackend().evaluate(problem, x)
+    with ThreadPoolBackend(n_workers=n_workers) as backend:
+        threaded = backend.evaluate(problem, x)
+    assert_evaluations_equal(serial, threaded)
+
+
+@pytest.mark.parametrize("problem_factory", [synthetic_problem, integrator_problem])
+def test_process_backend_matches_serial(problem_factory):
+    problem = problem_factory()
+    x = problem.sample(17, np.random.default_rng(11))
+    serial = SerialBackend().evaluate(problem, x)
+    with ProcessPoolBackend(n_workers=2) as backend:
+        pooled = backend.evaluate(problem, x)
+    assert_evaluations_equal(serial, pooled)
+
+
+def test_process_backend_mirrors_problem_counter():
+    problem = synthetic_problem()
+    x = problem.sample(10, np.random.default_rng(0))
+    with ProcessPoolBackend(n_workers=2) as backend:
+        backend.evaluate(problem, x)
+    assert problem.n_evaluations == 10
+
+
+def test_chunk_size_override_preserves_results():
+    problem = synthetic_problem()
+    x = problem.sample(19, np.random.default_rng(3))
+    serial = SerialBackend().evaluate(problem, x)
+    with ThreadPoolBackend(n_workers=2, chunk_size=4) as backend:
+        chunked = backend.evaluate(problem, x)
+    assert_evaluations_equal(serial, chunked)
+
+
+def test_empty_batch_supported():
+    problem = synthetic_problem()
+    x = np.zeros((0, problem.n_var))
+    for backend in (SerialBackend(), ThreadPoolBackend(n_workers=2), CachedBackend()):
+        with backend:
+            ev = backend.evaluate(problem, x)
+        assert ev.n_points == 0
+
+
+# ------------------------------------------------------- full-run fronts
+
+
+@pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
+def test_thread_run_front_identical_on_synthetic(algo):
+    problem = synthetic_problem()
+    serial = make_optimizer(algo, synthetic_problem(), 42, SerialBackend()).run(GENS)
+    with ThreadPoolBackend(n_workers=3) as backend:
+        threaded = make_optimizer(algo, problem, 42, backend).run(GENS)
+    np.testing.assert_array_equal(serial.front_objectives, threaded.front_objectives)
+    np.testing.assert_array_equal(serial.front_x, threaded.front_x)
+    assert serial.n_evaluations == threaded.n_evaluations
+
+
+@pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
+def test_process_run_front_identical_on_synthetic(algo):
+    serial = make_optimizer(algo, synthetic_problem(), 42, SerialBackend()).run(GENS)
+    with ProcessPoolBackend(n_workers=2) as backend:
+        pooled = make_optimizer(algo, synthetic_problem(), 42, backend).run(GENS)
+    np.testing.assert_array_equal(serial.front_objectives, pooled.front_objectives)
+    np.testing.assert_array_equal(serial.front_x, pooled.front_x)
+
+
+@pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
+def test_thread_run_front_identical_on_integrator(algo):
+    serial = make_optimizer(algo, integrator_problem(), 9, SerialBackend()).run(3)
+    with ThreadPoolBackend(n_workers=2) as backend:
+        threaded = make_optimizer(algo, integrator_problem(), 9, backend).run(3)
+    np.testing.assert_array_equal(serial.front_objectives, threaded.front_objectives)
+    np.testing.assert_array_equal(serial.front_x, threaded.front_x)
+
+
+def test_process_run_front_identical_on_integrator():
+    serial = make_optimizer("nsga2", integrator_problem(), 9, SerialBackend()).run(2)
+    with ProcessPoolBackend(n_workers=2) as backend:
+        pooled = make_optimizer("nsga2", integrator_problem(), 9, backend).run(2)
+    np.testing.assert_array_equal(serial.front_objectives, pooled.front_objectives)
+
+
+def test_cached_run_front_identical_and_hits():
+    serial = make_optimizer("nsga2", synthetic_problem(), 4, SerialBackend()).run(GENS)
+    cached_backend = CachedBackend(max_size=10_000)
+    cached = make_optimizer("nsga2", synthetic_problem(), 4, cached_backend).run(GENS)
+    np.testing.assert_array_equal(serial.front_objectives, cached.front_objectives)
+    stats = cached.metadata["backend_stats"]
+    assert stats["cache_misses"] > 0
+    assert stats["n_evaluations"] == stats["cache_misses"]
+
+
+# ----------------------------------------------------------------- cache
+
+
+def test_cache_hit_miss_accounting():
+    problem = synthetic_problem()
+    x = problem.sample(8, np.random.default_rng(1))
+    backend = CachedBackend(max_size=64)
+    first = backend.evaluate(problem, x)
+    assert backend.stats.cache_misses == 8
+    assert backend.stats.cache_hits == 0
+    second = backend.evaluate(problem, x)
+    assert backend.stats.cache_misses == 8
+    assert backend.stats.cache_hits == 8
+    assert_evaluations_equal(first, second)
+    # Only the misses reached the problem.
+    assert problem.n_evaluations == 8
+
+
+def test_cache_counts_duplicates_within_one_batch():
+    problem = synthetic_problem()
+    x = problem.sample(5, np.random.default_rng(2))
+    batch = np.vstack([x, x[:3]])
+    backend = CachedBackend(max_size=64)
+    ev = backend.evaluate(problem, batch)
+    assert backend.stats.cache_misses == 5
+    assert backend.stats.cache_hits == 3
+    assert problem.n_evaluations == 5
+    assert_evaluations_equal(ev.subset(np.arange(5, 8)), ev.subset(np.arange(3)))
+
+
+def test_cache_results_match_direct_evaluation_with_duplicates():
+    problem = synthetic_problem()
+    x = problem.sample(6, np.random.default_rng(8))
+    batch = np.vstack([x, x[::-1]])
+    direct = problem.evaluate(batch)
+    cached = CachedBackend(max_size=64).evaluate(synthetic_problem(), batch)
+    assert_evaluations_equal(direct, cached)
+
+
+def test_cache_lru_eviction():
+    problem = synthetic_problem()
+    x = problem.sample(6, np.random.default_rng(4))
+    backend = CachedBackend(max_size=4)
+    backend.evaluate(problem, x)  # rows 0-1 evicted (oldest of 6 > 4)
+    assert backend.stats.cache_evictions == 2
+    assert backend.size == 4
+    backend.evaluate(problem, x[2:])  # still resident -> all hits
+    assert backend.stats.cache_hits == 4
+    backend.evaluate(problem, x[:2])  # evicted rows -> misses again
+    assert backend.stats.cache_misses == 6 + 2
+
+
+def test_cache_lru_recency_order():
+    """Touching an entry protects it from the next eviction round."""
+    problem = synthetic_problem()
+    x = problem.sample(4, np.random.default_rng(5))
+    extra = problem.sample(2, np.random.default_rng(6))
+    backend = CachedBackend(max_size=4)
+    backend.evaluate(problem, x)
+    backend.evaluate(problem, x[:1])  # refresh row 0
+    backend.evaluate(problem, extra)  # evicts rows 1 and 2, not row 0
+    misses_before = backend.stats.cache_misses
+    backend.evaluate(problem, x[:1])
+    assert backend.stats.cache_misses == misses_before  # row 0 survived
+    backend.evaluate(problem, x[1:2])
+    assert backend.stats.cache_misses == misses_before + 1  # row 1 did not
+
+
+def test_cache_clear_keeps_counters():
+    problem = synthetic_problem()
+    backend = CachedBackend(max_size=8)
+    backend.evaluate(problem, problem.sample(3, np.random.default_rng(0)))
+    backend.clear()
+    assert backend.size == 0
+    assert backend.stats.cache_misses == 3
+
+
+# -------------------------------------------------------------- fallback
+
+
+def test_broken_pool_falls_back_to_serial():
+    problem = synthetic_problem()
+    x = problem.sample(12, np.random.default_rng(9))
+    serial = SerialBackend().evaluate(problem, x)
+    backend = FailingPoolBackend(n_workers=2)
+    fallback = backend.evaluate(problem, x)
+    assert_evaluations_equal(serial, fallback)
+    assert backend.stats.fallbacks == 1
+    # The pool is not retried; later batches stay serial and correct.
+    again = backend.evaluate(problem, x[:5])
+    assert_evaluations_equal(serial.subset(np.arange(5)), again)
+    assert backend.stats.fallbacks == 1
+    assert backend.stats.n_evaluations == 17
+
+
+def test_unpicklable_problem_falls_back_to_serial():
+    problem = synthetic_problem()
+    problem.poison = lambda: None  # closures cannot cross the pickle boundary
+    x = problem.sample(6, np.random.default_rng(10))
+    with ProcessPoolBackend(n_workers=2) as backend:
+        ev = backend.evaluate(problem, x)
+    assert backend.stats.fallbacks == 1
+    assert_evaluations_equal(SerialBackend().evaluate(synthetic_problem(), x), ev)
+
+
+def test_full_run_with_broken_pool_matches_serial():
+    serial = make_optimizer("nsga2", synthetic_problem(), 13, SerialBackend()).run(GENS)
+    broken = make_optimizer(
+        "nsga2", synthetic_problem(), 13, FailingPoolBackend(n_workers=2)
+    ).run(GENS)
+    np.testing.assert_array_equal(serial.front_objectives, broken.front_objectives)
+    assert broken.metadata["backend_stats"]["fallbacks"] == 1
+
+
+# ---------------------------------------------------- factory & metadata
+
+
+def test_make_backend_names():
+    assert isinstance(make_backend(None), SerialBackend)
+    assert isinstance(make_backend("serial"), SerialBackend)
+    assert isinstance(make_backend("thread", workers=2), ThreadPoolBackend)
+    assert isinstance(make_backend("process", workers=2), ProcessPoolBackend)
+    cached = make_backend("thread", workers=2, cache_size=100)
+    assert isinstance(cached, CachedBackend)
+    assert isinstance(cached.inner, ThreadPoolBackend)
+    assert cached.inner.n_workers == 2
+    with pytest.raises(KeyError):
+        make_backend("gpu")
+    assert set(BACKEND_NAMES) == {"serial", "thread", "process"}
+
+
+def test_invalid_backend_parameters():
+    with pytest.raises(ValueError):
+        ThreadPoolBackend(n_workers=-1)
+    with pytest.raises(ValueError):
+        ThreadPoolBackend(n_workers=2, chunk_size=0)
+    with pytest.raises(ValueError):
+        CachedBackend(max_size=0)
+
+
+def test_backend_stats_in_metadata_and_history():
+    backend = CachedBackend(ThreadPoolBackend(n_workers=2), max_size=256)
+    result = make_optimizer("nsga2", synthetic_problem(), 21, backend).run(GENS)
+    desc = result.metadata["backend"]
+    assert desc["name"] == "cached"
+    assert desc["inner"] == {"name": "thread", "n_workers": 2, "chunk_size": None}
+    stats = result.metadata["backend_stats"]
+    assert stats["n_batches"] == GENS + 1
+    assert stats["eval_time"] >= 0.0
+    # Every history record carries cumulative eval wall time, and the
+    # cache counters appear once the cache is active.
+    assert all("eval_time_s" in rec.extras for rec in result.history)
+    last = result.history[-1].extras
+    assert last["eval_time_s"] >= result.history[0].extras["eval_time_s"]
+    assert last["cache_hits"] + last["cache_misses"] == result.n_evaluations

@@ -1,0 +1,186 @@
+"""Property-based invariants for the sorting/partitioning substrate.
+
+Seeded random matrices (no extra dependencies) exercise the semantics
+the evaluation-backend refactor must not disturb: non-dominated sorting
+produces a true partition whose rank-0 members are mutually
+non-dominated, objective-space partitions cover the population exactly
+once, and aggregate violation is a non-negative feasibility gauge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.individual import Population
+from repro.core.nds import assign_ranks, crowding_distance, fast_non_dominated_sort
+from repro.core.partitions import PartitionGrid, PartitionedPopulation
+from repro.problems.base import Evaluation, aggregate_violation
+
+N_TRIALS = 25
+
+
+def random_case(seed, with_constraints=True):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 40))
+    n_obj = int(rng.integers(2, 5))
+    objs = rng.normal(size=(n, n_obj))
+    if rng.random() < 0.3:
+        # Inject duplicate rows — ties are where sorting bugs hide.
+        objs[rng.integers(0, n)] = objs[rng.integers(0, n)]
+    if with_constraints and rng.random() < 0.7:
+        violations = np.maximum(rng.normal(scale=1.0, size=n), 0.0)
+    else:
+        violations = np.zeros(n)
+    return objs, violations
+
+
+def dominates(a, b):
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+# ------------------------------------------------------------------- nds
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_fronts_partition_population_exactly_once(seed):
+    objs, violations = random_case(seed)
+    fronts = fast_non_dominated_sort(objs, violations)
+    flat = np.concatenate(fronts)
+    assert sorted(flat.tolist()) == list(range(objs.shape[0]))
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_rank0_feasible_members_mutually_nondominated(seed):
+    objs, violations = random_case(seed)
+    fronts = fast_non_dominated_sort(objs, violations)
+    front0 = fronts[0]
+    feasible0 = front0[violations[front0] <= 0.0]
+    for i in feasible0:
+        for j in feasible0:
+            if i != j:
+                assert not dominates(objs[i], objs[j])
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_every_member_dominated_by_some_earlier_front(seed):
+    """A feasible point in front k>0 is dominated by a point in front k-1."""
+    objs, violations = random_case(seed, with_constraints=False)
+    fronts = fast_non_dominated_sort(objs, violations)
+    for level in range(1, len(fronts)):
+        for i in fronts[level]:
+            assert any(dominates(objs[j], objs[i]) for j in fronts[level - 1])
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_feasible_always_outrank_infeasible(seed):
+    objs, violations = random_case(seed)
+    if not ((violations > 0).any() and (violations <= 0).any()):
+        pytest.skip("needs a mixed feasible/infeasible population")
+    ranks = assign_ranks(objs, violations)
+    assert ranks[violations <= 0].max() < ranks[violations > 0].min()
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_infeasible_layered_by_violation(seed):
+    objs, violations = random_case(seed)
+    ranks = assign_ranks(objs, violations)
+    infeas = np.flatnonzero(violations > 0)
+    for i in infeas:
+        for j in infeas:
+            if violations[i] < violations[j]:
+                assert ranks[i] < ranks[j]
+            elif violations[i] == violations[j]:
+                assert ranks[i] == ranks[j]
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_crowding_distance_nonnegative_with_inf_boundaries(seed):
+    objs, _ = random_case(seed, with_constraints=False)
+    dist = crowding_distance(objs)
+    assert dist.shape == (objs.shape[0],)
+    assert np.all(dist >= 0.0)
+    if objs.shape[0] >= 1:
+        # Each objective's extremes are boundary-protected.
+        for j in range(objs.shape[1]):
+            assert np.isinf(dist[np.argmin(objs[:, j])])
+            assert np.isinf(dist[np.argmax(objs[:, j])])
+
+
+# ------------------------------------------------------------ partitions
+
+
+def random_population(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 50))
+    n_obj = int(rng.integers(2, 4))
+    objs = rng.uniform(-2.0, 3.0, size=(n, n_obj))
+    cons = rng.normal(size=(n, 1))
+    x = rng.uniform(size=(n, 3))
+    return Population(x, Evaluation(objectives=objs, constraints=cons))
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_partition_membership_covers_population_exactly_once(seed):
+    pop = random_population(seed)
+    rng = np.random.default_rng(seed + 1000)
+    grid = PartitionGrid(
+        axis=int(rng.integers(0, pop.n_obj)),
+        low=0.0,
+        high=1.0,  # narrower than the data -> exercises clamping
+        n_partitions=int(rng.integers(1, 9)),
+    )
+    parted = PartitionedPopulation(pop, grid)
+    members = [parted.members_of(p) for p in range(grid.n_partitions)]
+    flat = np.concatenate(members) if members else np.zeros(0, dtype=int)
+    assert sorted(flat.tolist()) == list(range(pop.size))
+    assert parted.occupancy().sum() == pop.size
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_partition_assignment_in_range_and_consistent(seed):
+    pop = random_population(seed)
+    grid = PartitionGrid(axis=0, low=-2.0, high=3.0, n_partitions=6)
+    assigned = grid.assign(pop.objectives)
+    assert np.all((assigned >= 0) & (assigned < grid.n_partitions))
+    # assign() is a pure function of the objectives.
+    np.testing.assert_array_equal(assigned, grid.assign(pop.objectives))
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_locally_superior_are_rank0_within_partition(seed):
+    pop = random_population(seed)
+    grid = PartitionGrid(axis=0, low=-2.0, high=3.0, n_partitions=4)
+    parted = PartitionedPopulation(pop, grid)
+    for p in range(grid.n_partitions):
+        superior = set(parted.locally_superior(p).tolist())
+        members = parted.members_of(p)
+        assert superior <= set(members.tolist())
+        for i in members:
+            assert (pop.rank[i] == 0) == (i in superior)
+
+
+# ------------------------------------------------------------- violation
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_aggregate_violation_nonnegative(seed):
+    rng = np.random.default_rng(seed)
+    cons = rng.normal(scale=3.0, size=(int(rng.integers(1, 60)), int(rng.integers(0, 5))))
+    v = aggregate_violation(cons)
+    assert v.shape == (cons.shape[0],)
+    assert np.all(v >= 0.0)
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_aggregate_violation_zero_iff_feasible(seed):
+    rng = np.random.default_rng(seed)
+    cons = rng.normal(size=(20, 3))
+    v = aggregate_violation(cons)
+    feasible = np.all(cons <= 0.0, axis=1)
+    np.testing.assert_array_equal(v == 0.0, feasible)
+
+
+def test_aggregate_violation_monotone_in_constraints():
+    rng = np.random.default_rng(99)
+    cons = rng.normal(size=(15, 4))
+    worse = cons + np.abs(rng.normal(size=cons.shape))
+    assert np.all(aggregate_violation(worse) >= aggregate_violation(cons))
