@@ -1,0 +1,78 @@
+"""Perf-smoke: the kernel microbenchmarks run, agree, and don't regress.
+
+Not part of tier-1 (``testpaths`` excludes ``benchmarks/``); CI runs it
+in the dedicated perf-smoke job.  Sizes are kept small so the job
+finishes in seconds — the committed ``BENCH_kernels.json`` baseline is
+recorded at full scale, and the baseline comparison only looks at
+overlapping (primitive, size) keys.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "benchmarks" / "perf" / "bench_kernels.py"
+
+
+def run_bench(tmp_path, *extra):
+    out = tmp_path / "bench.json"
+    cmd = [
+        sys.executable, str(SCRIPT),
+        "--sizes", "64", "256",
+        "--repeats", "3",
+        "--generations", "2",
+        "--output", str(out),
+        *extra,
+    ]
+    env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"}
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, cwd=REPO, timeout=600
+    )
+    return proc, out
+
+
+def test_bench_writes_json_and_blocked_wins_at_scale(tmp_path):
+    proc, out = run_bench(tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    times = payload["times_s"]
+    ratios = payload["speedup_blocked_over_reference"]
+    # Every primitive x size x kernel combination got timed.
+    for prim in ("nds", "local_rank", "crowded_truncate", "nsga2_e2e"):
+        for n in (64, 256):
+            for kernel in ("blocked", "reference"):
+                key = f"{prim}/n={n}/{kernel}"
+                assert key in times and times[key] > 0.0, key
+            assert f"{prim}/n={n}" in ratios
+    # At N=256 the vectorized sort already beats the per-row loop; keep
+    # the bound loose (1.0x) so CI machine noise can't flake the job.
+    assert ratios["nds/n=256"] > 1.0
+    assert ratios["crowded_truncate/n=256"] > 1.0
+
+
+def test_bench_baseline_comparison(tmp_path):
+    proc, out = run_bench(tmp_path, "--skip-e2e")
+    assert proc.returncode == 0, proc.stderr
+    # Self-comparison passes trivially (ratios equal themselves) ...
+    proc2, _ = run_bench(tmp_path, "--skip-e2e", "--baseline", str(out))
+    assert proc2.returncode == 0, proc2.stderr
+    # ... and an impossibly fast baseline trips the regression gate.
+    payload = json.loads(out.read_text())
+    payload["speedup_blocked_over_reference"] = {
+        k: v * 100.0
+        for k, v in payload["speedup_blocked_over_reference"].items()
+    }
+    fake = tmp_path / "fake_baseline.json"
+    fake.write_text(json.dumps(payload))
+    proc3, _ = run_bench(tmp_path, "--skip-e2e", "--baseline", str(fake))
+    assert proc3.returncode == 1
+    assert "PERF REGRESSION" in proc3.stderr
+
+
+def test_committed_baseline_keys_cover_acceptance_target():
+    """The checked-in baseline must witness the >=3x truncate speedup."""
+    baseline = json.loads((REPO / "BENCH_kernels.json").read_text())
+    ratios = baseline["speedup_blocked_over_reference"]
+    assert ratios["crowded_truncate/n=1600"] >= 3.0

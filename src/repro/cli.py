@@ -24,6 +24,7 @@ from typing import List, Optional
 
 from repro.circuits.specs import spec_ladder
 from repro.core.evaluation import BACKEND_NAMES
+from repro.core.kernels import KERNEL_NAMES
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.reporting import format_table, front_rows
 from repro.experiments.runner import Scale, run_one
@@ -70,6 +71,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         cache_size=args.cache_size,
+        kernel=args.kernel,
         **kwargs,
     )
     front = summary.result.front_objectives
@@ -155,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--cache-size", type=int, default=None,
         help="wrap the backend in an LRU evaluation cache of this many designs",
+    )
+    p_run.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default=None,
+        help="dominance/selection kernel (default: blocked; "
+        "bit-identical results either way)",
     )
     p_run.add_argument("--max-rows", type=int, default=20)
     p_run.add_argument("--json", help="write the front to this JSON file")

@@ -22,6 +22,14 @@ from repro.core.evaluation import (
     ThreadPoolBackend,
     make_backend,
 )
+from repro.core.kernels import (
+    KERNEL_NAMES,
+    get_default_kernel,
+    set_default_kernel,
+    local_rank_and_crowd,
+    rank_and_crowd,
+    truncate_and_rank,
+)
 from repro.core.operators import SBXCrossover, PolynomialMutation, variation
 from repro.core.selection import binary_tournament, linear_rank_selection
 from repro.core.nds import (
@@ -64,6 +72,12 @@ __all__ = [
     "assign_ranks",
     "crowding_distance",
     "crowded_truncate",
+    "KERNEL_NAMES",
+    "get_default_kernel",
+    "set_default_kernel",
+    "local_rank_and_crowd",
+    "rank_and_crowd",
+    "truncate_and_rank",
     "AnnealingSchedule",
     "CompetitionGate",
     "shape_parameters",

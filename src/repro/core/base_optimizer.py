@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.callbacks import CallbackList, HistoryRecorder, ProgressCallback
 from repro.core.evaluation import EvaluationBackend, SerialBackend
 from repro.core.individual import Population
+from repro.core.kernels import resolve_kernel
 from repro.core.operators import PolynomialMutation, SBXCrossover
 from repro.core.results import OptimizationResult, extract_feasible_front
 from repro.problems.base import Problem
@@ -42,6 +43,13 @@ class BaseOptimizer:
         behavior).  Backends are semantics-preserving — the choice
         affects wall time and the stats echoed into result metadata,
         never the optimization trajectory.
+    kernel:
+        Dominance/selection kernel (``"blocked"`` or ``"reference"``,
+        see :mod:`repro.core.kernels`); ``None`` uses the process
+        default.  Kernels are semantics-preserving: both produce
+        bit-identical fronts, so the choice is deliberately *not*
+        echoed into result metadata — serialized results stay
+        byte-comparable across kernels.
     """
 
     algorithm_name = "BaseOptimizer"
@@ -54,6 +62,7 @@ class BaseOptimizer:
         mutation: Optional[PolynomialMutation] = None,
         seed: RngLike = None,
         backend: Optional[EvaluationBackend] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if population_size < 4:
             raise ValueError(
@@ -65,6 +74,8 @@ class BaseOptimizer:
         self.mutation = mutation or PolynomialMutation()
         self.rng = as_rng(seed)
         self.backend = backend or SerialBackend()
+        self.kernel = resolve_kernel(kernel)
+        self._backend_stats_prev = self.backend.stats.as_dict()
         self.history = HistoryRecorder()
         self.history.add_extras_source(self._backend_extras)
         self.callbacks = CallbackList()
@@ -97,12 +108,23 @@ class BaseOptimizer:
         return pop
 
     def _backend_extras(self) -> Dict[str, float]:
-        """Per-generation backend telemetry merged into history records."""
+        """Per-generation backend telemetry merged into history records.
+
+        Reports the *delta* since the previous recorded generation (the
+        backend counters themselves are cumulative across the run), so
+        each record carries the evaluation cost of its own generation —
+        or of the interval since the last record when the recorder's
+        cadence skips generations.
+        """
         stats = self.backend.stats
-        extras = {"eval_time_s": float(stats.eval_time)}
+        prev = self._backend_stats_prev
+        extras = {"eval_time_s": float(stats.eval_time - prev["eval_time"])}
         if stats.cache_hits or stats.cache_misses:
-            extras["cache_hits"] = float(stats.cache_hits)
-            extras["cache_misses"] = float(stats.cache_misses)
+            extras["cache_hits"] = float(stats.cache_hits - prev["cache_hits"])
+            extras["cache_misses"] = float(
+                stats.cache_misses - prev["cache_misses"]
+            )
+        self._backend_stats_prev = stats.as_dict()
         return extras
 
     def _initial_population(
@@ -161,6 +183,9 @@ class BaseOptimizer:
         self.history.clear()
         self._n_evaluations = 0
         self._stop_requested = False
+        # Telemetry deltas are relative to the run start, even when the
+        # backend (and its cumulative counters) is reused across runs.
+        self._backend_stats_prev = self.backend.stats.as_dict()
         self.problem.reset_evaluation_counter()
         start = time.perf_counter()
         population, meta = self._run_loop(n_generations, initial_x)

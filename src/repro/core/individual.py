@@ -134,8 +134,22 @@ class Population:
     # ---------------------------------------------------------- operations
 
     def subset(self, indices: Sequence[int]) -> "Population":
-        """New population holding rows *indices* (derived attrs carried over)."""
-        idx = np.asarray(indices, dtype=int)
+        """New population holding rows *indices* (derived attrs carried over).
+
+        *indices* is either integer row positions or a boolean mask of
+        length ``size``.  A boolean mask must match the population size —
+        previously it was silently cast to the 0/1 integer rows.
+        """
+        idx = np.asarray(indices)
+        if idx.dtype == bool:
+            if idx.shape != (self.size,):
+                raise ValueError(
+                    f"boolean mask shape {idx.shape} does not match "
+                    f"population size {self.size}"
+                )
+            idx = np.flatnonzero(idx)
+        else:
+            idx = idx.astype(int)
         ev = Evaluation(
             objectives=self.objectives[idx],
             constraints=self.constraints[idx],

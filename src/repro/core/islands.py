@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.base_optimizer import BaseOptimizer
 from repro.core.individual import Population
-from repro.core.nds import crowded_truncate, crowding_distance, fast_non_dominated_sort
+from repro.core.kernels import rank_and_crowd, truncate_and_rank
 from repro.core.operators import variation
 from repro.core.selection import binary_tournament, shuffle_for_mating
 from repro.problems.base import Problem
@@ -60,6 +60,7 @@ class IslandNSGA2(BaseOptimizer):
         mutation=None,
         seed: RngLike = None,
         backend=None,
+        kernel=None,
     ) -> None:
         super().__init__(
             problem,
@@ -68,6 +69,7 @@ class IslandNSGA2(BaseOptimizer):
             mutation=mutation,
             seed=seed,
             backend=backend,
+            kernel=kernel,
         )
         if n_islands < 1:
             raise ValueError(f"n_islands must be >= 1, got {n_islands}")
@@ -95,12 +97,12 @@ class IslandNSGA2(BaseOptimizer):
             sizes[i] += 1
         return sizes
 
-    @staticmethod
-    def _rank_and_crowd(pop: Population) -> None:
-        fronts = fast_non_dominated_sort(pop.objectives, pop.violation)
-        for level, front in enumerate(fronts):
-            pop.rank[front] = level
-            pop.crowding[front] = crowding_distance(pop.objectives[front])
+    def _rank_and_crowd(self, pop: Population) -> None:
+        rank, crowding = rank_and_crowd(
+            pop.objectives, pop.violation, kernel=self.kernel
+        )
+        pop.rank[:] = rank
+        pop.crowding[:] = crowding
 
     def _evolve_island(self, island: Population, size: int) -> Population:
         parents_idx = binary_tournament(
@@ -117,9 +119,12 @@ class IslandNSGA2(BaseOptimizer):
         )
         offspring = self._evaluate_population(offspring_x)
         merged = island.concat(offspring)
-        keep = crowded_truncate(merged.objectives, merged.violation, size)
+        keep, rank, crowding = truncate_and_rank(
+            merged.objectives, merged.violation, size, kernel=self.kernel
+        )
         survivor = merged.subset(keep)
-        self._rank_and_crowd(survivor)
+        survivor.rank[:] = rank
+        survivor.crowding[:] = crowding
         return survivor
 
     def _migrate(self, islands: List[Population]) -> List[Population]:

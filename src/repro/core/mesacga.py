@@ -68,6 +68,7 @@ class MESACGA(SACGA):
         seed: RngLike = None,
         config: Optional[SACGAConfig] = None,
         backend=None,
+        kernel=None,
     ) -> None:
         schedule = list(partition_schedule or PAPER_SCHEDULE)
         _validate_schedule(schedule)
@@ -83,6 +84,7 @@ class MESACGA(SACGA):
             seed=seed,
             config=config,
             backend=backend,
+            kernel=kernel,
         )
         self.partition_schedule = schedule
         self.span_per_phase = None if span_per_phase is None else int(span_per_phase)
@@ -135,7 +137,7 @@ class MESACGA(SACGA):
         initial_x: Optional[np.ndarray],
     ) -> Tuple[Population, Dict]:
         population = self._initial_population(initial_x)
-        parted = PartitionedPopulation(population, self.grid)
+        parted = PartitionedPopulation(population, self.grid, kernel=self.kernel)
         self.history.record(0, parted.population, self._n_evaluations, force=True)
         self.callbacks(0, parted.population)
 
@@ -151,7 +153,9 @@ class MESACGA(SACGA):
                 continue
             # Expand partitions: same range, fewer slices, larger capacity.
             self.grid = self.grid.with_partitions(m)
-            parted = PartitionedPopulation(parted.population, self.grid)
+            parted = PartitionedPopulation(
+                parted.population, self.grid, kernel=self.kernel
+            )
             live = self._live_partitions(parted)
             gate = shape_parameters(
                 n=self.config.n_per_partition,

@@ -4,6 +4,14 @@ Both routines honour constrained dominance: every feasible solution
 outranks every infeasible one, and infeasible solutions are layered by
 total violation.  This is the constraint handling used by NSGA-II and,
 per the paper, by all three compared algorithms.
+
+The heavy lifting lives in :mod:`repro.core.kernels`, which provides two
+interchangeable implementations — the historical per-row Python loop
+(``kernel="reference"``, the oracle) and a blocked full-matrix broadcast
+(``kernel="blocked"``, the default).  Every public function here takes a
+``kernel=`` argument; ``None`` uses the process-wide default
+(:func:`repro.core.kernels.set_default_kernel` / ``REPRO_KERNEL``).
+Both kernels return bit-identical results.
 """
 
 from __future__ import annotations
@@ -12,10 +20,26 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.kernels import (
+    _truncate_indices,
+    constrained_fronts,
+    crowding_distance,
+    nds_fronts_reference,
+    resolve_kernel,
+)
+
+__all__ = [
+    "fast_non_dominated_sort",
+    "assign_ranks",
+    "crowding_distance",
+    "crowded_truncate",
+]
+
 
 def fast_non_dominated_sort(
     objectives: np.ndarray,
     violations: Optional[np.ndarray] = None,
+    kernel: Optional[str] = None,
 ) -> List[np.ndarray]:
     """Partition points into Pareto fronts F1, F2, ...
 
@@ -28,107 +52,34 @@ def fast_non_dominated_sort(
     constrained-dominance ordering without an O(n^2) pass over the
     infeasible subset.
     """
-    objs = np.atleast_2d(np.asarray(objectives, dtype=float))
-    n = objs.shape[0]
-    if n == 0:
-        return []
-    if violations is None:
-        violations = np.zeros(n)
-    violations = np.asarray(violations, dtype=float).reshape(n)
-    feasible = violations <= 0.0
-
-    fronts: List[np.ndarray] = []
-    feas_idx = np.flatnonzero(feasible)
-    if feas_idx.size:
-        for front in _sort_unconstrained(objs[feas_idx]):
-            fronts.append(feas_idx[front])
-
-    infeas_idx = np.flatnonzero(~feasible)
-    if infeas_idx.size:
-        v = violations[infeas_idx]
-        order = np.argsort(v, kind="stable")
-        sorted_idx = infeas_idx[order]
-        sorted_v = v[order]
-        # Group ties in violation into a single front.
-        start = 0
-        for i in range(1, sorted_idx.size + 1):
-            if i == sorted_idx.size or sorted_v[i] > sorted_v[start]:
-                fronts.append(sorted_idx[start:i])
-                start = i
-    return fronts
+    return constrained_fronts(objectives, violations, kernel=kernel)
 
 
 def _sort_unconstrained(objs: np.ndarray) -> List[np.ndarray]:
-    """Deb's fast non-dominated sort on feasible points only."""
-    n = objs.shape[0]
-    domination_count = np.zeros(n, dtype=int)
-    dominated_by: List[np.ndarray] = [np.zeros(0, dtype=int)] * n
-    for i in range(n):
-        le = np.all(objs[i] <= objs, axis=1)
-        lt = np.any(objs[i] < objs, axis=1)
-        dom = le & lt  # i dominates these
-        dom[i] = False
-        dominated_by[i] = np.flatnonzero(dom)
-        domination_count[dom] += 1
-
-    fronts: List[np.ndarray] = []
-    current = np.flatnonzero(domination_count == 0)
-    remaining = domination_count.copy()
-    while current.size:
-        fronts.append(current)
-        # Mark processed so they never reappear.
-        remaining[current] = -1
-        for i in current:
-            remaining[dominated_by[i]] -= 1
-        current = np.flatnonzero(remaining == 0)
-    return fronts
+    """Deb's fast non-dominated sort on feasible points only (oracle)."""
+    return nds_fronts_reference(objs)
 
 
 def assign_ranks(
     objectives: np.ndarray,
     violations: Optional[np.ndarray] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Per-point front index (0 = non-dominated) from the fast sort."""
     objs = np.atleast_2d(np.asarray(objectives, dtype=float))
     ranks = np.full(objs.shape[0], -1, dtype=int)
-    for level, front in enumerate(fast_non_dominated_sort(objs, violations)):
+    for level, front in enumerate(
+        fast_non_dominated_sort(objs, violations, kernel=kernel)
+    ):
         ranks[front] = level
     return ranks
-
-
-def crowding_distance(objectives: np.ndarray) -> np.ndarray:
-    """Crowding distance of each point within one front.
-
-    Boundary points of every objective get ``inf``.  Objectives with zero
-    range contribute nothing.  Empty and singleton inputs are handled
-    (singleton gets ``inf``).
-    """
-    objs = np.atleast_2d(np.asarray(objectives, dtype=float))
-    n, m = objs.shape
-    if n == 0:
-        return np.zeros(0)
-    if n <= 2:
-        return np.full(n, np.inf)
-    distance = np.zeros(n)
-    for j in range(m):
-        order = np.argsort(objs[:, j], kind="stable")
-        col = objs[order, j]
-        span = col[-1] - col[0]
-        distance[order[0]] = np.inf
-        distance[order[-1]] = np.inf
-        if span <= 0:
-            continue
-        gaps = (col[2:] - col[:-2]) / span
-        inner = order[1:-1]
-        finite = ~np.isinf(distance[inner])
-        distance[inner[finite]] += gaps[finite]
-    return distance
 
 
 def crowded_truncate(
     objectives: np.ndarray,
     violations: Optional[np.ndarray],
     k: int,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Select *k* indices by (rank, crowding) — NSGA-II environmental selection.
 
@@ -137,22 +88,6 @@ def crowded_truncate(
     indices (rank-major order).
     """
     objs = np.atleast_2d(np.asarray(objectives, dtype=float))
-    n = objs.shape[0]
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
-    if k >= n:
-        return np.arange(n)
-    chosen: List[np.ndarray] = []
-    taken = 0
-    for front in fast_non_dominated_sort(objs, violations):
-        if taken + front.size <= k:
-            chosen.append(front)
-            taken += front.size
-            if taken == k:
-                break
-        else:
-            dist = crowding_distance(objs[front])
-            order = np.argsort(-dist, kind="stable")
-            chosen.append(front[order[: k - taken]])
-            break
-    return np.concatenate(chosen) if chosen else np.zeros(0, dtype=int)
+    return _truncate_indices(objs, violations, k, resolve_kernel(kernel))

@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.core.base_optimizer import BaseOptimizer
 from repro.core.individual import Population
-from repro.core.nds import assign_ranks, crowding_distance, crowded_truncate, fast_non_dominated_sort
+from repro.core.kernels import rank_and_crowd, truncate_and_rank
+from repro.core.nds import assign_ranks
 from repro.core.operators import variation
 from repro.core.selection import binary_tournament, shuffle_for_mating
 
@@ -33,12 +34,11 @@ class NSGA2(BaseOptimizer):
 
     def _rank_and_crowd(self, population: Population) -> None:
         """Assign global rank and per-front crowding distance in place."""
-        fronts = fast_non_dominated_sort(population.objectives, population.violation)
-        for level, front in enumerate(fronts):
-            population.rank[front] = level
-            population.crowding[front] = crowding_distance(
-                population.objectives[front]
-            )
+        rank, crowding = rank_and_crowd(
+            population.objectives, population.violation, kernel=self.kernel
+        )
+        population.rank[:] = rank
+        population.crowding[:] = crowding
 
     def _run_loop(
         self,
@@ -69,11 +69,19 @@ class NSGA2(BaseOptimizer):
             offspring = self._evaluate_population(offspring_x)
 
             merged = population.concat(offspring)
-            keep = crowded_truncate(
-                merged.objectives, merged.violation, self.population_size
+            # Fused environmental selection: one non-dominated sort picks
+            # the survivors AND yields their post-truncation (rank,
+            # crowding) — the reference kernel runs the historical
+            # truncate-then-resort pair instead.
+            keep, rank, crowding = truncate_and_rank(
+                merged.objectives,
+                merged.violation,
+                self.population_size,
+                kernel=self.kernel,
             )
             population = merged.subset(keep)
-            self._rank_and_crowd(population)
+            population.rank[:] = rank
+            population.crowding[:] = crowding
 
             self.history.record(
                 gen,

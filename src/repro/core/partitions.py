@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.individual import Population
-from repro.core.nds import crowding_distance, fast_non_dominated_sort
+from repro.core.kernels import local_rank_and_crowd
 from repro.utils.validation import check_positive
 
 
@@ -140,11 +140,21 @@ class PartitionedPopulation:
     partition, which members are *locally superior* (the partition's own
     non-dominated feasible front) and maintains the local (rank, crowding)
     attributes used for local environmental selection.
+
+    *kernel* selects the ranking implementation
+    (``"blocked"``/``"reference"``, see :mod:`repro.core.kernels`);
+    ``None`` uses the process default.  Both produce identical rankings.
     """
 
-    def __init__(self, population: Population, grid: PartitionGrid) -> None:
+    def __init__(
+        self,
+        population: Population,
+        grid: PartitionGrid,
+        kernel: Optional[str] = None,
+    ) -> None:
         self.population = population
         self.grid = grid
+        self.kernel = kernel
         self._assign_partitions()
         self._rank_locally()
 
@@ -158,21 +168,23 @@ class PartitionedPopulation:
             pop.partition = np.zeros(0, dtype=int)
 
     def _rank_locally(self) -> None:
-        """Local constrained NDS + crowding within every partition."""
+        """Local constrained NDS + crowding within every partition.
+
+        All partitions are ranked in one batched kernel call (the blocked
+        kernel peels every partition's fronts from a single augmented
+        sort; the reference kernel loops partitions as the original code
+        did).
+        """
         pop = self.population
-        pop.rank[:] = 0
-        pop.crowding[:] = 0.0
-        for p in range(self.grid.n_partitions):
-            members = np.flatnonzero(pop.partition == p)
-            if members.size == 0:
-                continue
-            fronts = fast_non_dominated_sort(
-                pop.objectives[members], pop.violation[members]
-            )
-            for level, front in enumerate(fronts):
-                idx = members[front]
-                pop.rank[idx] = level
-                pop.crowding[idx] = crowding_distance(pop.objectives[idx])
+        rank, crowding = local_rank_and_crowd(
+            pop.objectives,
+            pop.violation,
+            pop.partition,
+            self.grid.n_partitions,
+            kernel=self.kernel,
+        )
+        pop.rank[:] = rank
+        pop.crowding[:] = crowding
 
     # ----------------------------------------------------------- accessors
 
@@ -240,4 +252,4 @@ class PartitionedPopulation:
 
     def rebuild(self, population: Population) -> "PartitionedPopulation":
         """New partitioned view of *population* under the same grid."""
-        return PartitionedPopulation(population, self.grid)
+        return PartitionedPopulation(population, self.grid, kernel=self.kernel)

@@ -193,5 +193,5 @@ class AdaptiveSACGA(SACGA):
                 high=self.grid.high,
             )
             self.grid = new_grid
-            out = PartitionedPopulation(out.population, new_grid)
+            out = PartitionedPopulation(out.population, new_grid, kernel=self.kernel)
         return out

@@ -120,6 +120,7 @@ class SACGA(BaseOptimizer):
         seed: RngLike = None,
         config: Optional[SACGAConfig] = None,
         backend=None,
+        kernel=None,
     ) -> None:
         super().__init__(
             problem,
@@ -128,6 +129,7 @@ class SACGA(BaseOptimizer):
             mutation=mutation,
             seed=seed,
             backend=backend,
+            kernel=kernel,
         )
         self.grid = grid
         self.config = config or SACGAConfig()
@@ -187,14 +189,14 @@ class SACGA(BaseOptimizer):
         offspring = self._evaluate_population(offspring_x)
 
         merged = pop.concat(offspring)
-        merged_view = PartitionedPopulation(merged, self.grid)
+        merged_view = PartitionedPopulation(merged, self.grid, kernel=self.kernel)
         # Carry the global-competition demotions into survival: a dominated
         # participant keeps its elimination risk even after local re-ranking
         # of the merged pool (parent rows come first in `merged`).
         if gate is not None and demotion.any():
             merged_view.population.rank[: pop.size] += demotion.astype(int)
         survivors = merged_view.local_truncate(self._capacity(len(live)), live)
-        return PartitionedPopulation(survivors, self.grid)
+        return PartitionedPopulation(survivors, self.grid, kernel=self.kernel)
 
     def _revise_ranks(
         self,
@@ -225,7 +227,9 @@ class SACGA(BaseOptimizer):
         if pool.size == 0:
             return revised, 0
 
-        global_rank = assign_ranks(pop.objectives[pool], pop.violation[pool])
+        global_rank = assign_ranks(
+            pop.objectives[pool], pop.violation[pool], kernel=self.kernel
+        )
         if self.config.demote_dominated:
             # Globally superior keep rank 0; dominated participants are
             # demoted below every locally-superior non-participant.
@@ -279,7 +283,7 @@ class SACGA(BaseOptimizer):
         initial_x: Optional[np.ndarray],
     ) -> Tuple[Population, Dict]:
         population = self._initial_population(initial_x)
-        parted = PartitionedPopulation(population, self.grid)
+        parted = PartitionedPopulation(population, self.grid, kernel=self.kernel)
         self.history.record(0, parted.population, self._n_evaluations, force=True)
         self.callbacks(0, parted.population)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels import crowded_compare
 from repro.utils.validation import check_in_range
 
 
@@ -36,13 +37,8 @@ def binary_tournament(
         raise ValueError(f"n_select must be non-negative, got {n_select}")
     i = rng.integers(0, n, size=n_select)
     j = rng.integers(0, n, size=n_select)
-    better_rank = rank[i] < rank[j]
-    worse_rank = rank[i] > rank[j]
-    tie = ~(better_rank | worse_rank)
-    more_crowded = crowding[i] > crowding[j]
-    less_crowded = crowding[i] < crowding[j]
     coin = rng.random(n_select) < 0.5
-    pick_i = better_rank | (tie & more_crowded) | (tie & ~more_crowded & ~less_crowded & coin)
+    pick_i = crowded_compare(rank[i], crowding[i], rank[j], crowding[j], coin)
     return np.where(pick_i, i, j)
 
 

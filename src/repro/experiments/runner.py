@@ -99,6 +99,7 @@ def make_algorithm(
     config: Optional[SACGAConfig] = None,
     generations: Optional[int] = None,
     backend: Optional[EvaluationBackend] = None,
+    kernel: Optional[str] = None,
 ):
     """Factory for the three compared algorithms.
 
@@ -108,6 +109,8 @@ def make_algorithm(
     reduced-scale runs keep the paper's phase proportions.  *backend*
     (an :class:`repro.core.evaluation.EvaluationBackend`) selects how
     fitness batches are evaluated; ``None`` keeps the serial default.
+    *kernel* selects the dominance/selection kernel
+    (``"blocked"``/``"reference"``; both are bit-identical in output).
     """
     key = name.strip().lower()
     gens = generations if generations is not None else scale.generations
@@ -115,7 +118,11 @@ def make_algorithm(
         config = SACGAConfig(phase1_max_iterations=default_phase1_cap(gens))
     if key in ("tpg", "nsga2", "nsga-ii"):
         return NSGA2(
-            problem, population_size=scale.population, seed=seed, backend=backend
+            problem,
+            population_size=scale.population,
+            seed=seed,
+            backend=backend,
+            kernel=kernel,
         )
     if key == "sacga":
         grid = problem.partition_grid(n_partitions)
@@ -126,6 +133,7 @@ def make_algorithm(
             seed=seed,
             config=config,
             backend=backend,
+            kernel=kernel,
         )
     if key == "mesacga":
         return MESACGA(
@@ -138,6 +146,7 @@ def make_algorithm(
             seed=seed,
             config=config,
             backend=backend,
+            kernel=kernel,
         )
     raise KeyError(f"unknown algorithm {name!r} (want tpg / sacga / mesacga)")
 
@@ -179,6 +188,7 @@ def run_one(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     cache_size: Optional[int] = None,
+    kernel: Optional[str] = None,
     **algo_kwargs,
 ) -> RunSummary:
     """Run one algorithm once and score its front.
@@ -187,7 +197,8 @@ def run_one(
     seed_index)`` so benchmarks are reproducible run to run.  *backend*
     (``"serial"`` / ``"thread"`` / ``"process"``), *workers* and
     *cache_size* configure the evaluation backend; the pool is shut down
-    once the run finishes.
+    once the run finishes.  *kernel* picks the dominance/selection
+    kernel (``"blocked"``/``"reference"``) — a pure speed knob.
     """
     scale = scale or Scale.from_env()
     problem = problem or make_problem(spec, scale)
@@ -196,7 +207,7 @@ def run_one(
     eval_backend = make_backend(backend, workers=workers, cache_size=cache_size)
     algorithm = make_algorithm(
         name, problem, scale, seed, generations=gens, backend=eval_backend,
-        **algo_kwargs,
+        kernel=kernel, **algo_kwargs,
     )
     try:
         result = algorithm.run(gens)

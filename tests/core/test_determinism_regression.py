@@ -13,6 +13,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.circuits.sizing_problem import IntegratorSizingProblem
 from repro.core.evaluation import CachedBackend, SerialBackend, ThreadPoolBackend
 from repro.core.mesacga import MESACGA
 from repro.core.nsga2 import NSGA2
@@ -26,21 +27,29 @@ GENS = 5
 SEED = 1234
 
 
-def build(name, backend=None):
-    problem = ClusteredFeasibility(n_var=4)
+def build(name, backend=None, problem=None, kernel=None):
+    if problem is None:
+        problem = ClusteredFeasibility(n_var=4)
+    high = 1.0
+    if isinstance(problem, IntegratorSizingProblem):
+        high = 5.0e-12
     config = SACGAConfig(phase1_max_iterations=2)
     if name == "nsga2":
-        return NSGA2(problem, population_size=POP, seed=SEED, backend=backend)
+        return NSGA2(
+            problem, population_size=POP, seed=SEED, backend=backend,
+            kernel=kernel,
+        )
     if name == "sacga":
-        grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=4)
+        grid = PartitionGrid(axis=1, low=0.0, high=high, n_partitions=4)
         return SACGA(
             problem, grid, population_size=POP, seed=SEED,
-            config=config, backend=backend,
+            config=config, backend=backend, kernel=kernel,
         )
     if name == "mesacga":
         return MESACGA(
-            problem, axis=1, low=0.0, high=1.0, partition_schedule=(4, 2, 1),
+            problem, axis=1, low=0.0, high=high, partition_schedule=(4, 2, 1),
             population_size=POP, seed=SEED, config=config, backend=backend,
+            kernel=kernel,
         )
     raise KeyError(name)
 
@@ -98,6 +107,32 @@ def test_include_timing_strips_wall_clock_fields():
     assert "eval_time" not in without["metadata"]["backend_stats"]
     assert all("eval_time_s" in rec["extras"] for rec in with_timing["history"])
     assert all("eval_time_s" not in rec["extras"] for rec in without["history"])
+
+
+@pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
+def test_blocked_and_reference_kernels_serialize_byte_identical(algo):
+    """The kernel switch is a pure speed knob: full serialized payloads —
+    fronts, per-generation history, metadata — match at the byte level.
+    (The kernel is deliberately not echoed into result metadata so this
+    comparison needs no field stripping.)"""
+    blocked = serialized(build(algo, kernel="blocked").run(GENS))
+    reference = serialized(build(algo, kernel="reference").run(GENS))
+    assert blocked == reference
+
+
+@pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
+def test_kernels_byte_identical_on_integrator_problem(algo):
+    """Same contract on the real circuit-sizing problem (constraints,
+    Monte-Carlo evaluation, physical partition range)."""
+    blocked = serialized(
+        build(algo, problem=IntegratorSizingProblem(n_mc=2), kernel="blocked").run(GENS)
+    )
+    reference = serialized(
+        build(
+            algo, problem=IntegratorSizingProblem(n_mc=2), kernel="reference"
+        ).run(GENS)
+    )
+    assert blocked == reference
 
 
 def test_different_seeds_actually_differ():

@@ -335,9 +335,53 @@ def test_backend_stats_in_metadata_and_history():
     stats = result.metadata["backend_stats"]
     assert stats["n_batches"] == GENS + 1
     assert stats["eval_time"] >= 0.0
-    # Every history record carries cumulative eval wall time, and the
-    # cache counters appear once the cache is active.
+    # Every history record carries *per-generation* eval wall time and
+    # cache-counter deltas (not cumulative totals).
     assert all("eval_time_s" in rec.extras for rec in result.history)
-    last = result.history[-1].extras
-    assert last["eval_time_s"] >= result.history[0].extras["eval_time_s"]
-    assert last["cache_hits"] + last["cache_misses"] == result.n_evaluations
+    assert all(rec.extras["eval_time_s"] >= 0.0 for rec in result.history)
+    total_hits = sum(rec.extras.get("cache_hits", 0) for rec in result.history)
+    total_misses = sum(rec.extras.get("cache_misses", 0) for rec in result.history)
+    assert total_hits + total_misses == result.n_evaluations
+
+
+def test_backend_extras_are_per_generation_deltas():
+    """Regression: history extras are deltas, so they sum to the totals.
+
+    The pre-fix behaviour reported the backend's *cumulative* counters in
+    every record, so summing over history overcounted by roughly a factor
+    of ``len(history)``; a single generation's record also carried the
+    whole run's eval time.  Deltas reconcile exactly with the final
+    cumulative ``backend_stats``.
+    """
+    backend = CachedBackend(ThreadPoolBackend(n_workers=2), max_size=256)
+    result = make_optimizer("nsga2", synthetic_problem(), 21, backend).run(GENS)
+    stats = result.metadata["backend_stats"]
+    hist = result.history
+    assert np.isclose(
+        sum(rec.extras["eval_time_s"] for rec in hist), stats["eval_time"]
+    )
+    assert sum(rec.extras.get("cache_hits", 0) for rec in hist) == stats["cache_hits"]
+    assert (
+        sum(rec.extras.get("cache_misses", 0) for rec in hist)
+        == stats["cache_misses"]
+    )
+    # Each generation evaluates one offspring batch: no record may carry
+    # more lookups than the whole run (the cumulative-reporting symptom).
+    per_gen = [
+        rec.extras.get("cache_hits", 0) + rec.extras.get("cache_misses", 0)
+        for rec in hist
+    ]
+    assert all(0 <= n <= POP for n in per_gen)
+
+
+def test_backend_extras_deltas_reset_between_runs():
+    """A second ``run()`` must not inherit the first run's counters."""
+    backend = CachedBackend(SerialBackend(), max_size=256)
+    opt = make_optimizer("nsga2", synthetic_problem(), 21, backend)
+    first = opt.run(GENS)
+    second = opt.run(GENS)
+    for result in (first, second):
+        gen0 = result.history[0].extras
+        lookups = gen0.get("cache_hits", 0) + gen0.get("cache_misses", 0)
+        # The initial-population record covers exactly one batch of POP.
+        assert lookups == POP

@@ -71,6 +71,33 @@ class TestOperations:
         sub.x[0, 0] = 999.0
         assert pop.x[0, 0] != 999.0
 
+    def test_subset_boolean_mask(self):
+        pop, _ = make_population(6)
+        pop.rank[:] = np.arange(6)
+        mask = np.array([True, False, True, False, False, True])
+        sub = pop.subset(mask)
+        assert sub.size == 3
+        np.testing.assert_array_equal(sub.rank, [0, 2, 5])
+        np.testing.assert_array_equal(sub.x, pop.x[[0, 2, 5]])
+
+    def test_subset_boolean_mask_matches_flatnonzero(self):
+        # Regression: a mask used to be cast to 0/1 *row indices*,
+        # silently selecting only rows 0 and 1.
+        pop, _ = make_population(5)
+        mask = np.array([False, True, True, False, True])
+        np.testing.assert_array_equal(
+            pop.subset(mask).x, pop.subset(np.flatnonzero(mask)).x
+        )
+
+    def test_subset_boolean_mask_wrong_length_rejected(self):
+        pop, _ = make_population(4)
+        with pytest.raises(ValueError, match="mask"):
+            pop.subset(np.array([True, False]))
+
+    def test_subset_all_false_mask_is_empty(self):
+        pop, _ = make_population(3)
+        assert pop.subset(np.zeros(3, dtype=bool)).size == 0
+
     def test_concat_sizes_and_attributes(self):
         a, _ = make_population(3, seed=1)
         b, _ = make_population(4, seed=2)
