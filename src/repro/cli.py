@@ -9,7 +9,15 @@ Subcommands
 
 ``repro run ALGO``
     Run one algorithm on the integrator sizing problem and print the
-    resulting design surface.
+    resulting design surface.  ``--checkpoint FILE`` makes the run
+    crash-safe; ``--ledger FILE`` appends a JSONL event trace.
+
+``repro resume CKPT``
+    Continue a checkpointed ``repro run`` after a crash; the finished
+    result is byte-identical to an uninterrupted run.
+
+``repro trace LEDGER``
+    Summarize a run ledger, or tail its last events with ``--tail N``.
 
 ``repro spec-ladder``
     Print the 20-step specification difficulty ladder.
@@ -26,8 +34,15 @@ from repro.circuits.specs import spec_ladder
 from repro.core.evaluation import BACKEND_NAMES
 from repro.core.kernels import KERNEL_NAMES
 from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.ledger import (
+    format_event,
+    format_summary,
+    read_ledger,
+    summarize_ledger,
+    tail_events,
+)
 from repro.experiments.reporting import format_table, front_rows
-from repro.experiments.runner import Scale, run_one
+from repro.experiments.runner import Scale, RunSummary, resume_run, run_one
 
 
 def _scale_from_args(args: argparse.Namespace) -> Scale:
@@ -59,6 +74,44 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_run_summary(
+    summary: RunSummary,
+    max_rows: int = 20,
+    json_path: Optional[str] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    cache_size: Optional[int] = None,
+) -> None:
+    front = summary.result.front_objectives
+    stats = summary.result.metadata.get("backend_stats", {})
+    backend_note = f" backend={backend or 'serial'}"
+    if workers:
+        backend_note += f" workers={workers}"
+    if cache_size:
+        backend_note += (
+            f" cache_hits={stats.get('cache_hits', 0)}"
+            f"/{stats.get('cache_hits', 0) + stats.get('cache_misses', 0)}"
+        )
+    print(
+        f"{summary.algorithm}: front={summary.front_size} "
+        f"coverage={summary.coverage:.2f} hv_paper={summary.hv_paper:.2f} "
+        f"({summary.n_evaluations} evaluations, {summary.wall_time:.1f}s,"
+        f"{backend_note})"
+    )
+    rows = front_rows(front, max_rows=max_rows)
+    print(format_table(["c_load_pF", "power_mW"], rows))
+    if json_path:
+        payload = {
+            "algorithm": summary.algorithm,
+            "front": front.tolist(),
+            "coverage": summary.coverage,
+            "hv_paper": summary.hv_paper,
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {json_path}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     kwargs = {}
@@ -72,36 +125,34 @@ def cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_size=args.cache_size,
         kernel=args.kernel,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        ledger=args.ledger,
         **kwargs,
     )
-    front = summary.result.front_objectives
-    stats = summary.result.metadata.get("backend_stats", {})
-    backend_note = f" backend={args.backend or 'serial'}"
-    if args.workers:
-        backend_note += f" workers={args.workers}"
-    if args.cache_size:
-        backend_note += (
-            f" cache_hits={stats.get('cache_hits', 0)}"
-            f"/{stats.get('cache_hits', 0) + stats.get('cache_misses', 0)}"
-        )
-    print(
-        f"{summary.algorithm}: front={summary.front_size} "
-        f"coverage={summary.coverage:.2f} hv_paper={summary.hv_paper:.2f} "
-        f"({summary.n_evaluations} evaluations, {summary.wall_time:.1f}s,"
-        f"{backend_note})"
+    _print_run_summary(
+        summary,
+        max_rows=args.max_rows,
+        json_path=args.json,
+        backend=args.backend,
+        workers=args.workers,
+        cache_size=args.cache_size,
     )
-    rows = front_rows(front, max_rows=args.max_rows)
-    print(format_table(["c_load_pF", "power_mW"], rows))
-    if args.json:
-        payload = {
-            "algorithm": summary.algorithm,
-            "front": front.tolist(),
-            "coverage": summary.coverage,
-            "hv_paper": summary.hv_paper,
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    summary = resume_run(args.checkpoint, ledger=args.ledger)
+    _print_run_summary(summary, max_rows=args.max_rows, json_path=args.json)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.tail:
+        for event in tail_events(args.ledger, args.tail):
+            print(format_event(event))
+    else:
+        print(format_summary(summarize_ledger(read_ledger(args.ledger))))
     return 0
 
 
@@ -167,7 +218,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--max-rows", type=int, default=20)
     p_run.add_argument("--json", help="write the front to this JSON file")
+    p_run.add_argument(
+        "--checkpoint",
+        default=None,
+        help="write a crash-safe checkpoint to this file every "
+        "--checkpoint-every generations (resume with `repro resume`)",
+    )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=10,
+        help="checkpoint cadence in generations (default: 10)",
+    )
+    p_run.add_argument(
+        "--ledger",
+        default=None,
+        help="append a JSONL event trace to this file "
+        "(inspect with `repro trace`)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_resume = sub.add_parser(
+        "resume", help="continue a checkpointed `repro run` after a crash"
+    )
+    p_resume.add_argument("checkpoint", help="checkpoint file written by `repro run`")
+    p_resume.add_argument(
+        "--ledger", default=None, help="append trace events to this JSONL file"
+    )
+    p_resume.add_argument("--max-rows", type=int, default=20)
+    p_resume.add_argument("--json", help="write the front to this JSON file")
+    p_resume.set_defaults(func=cmd_resume)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize or tail a JSONL run ledger"
+    )
+    p_trace.add_argument("ledger", help="ledger file written by --ledger")
+    p_trace.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="print the last N events instead of the summary",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_spec = sub.add_parser("spec-ladder", help="print the 20-spec difficulty ladder")
     p_spec.add_argument("-n", type=int, default=20)

@@ -51,7 +51,17 @@ from repro.core.islands import IslandNSGA2
 from repro.core.sacga import SACGA, SACGAConfig
 from repro.core.mesacga import MESACGA, PAPER_SCHEDULE, paper_schedule
 from repro.core.results import OptimizationResult, GenerationRecord
-from repro.core.callbacks import HistoryRecorder, StagnationStop
+from repro.core.callbacks import (
+    HistoryRecorder,
+    RunTimeoutError,
+    StagnationStop,
+    WallClockTimeout,
+)
+from repro.core.checkpoint import (
+    CheckpointCallback,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
     "Population",
@@ -98,4 +108,9 @@ __all__ = [
     "GenerationRecord",
     "HistoryRecorder",
     "StagnationStop",
+    "RunTimeoutError",
+    "WallClockTimeout",
+    "CheckpointCallback",
+    "load_checkpoint",
+    "save_checkpoint",
 ]

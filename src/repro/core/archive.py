@@ -17,7 +17,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -34,12 +34,29 @@ class ParetoArchive:
     ----------
     capacity:
         Maximum number of stored solutions; ``None`` = unbounded.
+    n_var, n_obj:
+        Optional column dimensions, so that :meth:`contents` of an
+        archive that never received a point still returns correctly
+        shaped ``(0, n_var)`` / ``(0, n_obj)`` arrays (downstream
+        ``vstack`` works).  When omitted, the dimensions are remembered
+        from the first :meth:`add` and survive :meth:`clear`.
     """
 
-    def __init__(self, capacity: Optional[int] = 300) -> None:
+    def __init__(
+        self,
+        capacity: Optional[int] = 300,
+        n_var: Optional[int] = None,
+        n_obj: Optional[int] = None,
+    ) -> None:
         if capacity is not None:
             check_positive("capacity", capacity)
+        if n_var is not None:
+            check_positive("n_var", n_var)
+        if n_obj is not None:
+            check_positive("n_obj", n_obj)
         self.capacity = capacity
+        self.n_var = n_var
+        self.n_obj = n_obj
         self._x: Optional[np.ndarray] = None
         self._f: Optional[np.ndarray] = None
         self.n_observed = 0
@@ -66,9 +83,17 @@ class ParetoArchive:
         return self._f.copy()
 
     def contents(self) -> Tuple[np.ndarray, np.ndarray]:
-        """(x, objectives) of the current archive (empty arrays if unused)."""
+        """(x, objectives) of the current archive.
+
+        An empty archive returns ``(0, n_var)`` / ``(0, n_obj)`` arrays
+        when the dimensions are known (from ``__init__`` or a previous
+        :meth:`add`), so callers can ``vstack`` without special-casing.
+        """
         if self._f is None:
-            return np.zeros((0, 0)), np.zeros((0, 0))
+            return (
+                np.zeros((0, self.n_var or 0)),
+                np.zeros((0, self.n_obj or 0)),
+            )
         return self._x.copy(), self._f.copy()
 
     # ------------------------------------------------------------- updates
@@ -87,6 +112,17 @@ class ParetoArchive:
             )
         if x.shape[0] == 0:
             return self.size
+        if self.n_var is not None and x.shape[1] != self.n_var:
+            raise ValueError(
+                f"dimension mismatch with archived solutions: x has "
+                f"{x.shape[1]} columns, archive expects {self.n_var}"
+            )
+        if self.n_obj is not None and f.shape[1] != self.n_obj:
+            raise ValueError(
+                f"dimension mismatch with archived solutions: objectives "
+                f"has {f.shape[1]} columns, archive expects {self.n_obj}"
+            )
+        self.n_var, self.n_obj = x.shape[1], f.shape[1]
         self.n_observed += x.shape[0]
         if self._f is None:
             all_x, all_f = x, f
@@ -112,9 +148,40 @@ class ParetoArchive:
             self.add(population.x[feas], population.objectives[feas])
 
     def clear(self) -> None:
+        """Drop all stored solutions (remembered dimensions survive)."""
         self._x = None
         self._f = None
         self.n_observed = 0
+
+    # -------------------------------------------------------- checkpointing
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Picklable snapshot, e.g. for ``CheckpointCallback(extra_state=
+        {"archive": archive.state_dict})``."""
+        x, f = self.contents()
+        return {
+            "x": x,
+            "objectives": f,
+            "n_observed": self.n_observed,
+            "capacity": self.capacity,
+            "n_var": self.n_var,
+            "n_obj": self.n_obj,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self.capacity = state["capacity"]
+        self.n_var = state["n_var"]
+        self.n_obj = state["n_obj"]
+        x = np.asarray(state["x"], dtype=float)
+        f = np.asarray(state["objectives"], dtype=float)
+        if x.shape[0] == 0:
+            self._x = None
+            self._f = None
+        else:
+            self._x = x.copy()
+            self._f = f.copy()
+        self.n_observed = int(state["n_observed"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParetoArchive(size={self.size}, capacity={self.capacity})"

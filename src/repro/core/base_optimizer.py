@@ -4,16 +4,30 @@ The base class owns everything that is identical across algorithms —
 operator configuration, RNG plumbing, history recording, timing, result
 packaging — so that the algorithm subclasses contain only the logic the
 paper actually differentiates.
+
+The generational loop is structured as an explicit, picklable **state
+machine** rather than a monolithic ``for`` loop: subclasses implement
+``_loop_init`` (build the initial loop state), ``_loop_step`` (advance
+exactly one generation, recording history and firing callbacks), and
+``_loop_finish`` (package the final population + metadata).  Everything
+the loop needs between generations lives in the state dict, which is
+what makes crash-safe checkpointing possible: ``capture_checkpoint``
+snapshots the state (plus RNG, history, counters) at any generation
+boundary, and ``run(..., resume_from=ckpt)`` restores it so a resumed
+run is byte-identical to an uninterrupted one (see
+:mod:`repro.core.checkpoint`).
 """
 
 from __future__ import annotations
 
+import copy
 import time
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
 from repro.core.callbacks import CallbackList, HistoryRecorder, ProgressCallback
+from repro.core.checkpoint import CHECKPOINT_VERSION, load_checkpoint
 from repro.core.evaluation import EvaluationBackend, SerialBackend
 from repro.core.individual import Population
 from repro.core.kernels import resolve_kernel
@@ -81,6 +95,10 @@ class BaseOptimizer:
         self.callbacks = CallbackList()
         self._n_evaluations = 0
         self._stop_requested = False
+        self._loop_state: Optional[Dict[str, Any]] = None
+        self._target_generations: Optional[int] = None
+        self._run_started: Optional[float] = None
+        self._prior_wall_time = 0.0
 
     # ------------------------------------------------------------- plumbing
 
@@ -176,25 +194,176 @@ class BaseOptimizer:
         self,
         n_generations: int,
         initial_x: Optional[np.ndarray] = None,
+        resume_from: Union[None, str, Dict[str, Any]] = None,
     ) -> OptimizationResult:
-        """Execute the optimizer for *n_generations* and package the result."""
+        """Execute the optimizer for *n_generations* and package the result.
+
+        Parameters
+        ----------
+        n_generations:
+            Total generation budget of the run (when resuming: of the
+            *whole* run, not of the remainder).
+        initial_x:
+            Optional explicit initial population (fresh runs only).
+        resume_from:
+            A checkpoint path or already-loaded payload produced by
+            :class:`repro.core.checkpoint.CheckpointCallback` /
+            :meth:`capture_checkpoint`.  The optimizer must be configured
+            identically to the one that wrote the checkpoint (same
+            algorithm, problem, population size, operators); the stored
+            RNG state makes the original seed irrelevant.  The resumed
+            run continues at the checkpointed generation and produces a
+            result byte-identical (modulo wall-clock fields) to an
+            uninterrupted run.
+        """
         if n_generations < 0:
             raise ValueError(f"n_generations must be >= 0, got {n_generations}")
-        self.history.clear()
-        self._n_evaluations = 0
-        self._stop_requested = False
-        # Telemetry deltas are relative to the run start, even when the
-        # backend (and its cumulative counters) is reused across runs.
-        self._backend_stats_prev = self.backend.stats.as_dict()
-        self.problem.reset_evaluation_counter()
-        start = time.perf_counter()
-        population, meta = self._run_loop(n_generations, initial_x)
-        elapsed = time.perf_counter() - start
+        if resume_from is not None and initial_x is not None:
+            raise ValueError("initial_x cannot be combined with resume_from")
+        self._run_started = time.perf_counter()
+        self._target_generations = int(n_generations)
+        if resume_from is not None:
+            self._prior_wall_time = self._restore_checkpoint(
+                resume_from, n_generations
+            )
+        else:
+            self.history.clear()
+            self._n_evaluations = 0
+            self._stop_requested = False
+            self._prior_wall_time = 0.0
+            # Telemetry deltas are relative to the run start, even when the
+            # backend (and its cumulative counters) is reused across runs.
+            self._backend_stats_prev = self.backend.stats.as_dict()
+            self.problem.reset_evaluation_counter()
+            self._loop_state = self._loop_init(n_generations, initial_x)
+        state = self._loop_state
+        while not self._loop_done(state, n_generations):
+            if self._stop_requested:
+                break
+            self._loop_step(state, n_generations)
+        elapsed = self._prior_wall_time + (
+            time.perf_counter() - self._run_started
+        )
+        population, meta = self._loop_finish(state, n_generations)
         return self._package_result(population, n_generations, elapsed, meta)
 
-    def _run_loop(
-        self,
-        n_generations: int,
-        initial_x: Optional[np.ndarray],
-    ) -> "tuple[Population, Dict]":
+    # ----------------------------------------------------- loop state hooks
+
+    def _loop_init(
+        self, n_generations: int, initial_x: Optional[np.ndarray]
+    ) -> Dict[str, Any]:
+        """Evaluate generation 0 and return the initial loop state.
+
+        The returned dict must contain at least ``"generation"`` and be
+        picklable — it *is* the checkpointable core of the run.
+        """
         raise NotImplementedError
+
+    def _loop_done(self, state: Dict[str, Any], n_generations: int) -> bool:
+        return state["generation"] >= n_generations
+
+    def _loop_step(self, state: Dict[str, Any], n_generations: int) -> None:
+        """Advance exactly one generation (record history, fire callbacks)."""
+        raise NotImplementedError
+
+    def _loop_finish(
+        self, state: Dict[str, Any], n_generations: int
+    ) -> "tuple[Population, Dict]":
+        """Final (population, metadata) once the loop has ended."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------- checkpointing
+
+    def capture_checkpoint(
+        self, extra: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Snapshot the in-flight run as a picklable checkpoint payload.
+
+        Only meaningful between generations of an active :meth:`run`
+        (progress callbacks fire at exactly those boundaries).  The loop
+        state is deep-copied, so the payload stays frozen even if it is
+        held in memory while the run continues.
+        """
+        if self._loop_state is None or self._target_generations is None:
+            raise RuntimeError(
+                "capture_checkpoint() is only valid during run() — attach a "
+                "CheckpointCallback instead of calling it directly"
+            )
+        elapsed = self._prior_wall_time
+        if self._run_started is not None:
+            elapsed += time.perf_counter() - self._run_started
+        return {
+            "version": CHECKPOINT_VERSION,
+            "algorithm": self.algorithm_name,
+            "problem": self.problem.name,
+            "n_generations": int(self._target_generations),
+            "generation": int(self._loop_state["generation"]),
+            "rng_state": self.rng.bit_generator.state,
+            "loop_state": copy.deepcopy(self._loop_state),
+            "history": list(self.history.records),
+            "n_evaluations": int(self._n_evaluations),
+            "problem_evaluations": int(self.problem.n_evaluations),
+            "backend_stats": self.backend.stats.as_dict(),
+            "backend_stats_prev": dict(self._backend_stats_prev),
+            "wall_time": float(elapsed),
+            "extra": dict(extra or {}),
+        }
+
+    def _restore_checkpoint(
+        self,
+        source: Union[str, Dict[str, Any]],
+        n_generations: int,
+    ) -> float:
+        """Rehydrate counters, RNG, history and loop state from a checkpoint.
+
+        Returns the wall-clock seconds already spent before the crash
+        (folded into the resumed result's ``wall_time``).
+        """
+        payload = load_checkpoint(source)
+        if payload["algorithm"] != self.algorithm_name:
+            raise ValueError(
+                f"checkpoint was written by {payload['algorithm']!r}, "
+                f"cannot resume with {self.algorithm_name!r}"
+            )
+        if payload["problem"] != self.problem.name:
+            raise ValueError(
+                f"checkpoint was written for problem {payload['problem']!r}, "
+                f"cannot resume on {self.problem.name!r}"
+            )
+        if int(payload["n_generations"]) != int(n_generations):
+            raise ValueError(
+                f"checkpoint targets {payload['n_generations']} generations; "
+                f"resume with the same budget (got {n_generations}) so the "
+                "annealing schedules and history cadence stay consistent"
+            )
+        self.rng.bit_generator.state = payload["rng_state"]
+        self.history.records = list(payload["history"])
+        self._n_evaluations = int(payload["n_evaluations"])
+        self._stop_requested = False
+        self._backend_stats_prev = dict(payload["backend_stats_prev"])
+        self._restore_backend_stats(payload["backend_stats"])
+        self.problem.reset_evaluation_counter(int(payload["problem_evaluations"]))
+        self._restore_loop_state(copy.deepcopy(payload["loop_state"]))
+        return float(payload["wall_time"])
+
+    def _restore_backend_stats(self, saved: Dict[str, Any]) -> None:
+        """Carry cumulative backend counters across the crash boundary, so
+        the final ``backend_stats`` metadata matches an uninterrupted run."""
+        stats = self.backend.stats
+        for field in (
+            "n_evaluations",
+            "n_batches",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "fallbacks",
+        ):
+            if field in saved:
+                setattr(stats, field, int(saved[field]))
+        if "eval_time" in saved:
+            stats.eval_time = float(saved["eval_time"])
+
+    def _restore_loop_state(self, state: Dict[str, Any]) -> None:
+        """Install a checkpointed loop state (subclasses may sync derived
+        attributes, e.g. MESACGA's phase-expanded partition grid)."""
+        self._loop_state = state

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -89,6 +90,43 @@ class CallbackList:
     def __call__(self, generation: int, population: Population) -> None:
         for callback in self.callbacks:
             callback(generation, population)
+
+
+class RunTimeoutError(RuntimeError):
+    """Raised by :class:`WallClockTimeout` when a run exceeds its budget."""
+
+
+class WallClockTimeout:
+    """Cooperative per-run wall-clock limit, checked at generation ends.
+
+    Attach with ``algorithm.add_callback(WallClockTimeout(timeout_s))``;
+    once the elapsed time since construction exceeds *timeout_s*, the
+    next generation boundary raises :class:`RunTimeoutError`.  Being
+    cooperative, it cannot interrupt a single evaluation batch that
+    hangs forever — but for the GA workloads here a generation is the
+    natural preemption point, and raising (rather than requesting a
+    graceful stop) lets the experiment runner treat a too-slow seed
+    exactly like a crashed one: record it in the ledger, retry or move
+    on (see :func:`repro.experiments.runner.run_many`).
+    """
+
+    def __init__(self, timeout_s: float) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.timeout_s = float(timeout_s)
+        self.started = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self.started
+
+    def __call__(self, generation: int, population: Population) -> None:
+        elapsed = self.elapsed_s
+        if elapsed > self.timeout_s:
+            raise RunTimeoutError(
+                f"run exceeded wall-clock budget at generation {generation} "
+                f"({elapsed:.1f}s > {self.timeout_s:.1f}s)"
+            )
 
 
 class StagnationStop:

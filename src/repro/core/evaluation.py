@@ -424,8 +424,11 @@ def make_backend(
     """Build a backend from CLI/config-style knobs.
 
     *name* is one of :data:`BACKEND_NAMES` (``None`` means serial);
-    *cache_size* > 0 wraps the pool (or serial) backend in a
-    :class:`CachedBackend` of that capacity.
+    *cache_size* wraps the pool (or serial) backend in a
+    :class:`CachedBackend` of that capacity.  ``None`` means no cache; a
+    zero or negative capacity is a configuration error and raises (it
+    used to be silently treated as "no cache", hiding misconfigured
+    sweeps).
     """
     key = (name or "serial").strip().lower()
     if key == "serial":
@@ -438,6 +441,11 @@ def make_backend(
         raise KeyError(
             f"unknown backend {name!r} (want one of {', '.join(BACKEND_NAMES)})"
         )
-    if cache_size:
+    if cache_size is not None:
+        if cache_size <= 0:
+            raise ValueError(
+                f"cache_size must be a positive capacity, got {cache_size} "
+                "(omit it entirely to disable caching)"
+            )
         backend = CachedBackend(backend, max_size=cache_size)
     return backend

@@ -17,7 +17,7 @@ preservation comes only from isolation plus limited gene flow.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -147,13 +147,11 @@ class IslandNSGA2(BaseOptimizer):
             out.append(merged)
         return out
 
-    # ----------------------------------------------------------------- run
+    # ------------------------------------------------------ loop state hooks
 
-    def _run_loop(
-        self,
-        n_generations: int,
-        initial_x: Optional[np.ndarray],
-    ) -> Tuple[Population, Dict]:
+    def _loop_init(
+        self, n_generations: int, initial_x: Optional[np.ndarray]
+    ) -> Dict[str, Any]:
         whole = self._initial_population(initial_x)
         sizes = self._island_sizes()
         islands: List[Population] = []
@@ -166,34 +164,48 @@ class IslandNSGA2(BaseOptimizer):
 
         self.history.record(0, whole, self._n_evaluations, force=True)
         self.callbacks(0, whole)
-        n_migrations = 0
+        return {
+            "generation": 0,
+            "islands": islands,
+            "sizes": sizes,
+            "union": whole,
+            "n_migrations": 0,
+        }
 
-        for gen in range(1, n_generations + 1):
-            islands = [
-                self._evolve_island(island, size)
-                for island, size in zip(islands, sizes)
-            ]
-            if gen % self.migration_interval == 0:
-                islands = self._migrate(islands)
-                n_migrations += 1
-            union = islands[0]
-            for island in islands[1:]:
-                union = union.concat(island)
-            self.history.record(
-                gen,
-                union,
-                self._n_evaluations,
-                extras={"n_islands": float(self.n_islands)},
-                force=(gen == n_generations),
-            )
-            self.callbacks(gen, union)
+    def _loop_step(self, state: Dict[str, Any], n_generations: int) -> None:
+        gen = state["generation"] + 1
+        islands = [
+            self._evolve_island(island, size)
+            for island, size in zip(state["islands"], state["sizes"])
+        ]
+        if gen % self.migration_interval == 0:
+            islands = self._migrate(islands)
+            state["n_migrations"] += 1
+        union = islands[0]
+        for island in islands[1:]:
+            union = union.concat(island)
+        state["islands"] = islands
+        state["union"] = union
+        state["generation"] = gen
+        self.history.record(
+            gen,
+            union,
+            self._n_evaluations,
+            extras={"n_islands": float(self.n_islands)},
+            force=(gen == n_generations),
+        )
+        self.callbacks(gen, union)
 
+    def _loop_finish(
+        self, state: Dict[str, Any], n_generations: int
+    ) -> Tuple[Population, Dict]:
+        union: Population = state["union"]
         self._rank_and_crowd(union)
         meta = {
             "n_islands": self.n_islands,
             "migration_interval": self.migration_interval,
             "n_migrants": self.n_migrants,
-            "n_migrations": n_migrations,
-            "island_sizes": sizes,
+            "n_migrations": state["n_migrations"],
+            "island_sizes": state["sizes"],
         }
         return union, meta

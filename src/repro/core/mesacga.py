@@ -15,11 +15,10 @@ of 20, 13, 8, 5, 3, 2, 1 partitions preceded by a pure-local phase.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.annealing import shape_parameters
 from repro.core.individual import Population
 from repro.core.partitions import PartitionGrid, PartitionedPopulation, expanding_schedule
 from repro.core.sacga import SACGA, SACGAConfig
@@ -129,75 +128,121 @@ class MESACGA(SACGA):
             return [int(p) for p in covered]
         return list(range(parted.grid.n_partitions))
 
-    # ----------------------------------------------------------------- run
+    # ------------------------------------------------------ loop state hooks
 
-    def _run_loop(
-        self,
-        n_generations: int,
-        initial_x: Optional[np.ndarray],
+    def _loop_init(
+        self, n_generations: int, initial_x: Optional[np.ndarray]
+    ) -> Dict[str, Any]:
+        state = super()._loop_init(n_generations, initial_x)
+        state.update(
+            spans=None,
+            phase_idx=-1,
+            step_in_phase=0,
+            phase_log=[],
+        )
+        return state
+
+    def _finish_phase1(self, state: Dict[str, Any], n_generations: int) -> None:
+        """Transition out of the pure-local phase: fix the per-phase spans
+        and enter the first phase of the expanding schedule."""
+        gen_t = state["generation"]
+        state["phase"] = 2
+        state["gen_t"] = gen_t
+        state["spans"] = self._phase_spans(max(n_generations - gen_t, 0))
+        self._advance_phase(state)
+
+    def _advance_phase(self, state: Dict[str, Any]) -> None:
+        """Enter the next schedule phase with a positive span (if any)."""
+        spans: List[int] = state["spans"]
+        idx = state["phase_idx"] + 1
+        while idx < len(self.partition_schedule) and spans[idx] <= 0:
+            idx += 1
+        if self._stop_requested or idx >= len(self.partition_schedule):
+            state["phase_idx"] = len(self.partition_schedule)
+            state["step_in_phase"] = 0
+            state["gate"] = None
+            self._sync_loop_state(state)
+            return
+        # Expand partitions: same range, fewer slices, larger capacity.
+        self.grid = self.grid.with_partitions(self.partition_schedule[idx])
+        parted = PartitionedPopulation(
+            state["parted"].population, self.grid, kernel=self.kernel
+        )
+        state["parted"] = parted
+        state["phase_idx"] = idx
+        state["step_in_phase"] = 0
+        state["live"] = self._live_partitions(parted)
+        state["gate"] = self._make_gate(spans[idx])
+        self._sync_loop_state(state)
+
+    def _close_phase(self, state: Dict[str, Any]) -> None:
+        idx = state["phase_idx"]
+        state["phase_log"].append(
+            {
+                "phase": idx + 1,
+                "n_partitions": self.partition_schedule[idx],
+                "span": state["spans"][idx],
+                "end_generation": state["generation"],
+            }
+        )
+
+    def _phase2_generation(self, state: Dict[str, Any], n_generations: int) -> None:
+        """One SA-mixed generation inside the current schedule phase."""
+        gen = state["generation"] + 1
+        idx = state["phase_idx"]
+        step = state["step_in_phase"] + 1
+        gate = state["gate"]
+        live = state["live"]
+        parted = self._generation(state["parted"], live, gate, gen_offset=step)
+        state["parted"] = parted
+        state["generation"] = gen
+        state["step_in_phase"] = step
+        self._sync_loop_state(state)
+        self.history.record(
+            gen,
+            parted.population,
+            self._n_evaluations,
+            extras={
+                "phase": float(idx + 1),
+                "n_partitions": float(self.partition_schedule[idx]),
+                "temperature": float(gate.schedule.temperature(step)),
+                "live_partitions": float(len(live)),
+            },
+            force=(gen == n_generations),
+        )
+        self.callbacks(gen, parted.population)
+
+    def _loop_step(self, state: Dict[str, Any], n_generations: int) -> None:
+        if state["phase"] == 1:
+            if self._phase1_active(state, n_generations):
+                self._phase1_generation(state)
+                return
+            self._finish_phase1(state, n_generations)
+        elif state["step_in_phase"] >= state["spans"][state["phase_idx"]]:
+            # Phase boundaries are crossed lazily at the start of the next
+            # step, keeping checkpointed states self-consistent.
+            self._close_phase(state)
+            self._advance_phase(state)
+        self._phase2_generation(state, n_generations)
+
+    def _loop_finish(
+        self, state: Dict[str, Any], n_generations: int
     ) -> Tuple[Population, Dict]:
-        population = self._initial_population(initial_x)
-        parted = PartitionedPopulation(population, self.grid, kernel=self.kernel)
-        self.history.record(0, parted.population, self._n_evaluations, force=True)
-        self.callbacks(0, parted.population)
-
-        parted, live, gen_t = self._run_phase1(parted, n_generations)
-        spans = self._phase_spans(max(n_generations - gen_t, 0))
-
-        gen = gen_t
-        phase_log: List[Dict] = []
-        for phase_idx, (m, span) in enumerate(
-            zip(self.partition_schedule, spans), start=1
+        if state["phase"] == 1:
+            self._finish_phase1(state, n_generations)
+        elif (
+            state["phase_idx"] < len(self.partition_schedule)
+            and state["step_in_phase"] > 0
         ):
-            if span <= 0 or self._stop_requested:
-                continue
-            # Expand partitions: same range, fewer slices, larger capacity.
-            self.grid = self.grid.with_partitions(m)
-            parted = PartitionedPopulation(
-                parted.population, self.grid, kernel=self.kernel
-            )
-            live = self._live_partitions(parted)
-            gate = shape_parameters(
-                n=self.config.n_per_partition,
-                span=span,
-                p_mid_first=self.config.p_mid_first,
-                p_mid_last=self.config.p_mid_last,
-                p_end=self.config.p_end,
-            )
-            for step in range(1, span + 1):
-                gen += 1
-                parted = self._generation(parted, live, gate, gen_offset=step)
-                self.history.record(
-                    gen,
-                    parted.population,
-                    self._n_evaluations,
-                    extras={
-                        "phase": float(phase_idx),
-                        "n_partitions": float(m),
-                        "temperature": float(gate.schedule.temperature(step)),
-                        "live_partitions": float(len(live)),
-                    },
-                    force=(gen == n_generations),
-                )
-                self.callbacks(gen, parted.population)
-                if self._stop_requested:
-                    break
-            phase_log.append(
-                {
-                    "phase": phase_idx,
-                    "n_partitions": m,
-                    "span": span,
-                    "end_generation": gen,
-                }
-            )
-
+            # Stopped (or completed) mid-phase: log the in-flight phase.
+            self._close_phase(state)
         meta = {
             "partition_schedule": list(self.partition_schedule),
             "partition_axis": self.grid.axis,
-            "gen_t": gen_t,
-            "phase_log": phase_log,
+            "gen_t": state["gen_t"],
+            "phase_log": state["phase_log"],
         }
-        return parted.population, meta
+        return state["parted"].population, meta
 
 
 def _validate_schedule(schedule: Sequence[int]) -> None:

@@ -9,7 +9,7 @@ Pareto-front clustering on the analog sizing problem.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -40,60 +40,64 @@ class NSGA2(BaseOptimizer):
         population.rank[:] = rank
         population.crowding[:] = crowding
 
-    def _run_loop(
-        self,
-        n_generations: int,
-        initial_x: Optional[np.ndarray],
-    ) -> Tuple[Population, Dict]:
+    def _loop_init(
+        self, n_generations: int, initial_x: Optional[np.ndarray]
+    ) -> Dict[str, Any]:
         population = self._initial_population(initial_x)
         self._rank_and_crowd(population)
         self.history.record(0, population, self._n_evaluations, force=True)
         self.callbacks(0, population)
+        return {"generation": 0, "population": population}
 
-        for gen in range(1, n_generations + 1):
-            parents_idx = binary_tournament(
-                population.rank,
-                population.crowding,
-                self.population_size,
-                self.rng,
-            )
-            parents_idx = shuffle_for_mating(parents_idx, self.rng)
-            offspring_x = variation(
-                population.x[parents_idx],
-                self.problem.lower,
-                self.problem.upper,
-                self.rng,
-                self.crossover,
-                self.mutation,
-            )
-            offspring = self._evaluate_population(offspring_x)
+    def _loop_step(self, state: Dict[str, Any], n_generations: int) -> None:
+        population: Population = state["population"]
+        gen = state["generation"] + 1
+        parents_idx = binary_tournament(
+            population.rank,
+            population.crowding,
+            self.population_size,
+            self.rng,
+        )
+        parents_idx = shuffle_for_mating(parents_idx, self.rng)
+        offspring_x = variation(
+            population.x[parents_idx],
+            self.problem.lower,
+            self.problem.upper,
+            self.rng,
+            self.crossover,
+            self.mutation,
+        )
+        offspring = self._evaluate_population(offspring_x)
 
-            merged = population.concat(offspring)
-            # Fused environmental selection: one non-dominated sort picks
-            # the survivors AND yields their post-truncation (rank,
-            # crowding) — the reference kernel runs the historical
-            # truncate-then-resort pair instead.
-            keep, rank, crowding = truncate_and_rank(
-                merged.objectives,
-                merged.violation,
-                self.population_size,
-                kernel=self.kernel,
-            )
-            population = merged.subset(keep)
-            population.rank[:] = rank
-            population.crowding[:] = crowding
+        merged = population.concat(offspring)
+        # Fused environmental selection: one non-dominated sort picks
+        # the survivors AND yields their post-truncation (rank,
+        # crowding) — the reference kernel runs the historical
+        # truncate-then-resort pair instead.
+        keep, rank, crowding = truncate_and_rank(
+            merged.objectives,
+            merged.violation,
+            self.population_size,
+            kernel=self.kernel,
+        )
+        population = merged.subset(keep)
+        population.rank[:] = rank
+        population.crowding[:] = crowding
+        state["population"] = population
+        state["generation"] = gen
 
-            self.history.record(
-                gen,
-                population,
-                self._n_evaluations,
-                force=(gen == n_generations),
-            )
-            self.callbacks(gen, population)
-            if self._stop_requested:
-                break
+        self.history.record(
+            gen,
+            population,
+            self._n_evaluations,
+            force=(gen == n_generations),
+        )
+        self.callbacks(gen, population)
 
-        return population, {"selection": "crowded binary tournament"}
+    def _loop_finish(
+        self, state: Dict[str, Any], n_generations: int
+    ) -> Tuple[Population, Dict]:
+        return state["population"], {"selection": "crowded binary tournament"}
 
 
 def nsga2_ranks(objectives: np.ndarray, violations: np.ndarray) -> np.ndarray:

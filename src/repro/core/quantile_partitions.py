@@ -171,12 +171,19 @@ class AdaptiveSACGA(SACGA):
         self.refit_every = int(refit_every)
         self._steps_since_refit = 0
 
-    def _run_phase1(self, parted, budget):
+    def _live_after_phase1(self, parted):
         """As SACGA, but every partition stays live: quantile slices are
         equal-occupancy by construction, so an id that is feasibility-free
         now may cover a completely different region after the next refit."""
-        parted, _live, used = super()._run_phase1(parted, budget)
-        return parted, list(range(self.grid.n_partitions)), used
+        return list(range(self.grid.n_partitions))
+
+    def _sync_loop_state(self, state):
+        super()._sync_loop_state(state)
+        state["refit_steps"] = self._steps_since_refit
+
+    def _restore_loop_state(self, state):
+        self._steps_since_refit = int(state.get("refit_steps", 0))
+        super()._restore_loop_state(state)
 
     def _generation(self, parted, live, gate, gen_offset):
         out = super()._generation(parted, live, gate, gen_offset)

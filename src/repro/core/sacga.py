@@ -27,7 +27,7 @@ Global Pareto Front (this is what :class:`OptimizationResult` stores).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -238,58 +238,9 @@ class SACGA(BaseOptimizer):
             revised[pool] = np.minimum(revised[pool], global_rank)
         return revised, int(pool.size)
 
-    def _run_phase1(
-        self,
-        parted: PartitionedPopulation,
-        budget: int,
-    ) -> Tuple[PartitionedPopulation, List[int], int]:
-        """Pure local competition until feasible coverage or iteration cap.
-
-        Returns the evolved population view, the live partition ids, and
-        the number of iterations consumed (``gen_t``).
-        """
-        all_parts = list(range(self.grid.n_partitions))
-        limit = min(self.config.phase1_max_iterations, budget)
-        used = 0
-        while used < limit:
-            covered = parted.partitions_with_feasible()
-            if covered.size == self.grid.n_partitions:
-                break
-            if self._stop_requested:
-                break
-            parted = self._phase1_step(parted, all_parts)
-            used += 1
-            self.history.record(
-                used,
-                parted.population,
-                self._n_evaluations,
-                extras={"phase": 1.0, "live_partitions": float(len(all_parts))},
-            )
-            self.callbacks(used, parted.population)
-        covered = parted.partitions_with_feasible()
-        if covered.size:
-            live = [int(p) for p in covered]
-        else:
-            # Nothing feasible anywhere yet: keep every partition alive and
-            # let Phase II's constrained dominance pull toward feasibility.
-            live = all_parts
-        return parted, live, used
-
-    # ----------------------------------------------------------------- run
-
-    def _run_loop(
-        self,
-        n_generations: int,
-        initial_x: Optional[np.ndarray],
-    ) -> Tuple[Population, Dict]:
-        population = self._initial_population(initial_x)
-        parted = PartitionedPopulation(population, self.grid, kernel=self.kernel)
-        self.history.record(0, parted.population, self._n_evaluations, force=True)
-        self.callbacks(0, parted.population)
-
-        parted, live, gen_t = self._run_phase1(parted, n_generations)
-        span = max(n_generations - gen_t, 1)
-        gate = shape_parameters(
+    def _make_gate(self, span: int) -> CompetitionGate:
+        """Annealing gate shaped for a Phase II of *span* iterations."""
+        return shape_parameters(
             n=self.config.n_per_partition,
             span=span,
             p_mid_first=self.config.p_mid_first,
@@ -297,31 +248,136 @@ class SACGA(BaseOptimizer):
             p_end=self.config.p_end,
         )
 
-        for step in range(1, n_generations - gen_t + 1):
-            gen = gen_t + step
-            parted = self._generation(parted, live, gate, gen_offset=step)
-            self.history.record(
-                gen,
-                parted.population,
-                self._n_evaluations,
-                extras={
-                    "phase": 2.0,
-                    "temperature": float(gate.schedule.temperature(step)),
-                    "live_partitions": float(len(live)),
-                },
-                force=(gen == n_generations),
-            )
-            self.callbacks(gen, parted.population)
-            if self._stop_requested:
-                break
+    def _live_after_phase1(
+        self, parted: PartitionedPopulation
+    ) -> List[int]:
+        """Partitions that survive into Phase II."""
+        covered = parted.partitions_with_feasible()
+        if covered.size:
+            return [int(p) for p in covered]
+        # Nothing feasible anywhere yet: keep every partition alive and
+        # let Phase II's constrained dominance pull toward feasibility.
+        return list(range(self.grid.n_partitions))
 
+    # ------------------------------------------------------ loop state hooks
+
+    def _loop_init(
+        self, n_generations: int, initial_x: Optional[np.ndarray]
+    ) -> Dict[str, Any]:
+        population = self._initial_population(initial_x)
+        parted = PartitionedPopulation(population, self.grid, kernel=self.kernel)
+        self.history.record(0, parted.population, self._n_evaluations, force=True)
+        self.callbacks(0, parted.population)
+        return {
+            "generation": 0,
+            "parted": parted,
+            "grid": self.grid,
+            "phase": 1,
+            "gen_t": None,
+            "span": None,
+            "live": None,
+            "gate": None,
+        }
+
+    def _phase1_active(self, state: Dict[str, Any], n_generations: int) -> bool:
+        """Phase I continues until feasible coverage or the iteration cap."""
+        limit = min(self.config.phase1_max_iterations, n_generations)
+        if state["generation"] >= limit:
+            return False
+        covered = state["parted"].partitions_with_feasible()
+        return covered.size < self.grid.n_partitions
+
+    def _phase1_generation(self, state: Dict[str, Any]) -> None:
+        """One pure-local-competition generation (every partition live)."""
+        all_parts = list(range(self.grid.n_partitions))
+        parted = self._phase1_step(state["parted"], all_parts)
+        gen = state["generation"] + 1
+        state["parted"] = parted
+        state["generation"] = gen
+        self._sync_loop_state(state)
+        self.history.record(
+            gen,
+            parted.population,
+            self._n_evaluations,
+            extras={"phase": 1.0, "live_partitions": float(len(all_parts))},
+        )
+        self.callbacks(gen, parted.population)
+
+    def _finish_phase1(self, state: Dict[str, Any], n_generations: int) -> None:
+        """Transition to Phase II: fix ``gen_t``, live partitions and gate.
+
+        When Phase I consumed the whole budget the Phase II that never
+        ran is recorded honestly: ``span`` is 0 and no annealing gate is
+        constructed (metadata reports ``gate: None``).
+        """
+        gen_t = state["generation"]
+        span = n_generations - gen_t
+        state["phase"] = 2
+        state["gen_t"] = gen_t
+        state["span"] = span
+        state["live"] = self._live_after_phase1(state["parted"])
+        state["gate"] = self._make_gate(span) if span > 0 else None
+
+    def _phase2_generation(self, state: Dict[str, Any], n_generations: int) -> None:
+        """One SA-mixed-competition generation."""
+        gen = state["generation"] + 1
+        step = gen - state["gen_t"]
+        gate = state["gate"]
+        live = state["live"]
+        parted = self._generation(state["parted"], live, gate, gen_offset=step)
+        state["parted"] = parted
+        state["generation"] = gen
+        self._sync_loop_state(state)
+        self.history.record(
+            gen,
+            parted.population,
+            self._n_evaluations,
+            extras={
+                "phase": 2.0,
+                "temperature": float(gate.schedule.temperature(step)),
+                "live_partitions": float(len(live)),
+            },
+            force=(gen == n_generations),
+        )
+        self.callbacks(gen, parted.population)
+
+    def _sync_loop_state(self, state: Dict[str, Any]) -> None:
+        """Mirror optimizer-held mutable attributes into the loop state so
+        checkpoints capture them (subclasses re-fit/expand ``self.grid``)."""
+        state["grid"] = self.grid
+
+    def _restore_loop_state(self, state: Dict[str, Any]) -> None:
+        self.grid = state["grid"]
+        super()._restore_loop_state(state)
+
+    def _loop_step(self, state: Dict[str, Any], n_generations: int) -> None:
+        if state["phase"] == 1:
+            if self._phase1_active(state, n_generations):
+                self._phase1_generation(state)
+                return
+            # Phase transitions happen lazily at the *start* of the next
+            # step, so the state seen by end-of-generation callbacks (and
+            # therefore by checkpoints) is always self-consistent.
+            self._finish_phase1(state, n_generations)
+        self._phase2_generation(state, n_generations)
+
+    def _loop_finish(
+        self, state: Dict[str, Any], n_generations: int
+    ) -> Tuple[Population, Dict]:
+        if state["phase"] == 1:
+            # The run ended inside Phase I (budget exhausted or stop
+            # requested); settle the Phase II bookkeeping for metadata.
+            self._finish_phase1(state, n_generations)
+        gate = state["gate"]
         meta = {
             "n_partitions": self.grid.n_partitions,
             "partition_axis": self.grid.axis,
-            "gen_t": gen_t,
-            "span": span,
-            "live_partitions": live,
-            "gate": {
+            "gen_t": state["gen_t"],
+            "span": state["span"],
+            "live_partitions": state["live"],
+            "gate": None
+            if gate is None
+            else {
                 "k1": gate.k1,
                 "k2": gate.k2,
                 "alpha": gate.alpha,
@@ -329,4 +385,4 @@ class SACGA(BaseOptimizer):
                 "n": gate.n,
             },
         }
-        return parted.population, meta
+        return state["parted"].population, meta

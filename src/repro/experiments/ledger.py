@@ -1,0 +1,235 @@
+"""Structured JSONL run ledger: an append-only event trace of experiments.
+
+Long sweeps (the paper's 800-1250-generation runs across seeds) need
+observability that survives crashes: a plain log line is unparseable and
+an in-memory record dies with the process.  The ledger is the middle
+ground — one JSON object per line, appended (and flushed) per event, so
+
+* a crash never loses more than the event being written,
+* the trace is greppable/`jq`-able as-is, and
+* ``repro trace <ledger>`` can tail or summarize it after the fact.
+
+Event vocabulary (all carry ``event``, ``ts`` and ``elapsed_s``):
+
+==================  =====================================================
+``sweep_started``    ``run_many`` begins (algorithm, seeds, scale label)
+``run_started``      one seed's run begins (run id, seed, generations)
+``generation``       per-generation progress (emitted by
+                     :class:`LedgerCallback`: feasible count, evaluation
+                     counters, cumulative eval wall-clock)
+``checkpoint``       a checkpoint was persisted (generation, path)
+``run_finished``     the run's scores + backend stats
+``run_failed``       exception text for a crashed/hung seed
+``retry``            a failed seed is being retried
+``seed_abandoned``   retries exhausted; the sweep moves on
+``sweep_finished``   sweep totals
+==================  =====================================================
+
+Nothing here imports the optimizers — the ledger is a pure sink, wired
+in by :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections import Counter
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+def _sanitize(value: Any) -> Any:
+    """Make *value* strictly JSON-able (non-finite floats become None)."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalars
+        return _sanitize(value.item())
+    return value
+
+
+class RunLedger:
+    """Append-only JSONL event sink.
+
+    Each :meth:`emit` opens the file, appends one line, flushes and
+    closes — slower than keeping the handle open, but a generation of
+    circuit evaluation dwarfs an open/close, and it guarantees every
+    completed event is durable regardless of how the process dies.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._t0 = time.perf_counter()
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        record = {
+            "event": str(event),
+            "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
+            "elapsed_s": round(time.perf_counter() - self._t0, 6),
+        }
+        record.update(_sanitize(fields))
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+        return record
+
+
+class LedgerCallback:
+    """Per-generation progress callback that feeds a :class:`RunLedger`.
+
+    Emits a ``generation`` event every *every* generations with the
+    population's feasibility count and the optimizer's evaluation and
+    backend counters (cumulative, so the trace is self-contained even
+    when generations are skipped).
+    """
+
+    def __init__(
+        self,
+        ledger: RunLedger,
+        optimizer,
+        run_id: Optional[str] = None,
+        every: int = 1,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.ledger = ledger
+        self.optimizer = optimizer
+        self.run_id = run_id
+        self.every = int(every)
+
+    def __call__(self, generation: int, population) -> None:
+        if generation % self.every:
+            return
+        stats = self.optimizer.backend.stats
+        self.ledger.emit(
+            "generation",
+            run=self.run_id,
+            generation=int(generation),
+            n_feasible=int(population.feasible.sum()),
+            population_size=int(population.size),
+            n_evaluations=int(self.optimizer._n_evaluations),
+            eval_time_s=round(float(stats.eval_time), 6),
+        )
+
+
+# ----------------------------------------------------------- trace reading
+
+
+def read_ledger(path: PathLike) -> List[Dict[str, Any]]:
+    """Parse a ledger file; a torn final line (crash mid-write) is skipped."""
+    events: List[Dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail from a crash — everything before it is good
+            raise ValueError(f"{path}: corrupt ledger line {i + 1}: {line[:80]}")
+    return events
+
+
+def tail_events(path: PathLike, n: int = 10) -> List[Dict[str, Any]]:
+    """The last *n* events of a ledger."""
+    events = read_ledger(path)
+    return events[-n:] if n > 0 else []
+
+
+def summarize_ledger(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a trace into sweep-level facts (what ``repro trace`` prints)."""
+    events = list(events)
+    counts = Counter(e.get("event", "?") for e in events)
+    runs: Dict[str, Dict[str, Any]] = {}
+    for e in events:
+        run = e.get("run")
+        if run is None:
+            continue
+        info = runs.setdefault(
+            run, {"status": "running", "last_generation": None, "failures": 0}
+        )
+        kind = e.get("event")
+        if kind == "generation" or kind == "checkpoint":
+            info["last_generation"] = e.get("generation")
+        elif kind == "run_finished":
+            info["status"] = "finished"
+            if "wall_time" in e:
+                info["wall_time"] = e["wall_time"]
+        elif kind == "run_failed":
+            info["failures"] += 1
+            info["status"] = "failed"
+            info["error"] = e.get("error")
+        elif kind == "seed_abandoned":
+            info["status"] = "abandoned"
+        elif kind == "retry":
+            info["status"] = "retrying"
+    summary: Dict[str, Any] = {
+        "n_events": len(events),
+        "event_counts": dict(sorted(counts.items())),
+        "runs": runs,
+        "n_runs_finished": sum(
+            1 for r in runs.values() if r["status"] == "finished"
+        ),
+        "n_runs_failed": sum(
+            1 for r in runs.values() if r["status"] in ("failed", "abandoned")
+        ),
+    }
+    if events:
+        summary["first_ts"] = events[0].get("ts")
+        summary["last_ts"] = events[-1].get("ts")
+    return summary
+
+
+def format_event(event: Dict[str, Any]) -> str:
+    """One human-readable line for ``repro trace --tail``."""
+    ts = event.get("ts", "")
+    kind = event.get("event", "?")
+    rest = {
+        k: v
+        for k, v in event.items()
+        if k not in ("event", "ts", "elapsed_s") and v is not None
+    }
+    details = " ".join(f"{k}={v}" for k, v in rest.items())
+    return f"{ts}  {kind:<14s} {details}".rstrip()
+
+
+def format_summary(summary: Dict[str, Any]) -> str:
+    """Multi-line report for ``repro trace`` without ``--tail``."""
+    lines = [
+        f"events: {summary['n_events']}"
+        + (
+            f"  ({summary.get('first_ts')} .. {summary.get('last_ts')})"
+            if summary.get("first_ts")
+            else ""
+        )
+    ]
+    for kind, count in summary["event_counts"].items():
+        lines.append(f"  {kind:<16s} {count}")
+    runs = summary["runs"]
+    if runs:
+        lines.append(
+            f"runs: {len(runs)}  finished={summary['n_runs_finished']}  "
+            f"failed={summary['n_runs_failed']}"
+        )
+        for run, info in runs.items():
+            bits = [f"  {run:<32s} {info['status']}"]
+            if info.get("last_generation") is not None:
+                bits.append(f"gen={info['last_generation']}")
+            if info.get("wall_time") is not None:
+                bits.append(f"wall={info['wall_time']:.2f}s")
+            if info.get("failures"):
+                bits.append(f"failures={info['failures']}")
+            if info.get("error"):
+                bits.append(f"error={info['error']!r}")
+            lines.append(" ".join(bits))
+    return "\n".join(lines)

@@ -14,18 +14,21 @@ relationship while finishing in seconds.  Set the environment variable
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.circuits.sizing_problem import C_LOAD_MAX, IntegratorSizingProblem
 from repro.circuits.specs import IntegratorSpec
+from repro.core.callbacks import ProgressCallback, WallClockTimeout
+from repro.core.checkpoint import CheckpointCallback, load_checkpoint
 from repro.core.evaluation import EvaluationBackend, make_backend
 from repro.core.mesacga import MESACGA, PAPER_SCHEDULE
 from repro.core.nsga2 import NSGA2
 from repro.core.results import OptimizationResult
 from repro.core.sacga import SACGA, SACGAConfig
+from repro.experiments.ledger import LedgerCallback, RunLedger
 from repro.metrics.hypervolume import hypervolume_paper
 from repro.metrics.diversity import range_coverage, cluster_fraction
 from repro.utils.rng import stable_seed
@@ -163,7 +166,7 @@ class RunSummary:
     front_size: int
     wall_time: float
     n_evaluations: int
-    result: OptimizationResult = field(repr=False, default=None)  # type: ignore[assignment]
+    result: Optional[OptimizationResult] = field(repr=False, default=None)
 
 
 def score_front(front: np.ndarray) -> Dict[str, float]:
@@ -175,6 +178,12 @@ def score_front(front: np.ndarray) -> Dict[str, float]:
         "coverage": range_coverage(front, axis=1, low=0.0, high=C_LOAD_MAX),
         "cluster_4_5pF": cluster_fraction(front, axis=1, low=0.0, high=1.0e-12),
     }
+
+
+def _as_ledger(ledger: Union[None, str, RunLedger]) -> Optional[RunLedger]:
+    if ledger is None or isinstance(ledger, RunLedger):
+        return ledger
+    return RunLedger(ledger)
 
 
 def run_one(
@@ -189,6 +198,13 @@ def run_one(
     workers: Optional[int] = None,
     cache_size: Optional[int] = None,
     kernel: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 10,
+    resume_from: Union[None, str, Dict[str, Any]] = None,
+    ledger: Union[None, str, RunLedger] = None,
+    ledger_every: int = 1,
+    timeout_s: Optional[float] = None,
+    callbacks: Sequence[ProgressCallback] = (),
     **algo_kwargs,
 ) -> RunSummary:
     """Run one algorithm once and score its front.
@@ -199,21 +215,105 @@ def run_one(
     *cache_size* configure the evaluation backend; the pool is shut down
     once the run finishes.  *kernel* picks the dominance/selection
     kernel (``"blocked"``/``"reference"``) — a pure speed knob.
+
+    Robustness knobs:
+
+    * *checkpoint_path* + *checkpoint_every*: persist a crash-safe
+      checkpoint every K generations.  The payload embeds a ``context``
+      describing this call, so ``repro resume <ckpt>`` can rebuild the
+      run without the original command line.
+    * *resume_from*: checkpoint path (or loaded payload) to continue
+      from; the resumed result is byte-identical to an uninterrupted run.
+    * *ledger* (+ *ledger_every*): a :class:`RunLedger` or path that
+      receives run_started / generation / checkpoint / run_finished /
+      run_failed events.
+    * *timeout_s*: cooperative wall-clock limit — the run raises
+      :class:`~repro.core.callbacks.RunTimeoutError` at the first
+      generation boundary past the budget.
+    * *callbacks*: extra progress callbacks appended after the built-ins.
     """
     scale = scale or Scale.from_env()
     problem = problem or make_problem(spec, scale)
     seed = stable_seed(experiment_id, name, seed_index)
     gens = generations if generations is not None else scale.generations
+    run_id = f"{experiment_id}/{name}/seed{seed_index}"
+    run_ledger = _as_ledger(ledger)
     eval_backend = make_backend(backend, workers=workers, cache_size=cache_size)
     algorithm = make_algorithm(
         name, problem, scale, seed, generations=gens, backend=eval_backend,
         kernel=kernel, **algo_kwargs,
     )
+    if run_ledger is not None:
+        algorithm.add_callback(
+            LedgerCallback(run_ledger, algorithm, run_id=run_id, every=ledger_every)
+        )
+    if checkpoint_path is not None:
+        # The context makes the checkpoint self-contained: `repro resume`
+        # rebuilds this exact run_one call from it.  (It is pickled, not
+        # JSON-serialized, so algo_kwargs may hold config objects.)
+        context = {
+            "name": name,
+            "experiment_id": experiment_id,
+            "seed_index": seed_index,
+            "scale": asdict(scale),
+            "generations": gens,
+            "backend": backend,
+            "workers": workers,
+            "cache_size": cache_size,
+            "kernel": kernel,
+            "checkpoint_every": checkpoint_every,
+            "algo_kwargs": dict(algo_kwargs),
+        }
+        algorithm.add_callback(
+            CheckpointCallback(
+                algorithm,
+                checkpoint_path,
+                every=checkpoint_every,
+                context=context,
+                ledger=run_ledger,
+                run_id=run_id,
+            )
+        )
+    if timeout_s is not None:
+        algorithm.add_callback(WallClockTimeout(timeout_s))
+    for callback in callbacks:
+        algorithm.add_callback(callback)
+
+    if run_ledger is not None:
+        run_ledger.emit(
+            "run_started",
+            run=run_id,
+            algorithm=algorithm.algorithm_name,
+            seed=seed,
+            generations=gens,
+            scale=scale.label,
+            backend=eval_backend.describe(),
+            resumed=resume_from is not None,
+        )
     try:
-        result = algorithm.run(gens)
+        result = algorithm.run(gens, resume_from=resume_from)
+    except BaseException as exc:
+        if run_ledger is not None:
+            run_ledger.emit(
+                "run_failed",
+                run=run_id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        raise
     finally:
         eval_backend.close()
     scores = score_front(result.front_objectives)
+    if run_ledger is not None:
+        run_ledger.emit(
+            "run_finished",
+            run=run_id,
+            wall_time=result.wall_time,
+            n_evaluations=result.n_evaluations,
+            front_size=result.front_size,
+            hv_paper=scores["hv_paper"],
+            coverage=scores["coverage"],
+            backend_stats=eval_backend.stats.as_dict(),
+        )
     return RunSummary(
         algorithm=result.algorithm,
         seed=seed,
@@ -227,18 +327,131 @@ def run_one(
     )
 
 
+def resume_run(
+    checkpoint_path: str,
+    ledger: Union[None, str, RunLedger] = None,
+    timeout_s: Optional[float] = None,
+) -> RunSummary:
+    """Resume a crashed ``run_one`` from its checkpoint file.
+
+    The checkpoint must have been written by :func:`run_one` (its
+    ``context`` records how to rebuild the run); checkpoints written by a
+    bare :class:`CheckpointCallback` lack that context and must be
+    resumed through ``BaseOptimizer.run(resume_from=...)`` directly.
+    Checkpointing continues to the same file.
+    """
+    payload = load_checkpoint(checkpoint_path)
+    context = payload.get("context")
+    if not isinstance(context, dict):
+        raise ValueError(
+            f"{checkpoint_path}: no runner context in checkpoint — resume it "
+            "via BaseOptimizer.run(resume_from=...) on a hand-built optimizer"
+        )
+    scale = Scale(**context["scale"])
+    return run_one(
+        context["name"],
+        context["experiment_id"],
+        scale=scale,
+        generations=context["generations"],
+        seed_index=context["seed_index"],
+        backend=context["backend"],
+        workers=context["workers"],
+        cache_size=context["cache_size"],
+        kernel=context["kernel"],
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=context.get("checkpoint_every", 10),
+        resume_from=payload,
+        ledger=ledger,
+        timeout_s=timeout_s,
+        **context.get("algo_kwargs", {}),
+    )
+
+
 def run_many(
     name: str,
     experiment_id: str,
     scale: Optional[Scale] = None,
+    retries: int = 0,
+    skip_failures: bool = False,
+    ledger: Union[None, str, RunLedger] = None,
     **kwargs,
 ) -> List[RunSummary]:
-    """Run an algorithm over the scale's seed count."""
+    """Run an algorithm over the scale's seed count, fault-tolerantly.
+
+    A seed that raises (crash, or :class:`RunTimeoutError` when
+    ``timeout_s`` is forwarded to :func:`run_one`) is retried up to
+    *retries* times; when retries are exhausted the seed is abandoned —
+    logged to the *ledger* as ``seed_abandoned`` — and the sweep moves on
+    to the remaining seeds.  With the defaults (``retries=0,
+    skip_failures=False``) the historical behavior is kept: the first
+    failure propagates.
+
+    Returns the summaries of the seeds that succeeded.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     scale = scale or Scale.from_env()
-    return [
-        run_one(name, experiment_id, scale=scale, seed_index=i, **kwargs)
-        for i in range(scale.n_seeds)
-    ]
+    run_ledger = _as_ledger(ledger)
+    tolerant = retries > 0 or skip_failures
+    if run_ledger is not None:
+        run_ledger.emit(
+            "sweep_started",
+            algorithm=name,
+            experiment_id=experiment_id,
+            n_seeds=scale.n_seeds,
+            scale=scale.label,
+            retries=retries,
+        )
+    summaries: List[RunSummary] = []
+    n_abandoned = 0
+    for i in range(scale.n_seeds):
+        attempt = 0
+        while True:
+            try:
+                summaries.append(
+                    run_one(
+                        name,
+                        experiment_id,
+                        scale=scale,
+                        seed_index=i,
+                        ledger=run_ledger,
+                        **kwargs,
+                    )
+                )
+                break
+            except Exception as exc:
+                # run_one already emitted run_failed for this attempt.
+                if attempt < retries:
+                    attempt += 1
+                    if run_ledger is not None:
+                        run_ledger.emit(
+                            "retry",
+                            run=f"{experiment_id}/{name}/seed{i}",
+                            attempt=attempt,
+                            max_retries=retries,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    continue
+                if tolerant:
+                    n_abandoned += 1
+                    if run_ledger is not None:
+                        run_ledger.emit(
+                            "seed_abandoned",
+                            run=f"{experiment_id}/{name}/seed{i}",
+                            attempts=attempt + 1,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    break
+                raise
+    if run_ledger is not None:
+        run_ledger.emit(
+            "sweep_finished",
+            algorithm=name,
+            experiment_id=experiment_id,
+            n_succeeded=len(summaries),
+            n_abandoned=n_abandoned,
+        )
+    return summaries
 
 
 def median_hv(summaries: Sequence[RunSummary]) -> float:

@@ -35,7 +35,10 @@ def range_coverage(
     """Fraction of ``[low, high]`` bins (along objective *axis*) occupied.
 
     Returns a value in [0, 1]; 1.0 means every bin of the target range
-    contains at least one solution.  Empty fronts score 0.
+    contains at least one solution.  Empty fronts score 0, and so do
+    fronts lying entirely outside ``[low, high]`` — out-of-range points
+    do not occupy any bin (they used to be clipped into the edge bins,
+    crediting coverage the front does not have).
     """
     pts = _as_front(points)
     if pts.shape[0] == 0:
@@ -45,16 +48,23 @@ def range_coverage(
     if n_bins < 1:
         raise ValueError(f"n_bins must be >= 1, got {n_bins}")
     coord = pts[:, axis]
+    coord = coord[(coord >= low) & (coord <= high)]
+    if coord.size == 0:
+        return 0.0
     bins = np.floor((coord - low) / (high - low) * n_bins).astype(int)
-    bins = np.clip(bins, 0, n_bins - 1)
+    # The only remaining boundary case is coord == high, which floors to
+    # n_bins; fold it into the last bin.
+    bins = np.minimum(bins, n_bins - 1)
     return float(np.unique(bins).size) / n_bins
 
 
 def spacing(points: np.ndarray) -> float:
-    """Schott's spacing: std-dev of nearest-neighbour L1 distances.
+    """Schott's spacing: spread of nearest-neighbour L1 distances.
 
-    Zero for perfectly uniform fronts; undefined (returns ``nan``) for
-    fronts with fewer than 2 points.
+    Schott's formula uses the *sample* standard deviation — the squared
+    deviations are divided by ``n - 1``, not ``n``.  Zero for perfectly
+    uniform fronts; undefined (returns ``nan``) for fronts with fewer
+    than 2 points.
     """
     pts = _as_front(points)
     n = pts.shape[0]
@@ -64,7 +74,7 @@ def spacing(points: np.ndarray) -> float:
     diff = np.abs(pts[:, None, :] - pts[None, :, :]).sum(axis=2)
     np.fill_diagonal(diff, np.inf)
     d = diff.min(axis=1)
-    return float(np.sqrt(np.mean((d - d.mean()) ** 2)))
+    return float(np.sqrt(np.sum((d - d.mean()) ** 2) / (n - 1)))
 
 
 def spread(

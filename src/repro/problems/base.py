@@ -180,8 +180,11 @@ class Problem:
         """Total number of design points evaluated so far."""
         return self._n_evaluations
 
-    def reset_evaluation_counter(self) -> None:
-        self._n_evaluations = 0
+    def reset_evaluation_counter(self, value: int = 0) -> None:
+        """Reset (or, when resuming a checkpointed run, restore) the counter."""
+        if value < 0:
+            raise ValueError(f"evaluation counter must be >= 0, got {value}")
+        self._n_evaluations = int(value)
 
     def clip(self, x: np.ndarray) -> np.ndarray:
         """Clip decision vectors into the box bounds."""

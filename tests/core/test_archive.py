@@ -83,6 +83,57 @@ class TestAdd:
         x, f = archive.contents()
         assert x.size == 0 and f.size == 0
 
+    def test_empty_contents_shaped_when_dims_declared(self):
+        # Regression: an empty archive used to return (0, 0) arrays,
+        # breaking downstream vstack with (n, n_var) data.
+        archive = ParetoArchive(n_var=6, n_obj=2)
+        x, f = archive.contents()
+        assert x.shape == (0, 6)
+        assert f.shape == (0, 2)
+        np.vstack([x, np.zeros((3, 6))])  # must not raise
+
+    def test_dims_remembered_from_first_add_and_survive_clear(self):
+        archive = ParetoArchive()
+        archive.add(np.zeros((1, 3)), [[1.0, 2.0]])
+        archive.clear()
+        x, f = archive.contents()
+        assert x.shape == (0, 3)
+        assert f.shape == (0, 2)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            archive.add(np.zeros((1, 4)), [[1.0, 2.0]])
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError, match="n_var"):
+            ParetoArchive(n_var=0)
+        with pytest.raises(ValueError, match="n_obj"):
+            ParetoArchive(n_obj=-1)
+        archive = ParetoArchive(n_var=2, n_obj=2)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            archive.add(np.zeros((1, 3)), np.zeros((1, 2)))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            archive.add(np.zeros((1, 2)), np.zeros((1, 3)))
+
+    def test_state_dict_round_trip(self):
+        archive = ParetoArchive(capacity=10)
+        archive.add(np.array([[0.1, 0.2], [0.3, 0.4]]), np.array([[1.0, 2.0], [2.0, 1.0]]))
+        state = archive.state_dict()
+        restored = ParetoArchive()
+        restored.load_state_dict(state)
+        np.testing.assert_array_equal(restored.x, archive.x)
+        np.testing.assert_array_equal(restored.objectives, archive.objectives)
+        assert restored.n_observed == archive.n_observed
+        assert restored.capacity == archive.capacity
+        assert (restored.n_var, restored.n_obj) == (2, 2)
+
+    def test_state_dict_round_trip_empty(self):
+        archive = ParetoArchive(n_var=4, n_obj=2)
+        restored = ParetoArchive()
+        restored.load_state_dict(archive.state_dict())
+        x, f = restored.contents()
+        assert x.shape == (0, 4)
+        assert f.shape == (0, 2)
+        assert restored.size == 0
+
 
 class TestAsCallback:
     def test_tracks_run_and_never_loses_points(self):

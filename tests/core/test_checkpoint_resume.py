@@ -1,0 +1,225 @@
+"""Kill at generation g, resume from the checkpoint => byte-identical result.
+
+The contract under test (see repro/core/checkpoint.py): a run that
+crashes mid-flight and is resumed from its last checkpoint must serialize
+to exactly the same bytes (``result_to_dict(include_timing=False)``) as
+the same run left uninterrupted.  This holds for every algorithm and for
+a checkpoint taken at *any* generation — phase 1, phase 2, or mid-phase
+of MESACGA's expanding schedule.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointCallback,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.islands import IslandNSGA2
+from repro.core.mesacga import MESACGA
+from repro.core.nsga2 import NSGA2
+from repro.core.partitions import PartitionGrid
+from repro.core.sacga import SACGA, SACGAConfig
+from repro.problems.synthetic import ClusteredFeasibility
+from repro.utils.serialization import result_to_dict
+
+POP = 16
+GENS = 9
+SEED = 97
+
+ALGOS = ["nsga2", "sacga", "mesacga", "islands"]
+
+
+def build(name):
+    problem = ClusteredFeasibility(n_var=4)
+    config = SACGAConfig(phase1_max_iterations=3)
+    if name == "nsga2":
+        return NSGA2(problem, population_size=POP, seed=SEED)
+    if name == "sacga":
+        grid = PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=4)
+        return SACGA(problem, grid, population_size=POP, seed=SEED, config=config)
+    if name == "mesacga":
+        return MESACGA(
+            problem,
+            axis=1,
+            low=0.0,
+            high=1.0,
+            partition_schedule=(4, 2, 1),
+            population_size=POP,
+            seed=SEED,
+            config=config,
+        )
+    if name == "islands":
+        return IslandNSGA2(
+            problem,
+            population_size=POP,
+            n_islands=2,
+            migration_interval=3,
+            seed=SEED,
+        )
+    raise KeyError(name)
+
+
+def serialized(result):
+    return json.dumps(
+        result_to_dict(result, include_timing=False), sort_keys=True
+    ).encode()
+
+
+class Boom(RuntimeError):
+    """Injected crash."""
+
+
+class KillAt:
+    """Callback that simulates a hard crash at a given generation."""
+
+    def __init__(self, generation):
+        self.generation = generation
+
+    def __call__(self, generation, population):
+        if generation == self.generation:
+            raise Boom(f"simulated crash at generation {generation}")
+
+
+class PayloadRecorder:
+    """Snapshot an in-memory checkpoint payload at every generation."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.payloads = {}
+
+    def __call__(self, generation, population):
+        if generation > 0:
+            self.payloads[generation] = self.optimizer.capture_checkpoint()
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_resume_after_crash_is_byte_identical(self, algo, tmp_path):
+        baseline = serialized(build(algo).run(GENS))
+
+        path = tmp_path / "run.ckpt"
+        crashing = build(algo)
+        crashing.add_callback(CheckpointCallback(crashing, path, every=2))
+        crashing.add_callback(KillAt(5))
+        with pytest.raises(Boom):
+            crashing.run(GENS)
+        assert path.exists()
+        assert load_checkpoint(path)["generation"] == 4
+
+        resumed = build(algo).run(GENS, resume_from=str(path))
+        assert serialized(resumed) == baseline
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_resume_from_every_generation(self, algo):
+        """The checkpoint boundary is arbitrary: resuming from *any*
+        generation — phase 1, the phase transition, mid-phase — must
+        reproduce the uninterrupted run."""
+        source = build(algo)
+        recorder = PayloadRecorder(source)
+        source.add_callback(recorder)
+        baseline = serialized(source.run(GENS))
+        assert set(recorder.payloads) == set(range(1, GENS + 1))
+
+        for generation, payload in recorder.payloads.items():
+            resumed = build(algo).run(GENS, resume_from=payload)
+            assert serialized(resumed) == baseline, (
+                f"{algo}: resume from generation {generation} diverged"
+            )
+
+    def test_resumed_wall_time_includes_prior_run(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        algo = build("nsga2")
+        algo.add_callback(CheckpointCallback(algo, path, every=4))
+        algo.run(GENS)
+        payload = load_checkpoint(path)
+        resumed = build("nsga2").run(GENS, resume_from=payload)
+        assert resumed.wall_time >= payload["wall_time"]
+
+
+class TestValidation:
+    def test_resume_rejects_wrong_algorithm(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        algo = build("nsga2")
+        algo.add_callback(CheckpointCallback(algo, path, every=2))
+        algo.run(GENS)
+        with pytest.raises(ValueError, match="cannot resume"):
+            build("sacga").run(GENS, resume_from=str(path))
+
+    def test_resume_rejects_budget_mismatch(self):
+        algo = build("nsga2")
+        recorder = PayloadRecorder(algo)
+        algo.add_callback(recorder)
+        algo.run(GENS)
+        with pytest.raises(ValueError, match="same budget"):
+            build("nsga2").run(GENS + 5, resume_from=recorder.payloads[4])
+
+    def test_resume_rejects_initial_x(self):
+        algo = build("nsga2")
+        recorder = PayloadRecorder(algo)
+        algo.add_callback(recorder)
+        result = algo.run(GENS)
+        with pytest.raises(ValueError, match="initial_x"):
+            build("nsga2").run(
+                GENS,
+                initial_x=result.population.x,
+                resume_from=recorder.payloads[4],
+            )
+
+    def test_load_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        save_checkpoint({"version": 1}, path)
+        with pytest.raises(ValueError, match="missing required keys"):
+            load_checkpoint(path)
+
+    def test_load_rejects_non_dict(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        with path.open("wb") as fh:
+            pickle.dump([1, 2, 3], fh)
+        with pytest.raises(ValueError, match="payload dict"):
+            load_checkpoint(path)
+
+    def test_capture_outside_run_raises(self):
+        with pytest.raises(RuntimeError, match="capture_checkpoint"):
+            build("nsga2").capture_checkpoint()
+
+
+class TestCheckpointCallback:
+    def test_atomic_write_leaves_no_tmp_file(self, tmp_path):
+        path = tmp_path / "nested" / "run.ckpt"
+        algo = build("nsga2")
+        cb = CheckpointCallback(algo, path, every=3)
+        algo.add_callback(cb)
+        algo.run(GENS)
+        assert path.exists()
+        assert not path.with_name(path.name + ".tmp").exists()
+        assert cb.n_saved == GENS // 3
+        assert cb.last_generation == (GENS // 3) * 3
+
+    def test_context_round_trips(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        algo = build("nsga2")
+        context = {"experiment": "smoke", "seed_index": 0}
+        algo.add_callback(
+            CheckpointCallback(algo, path, every=2, context=context)
+        )
+        algo.run(GENS)
+        assert load_checkpoint(path)["context"] == context
+
+    def test_extra_state_captured(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        algo = build("nsga2")
+        algo.add_callback(
+            CheckpointCallback(
+                algo, path, every=2, extra_state={"marker": lambda: 42}
+            )
+        )
+        algo.run(GENS)
+        assert load_checkpoint(path)["extra"]["marker"] == 42
+
+    def test_rejects_bad_cadence(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            CheckpointCallback(build("nsga2"), tmp_path / "x.ckpt", every=0)

@@ -326,6 +326,16 @@ def test_invalid_backend_parameters():
         CachedBackend(max_size=0)
 
 
+def test_make_backend_rejects_nonpositive_cache_size():
+    # Regression: cache_size=0 used to silently build an uncached
+    # backend, masking a misconfigured sweep.
+    for bad in (0, -1):
+        with pytest.raises(ValueError, match="cache_size"):
+            make_backend("serial", cache_size=bad)
+    # None still means "no cache", not an error.
+    assert isinstance(make_backend("serial", cache_size=None), SerialBackend)
+
+
 def test_backend_stats_in_metadata_and_history():
     backend = CachedBackend(ThreadPoolBackend(n_workers=2), max_size=256)
     result = make_optimizer("nsga2", synthetic_problem(), 21, backend).run(GENS)

@@ -47,12 +47,28 @@ class TestRun:
         np.testing.assert_array_equal(r1.front_objectives, r2.front_objectives)
 
     def test_metadata_fields(self):
-        result = make_sacga(seed=2)[0].run(25)
+        # Cap phase 1 well below the budget so a real Phase II runs.
+        result = make_sacga(seed=2, phase1_max_iterations=5)[0].run(25)
         meta = result.metadata
         assert meta["n_partitions"] == 4
         assert "gen_t" in meta and "span" in meta
-        assert meta["gen_t"] + meta["span"] >= 25
+        assert meta["gen_t"] + meta["span"] == 25
+        assert meta["span"] > 0
         assert set(meta["gate"]) == {"k1", "k2", "alpha", "t_init", "n"}
+
+    def test_degenerate_phase2_reported_honestly(self):
+        # Regression: when phase1_max_iterations >= n_generations and
+        # coverage is never achieved, Phase I consumes the whole budget.
+        # The metadata must report span=0 and no gate — not a fabricated
+        # one-iteration Phase II that never ran.
+        algo, _ = make_sacga(seed=2)  # default cap (100) >= budget (25)
+        result = algo.run(25)
+        meta = result.metadata
+        assert meta["gen_t"] == 25
+        assert meta["span"] == 0
+        assert meta["gate"] is None
+        phases = {rec.extras.get("phase") for rec in result.history if rec.extras}
+        assert 2.0 not in phases
 
     def test_phase1_terminates_when_covered(self):
         # ClusteredFeasibility has feasible designs in every x0 band, so

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.metrics.convergence import inverted_generational_distance
-from repro.metrics.diversity import range_coverage
+from repro.metrics.diversity import range_coverage, spacing
 from repro.metrics.hypervolume import hypervolume_paper, hypervolume_ref
 
 REF = (10.0, 10.0)
@@ -63,6 +63,32 @@ class TestCoverageDisagreement:
         assert inverted_generational_distance(
             corner, full
         ) > inverted_generational_distance(full, full)
+
+
+class TestSpacingSchott:
+    """Spacing follows Schott's formula: the sample standard deviation
+    (n-1 divisor) of the nearest-neighbour distances."""
+
+    def test_hand_computed_value(self):
+        # Nearest-neighbour distances: 1, 1, 2 -> mean 4/3,
+        # sum of squared deviations 2/3, /(n-1)=2 -> 1/3.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        assert spacing(pts) == pytest.approx(np.sqrt(1.0 / 3.0))
+
+    def test_agrees_with_hypervolume_on_even_vs_clumped(self):
+        # Same endpoints, same dominated volume ordering: the evenly
+        # spaced front must score lower (better) spacing than a front
+        # clumped at one end.
+        even = staircase(10)
+        t = np.r_[np.linspace(0.0, 0.2, 9), 1.0]
+        clumped = np.column_stack([0.5 + 4.5 * t, 5.0 - 4.5 * t])
+        assert spacing(even) < spacing(clumped)
+
+    def test_scale_equivariant(self):
+        # Schott spacing is a distance statistic: scaling the front by c
+        # scales the spacing by c exactly.
+        front = staircase(8)
+        assert spacing(front * 3.0) == pytest.approx(3.0 * spacing(front))
 
 
 class TestDegenerateInputs:

@@ -26,8 +26,27 @@ class TestRangeCoverage:
         pts = np.array([[0.0, 0.05], [0.0, 0.55]])
         assert range_coverage(pts, axis=1, low=0.0, high=1.0, n_bins=10) == 0.2
 
-    def test_out_of_range_clamped(self):
+    def test_out_of_range_points_do_not_count(self):
+        # Regression: out-of-range points used to be clipped into the
+        # edge bins, so a front entirely outside [low, high] scored 0.5
+        # here.  They must contribute no coverage at all.
         pts = np.array([[0.0, -1.0], [0.0, 2.0]])
+        assert range_coverage(pts, axis=1, low=0.0, high=1.0, n_bins=4) == 0.0
+
+    def test_front_entirely_outside_range_scores_zero(self):
+        # The paper-motivated case: every solution at ~6 pF while the
+        # target axis is [0, 5] pF.
+        pts = np.column_stack([np.zeros(10), np.full(10, 6.0e-12)])
+        assert range_coverage(pts, axis=1, low=0.0, high=5.0e-12) == 0.0
+
+    def test_mixed_in_and_out_of_range(self):
+        # Only the in-range point contributes a bin.
+        pts = np.array([[0.0, -0.5], [0.0, 0.05], [0.0, 1.5]])
+        assert range_coverage(pts, axis=1, low=0.0, high=1.0, n_bins=10) == 0.1
+
+    def test_boundary_points_count(self):
+        # low and high are inclusive; high folds into the last bin.
+        pts = np.array([[0.0, 0.0], [0.0, 1.0]])
         assert range_coverage(pts, axis=1, low=0.0, high=1.0, n_bins=4) == 0.5
 
     def test_empty_front(self):

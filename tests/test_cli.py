@@ -22,6 +22,26 @@ class TestParser:
         assert args.algorithm == "sacga"
         assert args.partitions == 12
 
+    def test_run_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["run", "tpg", "--checkpoint", "run.ckpt",
+             "--checkpoint-every", "5", "--ledger", "trace.jsonl"]
+        )
+        assert args.checkpoint == "run.ckpt"
+        assert args.checkpoint_every == 5
+        assert args.ledger == "trace.jsonl"
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resume"])
+        args = build_parser().parse_args(["resume", "run.ckpt"])
+        assert args.checkpoint == "run.ckpt"
+
+    def test_trace_flags(self):
+        args = build_parser().parse_args(["trace", "t.jsonl", "--tail", "7"])
+        assert args.ledger == "t.jsonl"
+        assert args.tail == 7
+
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
@@ -55,6 +75,43 @@ class TestCommands:
         payload = json.loads(out_file.read_text())
         assert payload["algorithm"] == "NSGA-II"
         assert "front" in payload
+
+
+class TestCheckpointResumeTrace:
+    def test_run_crash_resume_trace_round_trip(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        ckpt = tmp_path / "run.ckpt"
+        trace = tmp_path / "trace.jsonl"
+
+        # Crash-free checkpointed run first: checkpoint file appears.
+        code = main(
+            ["run", "tpg", "--generations", "6",
+             "--checkpoint", str(ckpt), "--checkpoint-every", "2",
+             "--ledger", str(trace)]
+        )
+        assert code == 0
+        assert ckpt.exists()
+        out = capsys.readouterr().out
+        assert "NSGA-II" in out
+
+        # Resume from the final checkpoint: re-runs the tail generations
+        # and prints the same kind of summary.
+        code = main(["resume", str(ckpt), "--ledger", str(trace)])
+        assert code == 0
+        assert "NSGA-II" in capsys.readouterr().out
+
+        # The trace summarizes both runs...
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "run_started" in out
+        assert "run_finished" in out
+        assert "finished=" in out
+
+        # ...and --tail prints individual events.
+        assert main(["trace", str(trace), "--tail", "3"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3
+        assert "run_finished" in out
 
 
 class TestFiguresStubbed:
