@@ -1,0 +1,184 @@
+"""Overhead benchmark for the observability subsystem.
+
+Times end-to-end optimizer runs in three instrumentation modes and
+writes ``BENCH_obs.json`` at the repo root:
+
+* ``off``  — no metrics, no tracer, no telemetry callback (the default
+  production path: every instrument is the shared no-op object).
+* ``null`` — a ``NullMetrics``/``NullTracer`` pair plus an attached
+  ``TelemetryCallback``; exercises the disabled path end to end.
+* ``on``   — a live ``MetricsRegistry``, ``SpanTracer``, and telemetry
+  callback, the same wiring ``run_one(metrics=True)`` uses.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_obs.py
+    PYTHONPATH=src python benchmarks/perf/bench_obs.py \
+        --sizes 64 --generations 6 --max-overhead 0.75
+
+For each (algorithm, size) the JSON records best-of-``--repeats`` wall
+times plus two ratios: ``overhead_on`` and ``overhead_null``, each the
+fractional slowdown over ``off`` (0.10 = 10% slower; negative values
+are timer noise).  With ``--max-overhead`` the run exits 1 when any
+``overhead_on`` exceeds the bound.  The default bound is deliberately
+generous — the point is to catch an accidental O(population) regression
+on the hot loop (e.g. a registry lookup per individual), not to police
+scheduler jitter on shared CI machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+from repro.core.kernels import kernel_call_counts
+from repro.core.nsga2 import NSGA2
+from repro.core.partitions import PartitionGrid
+from repro.core.sacga import SACGA, SACGAConfig
+from repro.obs.registry import MetricsRegistry, NULL_METRICS
+from repro.obs.spans import NULL_TRACER, SpanTracer
+from repro.obs.telemetry import TelemetryCallback
+from repro.problems.synthetic import ClusteredFeasibility
+
+MODES = ("off", "null", "on")
+DEFAULT_SIZES = (64, 256)
+SEED = 7
+
+
+def build(algorithm: str, n: int, metrics=None, tracer=None):
+    problem = ClusteredFeasibility(n_var=8)
+    if algorithm == "nsga2":
+        return NSGA2(
+            problem, population_size=n, seed=SEED,
+            metrics=metrics, tracer=tracer,
+        )
+    return SACGA(
+        problem,
+        PartitionGrid(axis=1, low=0.0, high=1.0, n_partitions=8),
+        population_size=n,
+        seed=SEED,
+        config=SACGAConfig(phase1_max_iterations=2),
+        metrics=metrics,
+        tracer=tracer,
+    )
+
+
+def run_mode(algorithm: str, n: int, generations: int, mode: str) -> None:
+    if mode == "off":
+        algo = build(algorithm, n)
+    elif mode == "null":
+        algo = build(algorithm, n, metrics=NULL_METRICS, tracer=NULL_TRACER)
+        algo.add_callback(
+            TelemetryCallback(
+                algo, NULL_METRICS, kernel_counts=kernel_call_counts
+            )
+        )
+    else:
+        registry = MetricsRegistry()
+        algo = build(algorithm, n, metrics=registry, tracer=SpanTracer())
+        algo.add_callback(
+            TelemetryCallback(
+                algo, registry, kernel_counts=kernel_call_counts
+            )
+        )
+    algo.run(generations)
+
+
+def best_of(fn: Callable[[], None], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench(sizes, generations: int, repeats: int) -> Dict[str, float]:
+    times: Dict[str, float] = {}
+    for algorithm in ("nsga2", "sacga"):
+        for n in sizes:
+            for mode in MODES:
+                key = f"{algorithm}/n={n}/{mode}"
+                times[key] = best_of(
+                    lambda: run_mode(algorithm, n, generations, mode), repeats
+                )
+    return times
+
+
+def overheads(times: Dict[str, float]) -> Dict[str, float]:
+    """Fractional slowdown over the uninstrumented run; 0.1 = 10% slower."""
+    out: Dict[str, float] = {}
+    for key, t_off in times.items():
+        if not key.endswith("/off") or t_off <= 0:
+            continue
+        base = key[: -len("/off")]
+        for mode in ("null", "on"):
+            t_mode = times.get(f"{base}/{mode}")
+            if t_mode is not None:
+                out[f"{base}/overhead_{mode}"] = t_mode / t_off - 1.0
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="population sizes to benchmark (default: 64 256)",
+    )
+    parser.add_argument(
+        "--generations", type=int, default=10,
+        help="generations per timed run (default: 10)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="take the best of this many timed runs (default: 5)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parents[2] / "BENCH_obs.json",
+        help="where to write the results JSON (default: repo root)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=None,
+        help="fail (exit 1) when any enabled-path overhead exceeds this "
+        "fraction, e.g. 0.75 = 75%% slower than uninstrumented",
+    )
+    args = parser.parse_args(argv)
+
+    times = bench(args.sizes, args.generations, args.repeats)
+    ratios = overheads(times)
+
+    payload = {
+        "sizes": list(args.sizes),
+        "generations": args.generations,
+        "repeats": args.repeats,
+        "times_s": {k: times[k] for k in sorted(times)},
+        "overhead_fraction": {k: ratios[k] for k in sorted(ratios)},
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    for key in sorted(ratios):
+        print(f"{key:<40} {ratios[key]:+7.1%}")
+    print(f"wrote {args.output}")
+
+    if args.max_overhead is not None:
+        failures = [
+            f"{key}: {value:+.1%} exceeds bound {args.max_overhead:.0%}"
+            for key, value in sorted(ratios.items())
+            if key.endswith("/overhead_on") and value > args.max_overhead
+        ]
+        if failures:
+            print("OBS OVERHEAD REGRESSION:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"overhead bound check passed (<= {args.max_overhead:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[2]
 SCRIPT = REPO / "benchmarks" / "perf" / "bench_kernels.py"
+OBS_SCRIPT = REPO / "benchmarks" / "perf" / "bench_obs.py"
 
 
 def run_bench(tmp_path, *extra):
@@ -76,3 +77,50 @@ def test_committed_baseline_keys_cover_acceptance_target():
     baseline = json.loads((REPO / "BENCH_kernels.json").read_text())
     ratios = baseline["speedup_blocked_over_reference"]
     assert ratios["crowded_truncate/n=1600"] >= 3.0
+
+
+def run_obs_bench(tmp_path, *extra):
+    out = tmp_path / "bench_obs.json"
+    cmd = [
+        sys.executable, str(OBS_SCRIPT),
+        "--sizes", "32",
+        "--generations", "4",
+        "--repeats", "2",
+        "--output", str(out),
+        *extra,
+    ]
+    env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"}
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, cwd=REPO, timeout=600
+    )
+    return proc, out
+
+
+def test_obs_bench_times_every_mode_and_bounds_overhead(tmp_path):
+    # A very generous bound: instrumentation must never *triple* the run
+    # time — that would mean per-individual registry traffic crept in.
+    proc, out = run_obs_bench(tmp_path, "--max-overhead", "2.0")
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    for algorithm in ("nsga2", "sacga"):
+        for mode in ("off", "null", "on"):
+            key = f"{algorithm}/n=32/{mode}"
+            assert payload["times_s"][key] > 0.0, key
+        for mode in ("null", "on"):
+            assert f"{algorithm}/n=32/overhead_{mode}" in payload["overhead_fraction"]
+    assert "overhead bound check passed" in proc.stdout
+
+
+def test_obs_bench_gate_trips_on_tiny_bound(tmp_path):
+    # An impossible bound (overhead may not exceed -100%) must fail.
+    proc, _ = run_obs_bench(tmp_path, "--max-overhead", "-1.0")
+    assert proc.returncode == 1
+    assert "OBS OVERHEAD REGRESSION" in proc.stderr
+
+
+def test_committed_obs_baseline_is_sane():
+    payload = json.loads((REPO / "BENCH_obs.json").read_text())
+    # Enabled-path overhead stays far below the 2x alarm line.
+    for key, value in payload["overhead_fraction"].items():
+        if key.endswith("/overhead_on"):
+            assert value < 2.0, f"{key}: {value:+.1%}"

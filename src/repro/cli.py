@@ -18,6 +18,12 @@ Subcommands
 
 ``repro trace LEDGER``
     Summarize a run ledger, or tail its last events with ``--tail N``.
+    ``repro trace RUN.profile.json --profile`` renders the timing-span
+    tree written by ``repro run --metrics-out``.
+
+``repro stats RUN``
+    Print the metrics snapshot of an instrumented run (*RUN* is a
+    ``--metrics-out`` prefix or a ``.prom`` file).
 
 ``repro spec-ladder``
     Print the 20-step specification difficulty ladder.
@@ -28,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.circuits.specs import spec_ladder
@@ -43,6 +50,8 @@ from repro.experiments.ledger import (
 )
 from repro.experiments.reporting import format_table, front_rows
 from repro.experiments.runner import Scale, RunSummary, resume_run, run_one
+from repro.obs.exporters import parse_prometheus
+from repro.obs.spans import format_profile
 
 
 def _scale_from_args(args: argparse.Namespace) -> Scale:
@@ -128,6 +137,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         ledger=args.ledger,
+        metrics=args.metrics,
+        metrics_out=args.metrics_out,
         **kwargs,
     )
     _print_run_summary(
@@ -138,21 +149,81 @@ def cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_size=args.cache_size,
     )
+    _print_metrics_outcome(summary)
     return 0
 
 
+def _print_metrics_outcome(summary: RunSummary) -> None:
+    if summary.metrics_paths:
+        for kind, path in summary.metrics_paths.items():
+            print(f"wrote {path}")
+    if summary.profile:
+        total = summary.wall_time if summary.wall_time > 0 else None
+        print(format_profile(summary.profile, total_s=total))
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
-    summary = resume_run(args.checkpoint, ledger=args.ledger)
+    summary = resume_run(
+        args.checkpoint,
+        ledger=args.ledger,
+        metrics=getattr(args, "metrics", None),
+        metrics_out=getattr(args, "metrics_out", None),
+    )
     _print_run_summary(summary, max_rows=args.max_rows, json_path=args.json)
+    _print_metrics_outcome(summary)
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    if args.profile:
+        profile = json.loads(Path(args.ledger).read_text(encoding="utf-8"))
+        print(format_profile(profile))
+        return 0
     if args.tail:
         for event in tail_events(args.ledger, args.tail):
             print(format_event(event))
     else:
         print(format_summary(summarize_ledger(read_ledger(args.ledger))))
+    return 0
+
+
+def _format_label_set(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    path = Path(args.run)
+    if not path.exists() and not str(path).endswith(".prom"):
+        path = Path(f"{args.run}.prom")
+    if not path.exists():
+        print(
+            f"no metrics snapshot at {args.run!r} (expected a .prom file or "
+            f"a --metrics-out prefix)"
+        )
+        return 2
+    try:
+        metrics = parse_prometheus(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        print(f"{path}: invalid Prometheus snapshot: {exc}")
+        return 2
+    names = sorted(metrics)
+    if args.metric:
+        names = [n for n in names if args.metric in n]
+        if not names:
+            print(f"no metric matching {args.metric!r} in {path}")
+            return 2
+    for name in names:
+        info = metrics[name]
+        help_text = f"  ({info['help']})" if info["help"] else ""
+        print(f"{name} [{info['kind']}]{help_text}")
+        for sample in info["samples"]:
+            suffix = sample["name"][len(name):]
+            label = _format_label_set(sample["labels"])
+            value = sample["value"]
+            text = str(int(value)) if float(value).is_integer() else f"{value:.6g}"
+            print(f"  {suffix or '.'}{label:<40s} {text}")
     return 0
 
 
@@ -234,6 +305,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a JSONL event trace to this file "
         "(inspect with `repro trace`)",
     )
+    p_run.add_argument(
+        "--metrics", action="store_true",
+        help="enable the metrics registry, timing spans and algorithm "
+        "telemetry (prints the span-timing tree after the run)",
+    )
+    p_run.add_argument(
+        "--metrics-out", default=None, metavar="PREFIX",
+        help="write PREFIX.prom / PREFIX.metrics.csv / PREFIX.telemetry.csv "
+        "/ PREFIX.profile.json after the run (implies --metrics)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_resume = sub.add_parser(
@@ -245,17 +326,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_resume.add_argument("--max-rows", type=int, default=20)
     p_resume.add_argument("--json", help="write the front to this JSON file")
+    p_resume.add_argument(
+        "--metrics", action="store_true",
+        help="instrument the resumed portion of the run",
+    )
+    p_resume.add_argument(
+        "--metrics-out", default=None, metavar="PREFIX",
+        help="write metrics/telemetry/profile exports after the resumed run",
+    )
     p_resume.set_defaults(func=cmd_resume)
 
     p_trace = sub.add_parser(
         "trace", help="summarize or tail a JSONL run ledger"
     )
-    p_trace.add_argument("ledger", help="ledger file written by --ledger")
+    p_trace.add_argument(
+        "ledger", help="ledger file written by --ledger (or, with "
+        "--profile, a .profile.json written by --metrics-out)",
+    )
     p_trace.add_argument(
         "--tail", type=int, default=0, metavar="N",
         help="print the last N events instead of the summary",
     )
+    p_trace.add_argument(
+        "--profile", action="store_true",
+        help="treat the file as a span-profile JSON and render the timing tree",
+    )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="print the metrics snapshot of an instrumented run"
+    )
+    p_stats.add_argument(
+        "run", help="--metrics-out prefix or .prom file from `repro run`"
+    )
+    p_stats.add_argument(
+        "--metric", default=None,
+        help="only print metrics whose name contains this substring",
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     p_spec = sub.add_parser("spec-ladder", help="print the 20-spec difficulty ladder")
     p_spec.add_argument("-n", type=int, default=20)

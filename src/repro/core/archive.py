@@ -153,6 +153,14 @@ class ParetoArchive:
         self._f = None
         self.n_observed = 0
 
+    def stats(self) -> Dict[str, Any]:
+        """Observability snapshot (what the telemetry layer samples)."""
+        return {
+            "size": self.size,
+            "capacity": self.capacity,
+            "n_observed": int(self.n_observed),
+        }
+
     # -------------------------------------------------------- checkpointing
 
     def state_dict(self) -> Dict[str, Any]:

@@ -33,6 +33,8 @@ from repro.core.individual import Population
 from repro.core.kernels import resolve_kernel
 from repro.core.operators import PolynomialMutation, SBXCrossover
 from repro.core.results import OptimizationResult, extract_feasible_front
+from repro.obs.registry import NULL_METRICS
+from repro.obs.spans import NULL_TRACER
 from repro.problems.base import Problem
 from repro.utils.rng import RngLike, as_rng
 
@@ -64,6 +66,19 @@ class BaseOptimizer:
         bit-identical fronts, so the choice is deliberately *not*
         echoed into result metadata — serialized results stay
         byte-comparable across kernels.
+    metrics:
+        A :class:`repro.obs.registry.MetricsRegistry` receiving
+        evaluation counters and latency histograms; ``None`` (the
+        default) installs the true no-op
+        :data:`~repro.obs.registry.NULL_METRICS`.  Instrument handles
+        are resolved here, once — the hot loop never calls the registry.
+    tracer:
+        A :class:`repro.obs.spans.SpanTracer` recording the hierarchical
+        wall-clock profile (run → generation → evaluate →
+        backend:<name>); ``None`` installs the no-op
+        :data:`~repro.obs.spans.NULL_TRACER`.  Instrumentation is
+        read-only: instrumented runs are byte-identical to
+        uninstrumented ones.
     """
 
     algorithm_name = "BaseOptimizer"
@@ -77,6 +92,8 @@ class BaseOptimizer:
         seed: RngLike = None,
         backend: Optional[EvaluationBackend] = None,
         kernel: Optional[str] = None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         if population_size < 4:
             raise ValueError(
@@ -89,6 +106,22 @@ class BaseOptimizer:
         self.rng = as_rng(seed)
         self.backend = backend or SerialBackend()
         self.kernel = resolve_kernel(kernel)
+        self.metrics = NULL_METRICS if metrics is None else metrics
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        # Instrument handles and span names are fixed at construction so
+        # the generational loop touches no registry state (nor formats
+        # strings) — with NULL_METRICS every update is a shared no-op.
+        self._backend_span_name = f"backend:{self.backend.name}"
+        self._m_eval_batches = self.metrics.counter(
+            "repro_backend_batches_total", "Evaluation batches served"
+        )
+        self._m_eval_rows = self.metrics.counter(
+            "repro_backend_rows_total", "Design rows submitted for evaluation"
+        )
+        self._m_batch_seconds = self.metrics.histogram(
+            "repro_backend_batch_seconds",
+            "Wall-clock seconds per evaluation batch",
+        )
         self._backend_stats_prev = self.backend.stats.as_dict()
         self.history = HistoryRecorder()
         self.history.add_extras_source(self._backend_extras)
@@ -120,9 +153,14 @@ class BaseOptimizer:
 
     def _evaluate_population(self, x: np.ndarray) -> Population:
         x = np.atleast_2d(np.asarray(x, dtype=float))
-        evaluation = self.backend.evaluate(self.problem, x)
+        with self.tracer.span("evaluate"):
+            with self.tracer.span(self._backend_span_name):
+                evaluation = self.backend.evaluate(self.problem, x)
         pop = Population(x, evaluation)
         self._n_evaluations += pop.size
+        self._m_eval_batches.inc()
+        self._m_eval_rows.inc(pop.size)
+        self._m_batch_seconds.observe(self.backend.stats.last_batch_time)
         return pop
 
     def _backend_extras(self) -> Dict[str, float]:
@@ -222,29 +260,32 @@ class BaseOptimizer:
             raise ValueError("initial_x cannot be combined with resume_from")
         self._run_started = time.perf_counter()
         self._target_generations = int(n_generations)
-        if resume_from is not None:
-            self._prior_wall_time = self._restore_checkpoint(
-                resume_from, n_generations
+        with self.tracer.span("run"):
+            if resume_from is not None:
+                self._prior_wall_time = self._restore_checkpoint(
+                    resume_from, n_generations
+                )
+            else:
+                self.history.clear()
+                self._n_evaluations = 0
+                self._stop_requested = False
+                self._prior_wall_time = 0.0
+                # Telemetry deltas are relative to the run start, even when
+                # the backend (and its cumulative counters) is reused
+                # across runs.
+                self._backend_stats_prev = self.backend.stats.as_dict()
+                self.problem.reset_evaluation_counter()
+                self._loop_state = self._loop_init(n_generations, initial_x)
+            state = self._loop_state
+            while not self._loop_done(state, n_generations):
+                if self._stop_requested:
+                    break
+                with self.tracer.span("generation"):
+                    self._loop_step(state, n_generations)
+            elapsed = self._prior_wall_time + (
+                time.perf_counter() - self._run_started
             )
-        else:
-            self.history.clear()
-            self._n_evaluations = 0
-            self._stop_requested = False
-            self._prior_wall_time = 0.0
-            # Telemetry deltas are relative to the run start, even when the
-            # backend (and its cumulative counters) is reused across runs.
-            self._backend_stats_prev = self.backend.stats.as_dict()
-            self.problem.reset_evaluation_counter()
-            self._loop_state = self._loop_init(n_generations, initial_x)
-        state = self._loop_state
-        while not self._loop_done(state, n_generations):
-            if self._stop_requested:
-                break
-            self._loop_step(state, n_generations)
-        elapsed = self._prior_wall_time + (
-            time.perf_counter() - self._run_started
-        )
-        population, meta = self._loop_finish(state, n_generations)
+            population, meta = self._loop_finish(state, n_generations)
         return self._package_result(population, n_generations, elapsed, meta)
 
     # ----------------------------------------------------- loop state hooks

@@ -85,6 +85,11 @@ class BackendStats:
     cache_misses: int = 0
     cache_evictions: int = 0
     fallbacks: int = 0
+    # Wall-clock of the most recent batch only.  Deliberately NOT part of
+    # as_dict(): it feeds the observability latency histograms, and adding
+    # it to the serialized stats would break the byte-identical
+    # result_to_dict(include_timing=False) contract.
+    last_batch_time: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for result metadata / serialization."""
@@ -119,7 +124,8 @@ class EvaluationBackend:
         arr = np.atleast_2d(np.asarray(x, dtype=float))
         start = time.perf_counter()
         evaluation = self._evaluate_batch(problem, arr)
-        self.stats.eval_time += time.perf_counter() - start
+        self.stats.last_batch_time = time.perf_counter() - start
+        self.stats.eval_time += self.stats.last_batch_time
         self.stats.n_batches += 1
         return evaluation
 

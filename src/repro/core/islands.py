@@ -61,6 +61,8 @@ class IslandNSGA2(BaseOptimizer):
         seed: RngLike = None,
         backend=None,
         kernel=None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         super().__init__(
             problem,
@@ -70,6 +72,8 @@ class IslandNSGA2(BaseOptimizer):
             seed=seed,
             backend=backend,
             kernel=kernel,
+            metrics=metrics,
+            tracer=tracer,
         )
         if n_islands < 1:
             raise ValueError(f"n_islands must be >= 1, got {n_islands}")
@@ -105,26 +109,30 @@ class IslandNSGA2(BaseOptimizer):
         pop.crowding[:] = crowding
 
     def _evolve_island(self, island: Population, size: int) -> Population:
-        parents_idx = binary_tournament(
-            island.rank, island.crowding, size, self.rng
-        )
-        parents_idx = shuffle_for_mating(parents_idx, self.rng)
-        offspring_x = variation(
-            island.x[parents_idx],
-            self.problem.lower,
-            self.problem.upper,
-            self.rng,
-            self.crossover,
-            self.mutation,
-        )
+        with self.tracer.span("select"):
+            parents_idx = binary_tournament(
+                island.rank, island.crowding, size, self.rng
+            )
+            parents_idx = shuffle_for_mating(parents_idx, self.rng)
+        with self.tracer.span("mate"):
+            offspring_x = variation(
+                island.x[parents_idx],
+                self.problem.lower,
+                self.problem.upper,
+                self.rng,
+                self.crossover,
+                self.mutation,
+            )
         offspring = self._evaluate_population(offspring_x)
         merged = island.concat(offspring)
-        keep, rank, crowding = truncate_and_rank(
-            merged.objectives, merged.violation, size, kernel=self.kernel
-        )
-        survivor = merged.subset(keep)
-        survivor.rank[:] = rank
-        survivor.crowding[:] = crowding
+        with self.tracer.span("rank"):
+            with self.tracer.span("kernel:truncate_and_rank"):
+                keep, rank, crowding = truncate_and_rank(
+                    merged.objectives, merged.violation, size, kernel=self.kernel
+                )
+            survivor = merged.subset(keep)
+            survivor.rank[:] = rank
+            survivor.crowding[:] = crowding
         return survivor
 
     def _migrate(self, islands: List[Population]) -> List[Population]:
@@ -179,7 +187,8 @@ class IslandNSGA2(BaseOptimizer):
             for island, size in zip(state["islands"], state["sizes"])
         ]
         if gen % self.migration_interval == 0:
-            islands = self._migrate(islands)
+            with self.tracer.span("migrate"):
+                islands = self._migrate(islands)
             state["n_migrations"] += 1
         union = islands[0]
         for island in islands[1:]:

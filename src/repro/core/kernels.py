@@ -74,6 +74,8 @@ __all__ = [
     "local_rank_and_crowd",
     "truncate_and_rank",
     "crowded_compare",
+    "kernel_call_counts",
+    "reset_kernel_call_counts",
 ]
 
 #: Kernel implementations selectable throughout the library.
@@ -117,6 +119,28 @@ def set_block_size(size: int) -> None:
     if size < 1:
         raise ValueError(f"block size must be >= 1, got {size}")
     _block_size = int(size)
+
+
+# Process-wide dispatch counters, keyed "function/kernel".  A plain dict
+# bump per *public* dispatch call (nested dispatches count too:
+# rank_and_crowd includes its inner constrained_fronts) — cheap enough to
+# be unconditional, and the telemetry layer exports per-generation deltas.
+_CALL_COUNTS: "dict[str, int]" = {}
+
+
+def _count_call(fn: str, kern: str) -> None:
+    key = f"{fn}/{kern}"
+    _CALL_COUNTS[key] = _CALL_COUNTS.get(key, 0) + 1
+
+
+def kernel_call_counts() -> "dict[str, int]":
+    """Snapshot of cumulative kernel dispatch counts (``{"fn/kernel": n}``)."""
+    return dict(_CALL_COUNTS)
+
+
+def reset_kernel_call_counts() -> None:
+    """Zero the process-wide kernel dispatch counters."""
+    _CALL_COUNTS.clear()
 
 
 # --------------------------------------------------------------- crowding
@@ -366,6 +390,7 @@ def constrained_fronts(
     full semantics description.
     """
     kern = resolve_kernel(kernel)
+    _count_call("constrained_fronts", kern)
     objs = np.atleast_2d(np.asarray(objectives, dtype=float))
     n = objs.shape[0]
     if n == 0:
@@ -412,6 +437,7 @@ def rank_and_crowd(
     the crowding over all fronts with one segmented pass.
     """
     kern = resolve_kernel(kernel)
+    _count_call("rank_and_crowd", kern)
     objs = np.atleast_2d(np.asarray(objectives, dtype=float))
     n = objs.shape[0]
     rank = np.zeros(n, dtype=int)
@@ -463,6 +489,7 @@ def local_rank_and_crowd(
     never cross partitions.
     """
     kern = resolve_kernel(kernel)
+    _count_call("local_rank_and_crowd", kern)
     objs = np.atleast_2d(np.asarray(objectives, dtype=float))
     n = objs.shape[0]
     rank = np.zeros(n, dtype=int)
@@ -567,6 +594,7 @@ def truncate_and_rank(
     row order a re-sort of the subset would visit.
     """
     kern = resolve_kernel(kernel)
+    _count_call("truncate_and_rank", kern)
     objs = np.atleast_2d(np.asarray(objectives, dtype=float))
     n = objs.shape[0]
     if k < 0:

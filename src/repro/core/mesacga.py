@@ -68,6 +68,8 @@ class MESACGA(SACGA):
         config: Optional[SACGAConfig] = None,
         backend=None,
         kernel=None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         schedule = list(partition_schedule or PAPER_SCHEDULE)
         _validate_schedule(schedule)
@@ -84,6 +86,8 @@ class MESACGA(SACGA):
             config=config,
             backend=backend,
             kernel=kernel,
+            metrics=metrics,
+            tracer=tracer,
         )
         self.partition_schedule = schedule
         self.span_per_phase = None if span_per_phase is None else int(span_per_phase)
@@ -165,9 +169,10 @@ class MESACGA(SACGA):
             return
         # Expand partitions: same range, fewer slices, larger capacity.
         self.grid = self.grid.with_partitions(self.partition_schedule[idx])
-        parted = PartitionedPopulation(
-            state["parted"].population, self.grid, kernel=self.kernel
-        )
+        with self.tracer.span("expand_partitions"):
+            parted = PartitionedPopulation(
+                state["parted"].population, self.grid, kernel=self.kernel
+            )
         state["parted"] = parted
         state["phase_idx"] = idx
         state["step_in_phase"] = 0

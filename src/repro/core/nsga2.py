@@ -52,21 +52,23 @@ class NSGA2(BaseOptimizer):
     def _loop_step(self, state: Dict[str, Any], n_generations: int) -> None:
         population: Population = state["population"]
         gen = state["generation"] + 1
-        parents_idx = binary_tournament(
-            population.rank,
-            population.crowding,
-            self.population_size,
-            self.rng,
-        )
-        parents_idx = shuffle_for_mating(parents_idx, self.rng)
-        offspring_x = variation(
-            population.x[parents_idx],
-            self.problem.lower,
-            self.problem.upper,
-            self.rng,
-            self.crossover,
-            self.mutation,
-        )
+        with self.tracer.span("select"):
+            parents_idx = binary_tournament(
+                population.rank,
+                population.crowding,
+                self.population_size,
+                self.rng,
+            )
+            parents_idx = shuffle_for_mating(parents_idx, self.rng)
+        with self.tracer.span("mate"):
+            offspring_x = variation(
+                population.x[parents_idx],
+                self.problem.lower,
+                self.problem.upper,
+                self.rng,
+                self.crossover,
+                self.mutation,
+            )
         offspring = self._evaluate_population(offspring_x)
 
         merged = population.concat(offspring)
@@ -74,13 +76,15 @@ class NSGA2(BaseOptimizer):
         # the survivors AND yields their post-truncation (rank,
         # crowding) — the reference kernel runs the historical
         # truncate-then-resort pair instead.
-        keep, rank, crowding = truncate_and_rank(
-            merged.objectives,
-            merged.violation,
-            self.population_size,
-            kernel=self.kernel,
-        )
-        population = merged.subset(keep)
+        with self.tracer.span("rank"):
+            with self.tracer.span("kernel:truncate_and_rank"):
+                keep, rank, crowding = truncate_and_rank(
+                    merged.objectives,
+                    merged.violation,
+                    self.population_size,
+                    kernel=self.kernel,
+                )
+            population = merged.subset(keep)
         population.rank[:] = rank
         population.crowding[:] = crowding
         state["population"] = population

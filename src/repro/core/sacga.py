@@ -121,6 +121,8 @@ class SACGA(BaseOptimizer):
         config: Optional[SACGAConfig] = None,
         backend=None,
         kernel=None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         super().__init__(
             problem,
@@ -130,11 +132,17 @@ class SACGA(BaseOptimizer):
             seed=seed,
             backend=backend,
             kernel=kernel,
+            metrics=metrics,
+            tracer=tracer,
         )
         self.grid = grid
         self.config = config or SACGAConfig()
         if self.config.n_per_partition < 2:
             raise ValueError("n_per_partition must be >= 2")
+        # Cumulative SA-gate outcomes (plain ints, read by the telemetry
+        # layer; never serialized, never fed back into the algorithm).
+        self._gate_considered = 0
+        self._gate_exposed = 0
 
     # ----------------------------------------------------------- mechanics
 
@@ -161,42 +169,57 @@ class SACGA(BaseOptimizer):
 
         demotion = np.zeros(pop.size)
         if gate is not None:
-            mating_rank, _ = self._revise_ranks(parted, live, gate, gen_offset)
+            with self.tracer.span("gate"):
+                mating_rank, _ = self._revise_ranks(
+                    parted, live, gate, gen_offset
+                )
             demotion = np.maximum(mating_rank - pop.rank, 0.0)
 
         # Global Mating Pool: rank-based selection over the whole population
         # (or crowded tournament when ablating the paper's choice).
-        if self.config.mating_selection == "linear_rank":
-            parents_idx = linear_rank_selection(
-                mating_rank,
-                self.population_size,
+        with self.tracer.span("select"):
+            if self.config.mating_selection == "linear_rank":
+                parents_idx = linear_rank_selection(
+                    mating_rank,
+                    self.population_size,
+                    self.rng,
+                    selection_pressure=self.config.selection_pressure,
+                )
+            else:
+                parents_idx = binary_tournament(
+                    mating_rank, pop.crowding, self.population_size, self.rng
+                )
+            parents_idx = shuffle_for_mating(parents_idx, self.rng)
+        with self.tracer.span("mate"):
+            offspring_x = variation(
+                pop.x[parents_idx],
+                self.problem.lower,
+                self.problem.upper,
                 self.rng,
-                selection_pressure=self.config.selection_pressure,
+                self.crossover,
+                self.mutation,
             )
-        else:
-            parents_idx = binary_tournament(
-                mating_rank, pop.crowding, self.population_size, self.rng
-            )
-        parents_idx = shuffle_for_mating(parents_idx, self.rng)
-        offspring_x = variation(
-            pop.x[parents_idx],
-            self.problem.lower,
-            self.problem.upper,
-            self.rng,
-            self.crossover,
-            self.mutation,
-        )
         offspring = self._evaluate_population(offspring_x)
 
-        merged = pop.concat(offspring)
-        merged_view = PartitionedPopulation(merged, self.grid, kernel=self.kernel)
-        # Carry the global-competition demotions into survival: a dominated
-        # participant keeps its elimination risk even after local re-ranking
-        # of the merged pool (parent rows come first in `merged`).
-        if gate is not None and demotion.any():
-            merged_view.population.rank[: pop.size] += demotion.astype(int)
-        survivors = merged_view.local_truncate(self._capacity(len(live)), live)
-        return PartitionedPopulation(survivors, self.grid, kernel=self.kernel)
+        with self.tracer.span("rank"):
+            merged = pop.concat(offspring)
+            with self.tracer.span("kernel:local_rank_and_crowd"):
+                merged_view = PartitionedPopulation(
+                    merged, self.grid, kernel=self.kernel
+                )
+            # Carry the global-competition demotions into survival: a
+            # dominated participant keeps its elimination risk even after
+            # local re-ranking of the merged pool (parent rows come first
+            # in `merged`).
+            if gate is not None and demotion.any():
+                merged_view.population.rank[: pop.size] += demotion.astype(int)
+            survivors = merged_view.local_truncate(
+                self._capacity(len(live)), live
+            )
+            with self.tracer.span("kernel:local_rank_and_crowd"):
+                return PartitionedPopulation(
+                    survivors, self.grid, kernel=self.kernel
+                )
 
     def _revise_ranks(
         self,
@@ -220,10 +243,12 @@ class SACGA(BaseOptimizer):
                 continue
             order = self.rng.permutation(superior.size)
             mask = gate.sample_mask(superior.size, gen_offset, self.rng)
+            self._gate_considered += int(superior.size)
             participants.append(superior[order][mask])
         if not participants:
             return revised, 0
         pool = np.concatenate(participants)
+        self._gate_exposed += int(pool.size)
         if pool.size == 0:
             return revised, 0
 
@@ -264,6 +289,8 @@ class SACGA(BaseOptimizer):
     def _loop_init(
         self, n_generations: int, initial_x: Optional[np.ndarray]
     ) -> Dict[str, Any]:
+        self._gate_considered = 0
+        self._gate_exposed = 0
         population = self._initial_population(initial_x)
         parted = PartitionedPopulation(population, self.grid, kernel=self.kernel)
         self.history.record(0, parted.population, self._n_evaluations, force=True)

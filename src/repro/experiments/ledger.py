@@ -88,6 +88,14 @@ class LedgerCallback:
     population's feasibility count and the optimizer's evaluation and
     backend counters (cumulative, so the trace is self-contained even
     when generations are skipped).
+
+    *extras_fn*, when given, is called per emitted event and its return
+    value is attached under ``telemetry`` — the runner wires the
+    telemetry callback's latest sample in here, enriching the trace with
+    annealing temperature, gate probabilities, partition occupancy, etc.
+    All fields pass through :func:`_sanitize`, so degenerate populations
+    (zero feasible members, or empty after truncation) serialize NaN-free
+    (``null``, never ``NaN``, in the JSON).
     """
 
     def __init__(
@@ -96,6 +104,7 @@ class LedgerCallback:
         optimizer,
         run_id: Optional[str] = None,
         every: int = 1,
+        extras_fn: Optional[Any] = None,
     ) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
@@ -103,20 +112,28 @@ class LedgerCallback:
         self.optimizer = optimizer
         self.run_id = run_id
         self.every = int(every)
+        self.extras_fn = extras_fn
 
     def __call__(self, generation: int, population) -> None:
         if generation % self.every:
             return
         stats = self.optimizer.backend.stats
-        self.ledger.emit(
-            "generation",
-            run=self.run_id,
-            generation=int(generation),
-            n_feasible=int(population.feasible.sum()),
-            population_size=int(population.size),
-            n_evaluations=int(self.optimizer._n_evaluations),
-            eval_time_s=round(float(stats.eval_time), 6),
-        )
+        size = int(population.size)
+        n_feasible = int(population.feasible.sum()) if size else 0
+        fields: Dict[str, Any] = {
+            "run": self.run_id,
+            "generation": int(generation),
+            "n_feasible": n_feasible,
+            "population_size": size,
+            "feasible_ratio": (n_feasible / size) if size else None,
+            "n_evaluations": int(self.optimizer._n_evaluations),
+            "eval_time_s": round(float(stats.eval_time), 6),
+        }
+        if self.extras_fn is not None:
+            extras = self.extras_fn()
+            if extras:
+                fields["telemetry"] = extras
+        self.ledger.emit("generation", **fields)
 
 
 # ----------------------------------------------------------- trace reading
@@ -140,10 +157,44 @@ def read_ledger(path: PathLike) -> List[Dict[str, Any]]:
     return events
 
 
-def tail_events(path: PathLike, n: int = 10) -> List[Dict[str, Any]]:
-    """The last *n* events of a ledger."""
-    events = read_ledger(path)
-    return events[-n:] if n > 0 else []
+def tail_events(
+    path: PathLike, n: int = 10, block_size: int = 65536
+) -> List[Dict[str, Any]]:
+    """The last *n* events of a ledger, read from the end of the file.
+
+    Streams fixed-size blocks backwards from EOF until enough newlines
+    have been seen, so tailing a multi-gigabyte sweep ledger costs only
+    the bytes the last *n* lines occupy — not a full-file parse.  Like
+    :func:`read_ledger`, a torn final line (crash mid-write) is skipped;
+    a corrupt line elsewhere in the tail window raises.
+    """
+    if n <= 0:
+        return []
+    path = Path(path)
+    with path.open("rb") as fh:
+        fh.seek(0, 2)  # SEEK_END
+        pos = fh.tell()
+        buf = b""
+        while pos > 0 and buf.count(b"\n") <= n:
+            step = min(block_size, pos)
+            pos -= step
+            fh.seek(pos)
+            buf = fh.read(step) + buf
+    # errors="replace" only matters for a multi-byte char cut at the block
+    # boundary, which can only sit in the partial first line dropped below.
+    lines = buf.decode("utf-8", errors="replace").split("\n")
+    if pos > 0:
+        lines = lines[1:]  # mid-line cut: the first fragment is partial
+    lines = [line.strip() for line in lines if line.strip()]
+    events: List[Dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail from a crash — everything before it is good
+            raise ValueError(f"{path}: corrupt ledger line: {line[:80]}")
+    return events[-n:]
 
 
 def summarize_ledger(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
@@ -158,6 +209,11 @@ def summarize_ledger(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         info = runs.setdefault(
             run, {"status": "running", "last_generation": None, "failures": 0}
         )
+        elapsed = e.get("elapsed_s")
+        if isinstance(elapsed, (int, float)) and math.isfinite(elapsed):
+            if "_first_elapsed" not in info:
+                info["_first_elapsed"] = float(elapsed)
+            info["_last_elapsed"] = float(elapsed)
         kind = e.get("event")
         if kind == "generation" or kind == "checkpoint":
             info["last_generation"] = e.get("generation")
@@ -173,6 +229,17 @@ def summarize_ledger(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             info["status"] = "abandoned"
         elif kind == "retry":
             info["status"] = "retrying"
+    for info in runs.values():
+        # Crash-torn ledgers never see a run_finished event; fall back to
+        # the span of the run's own event timestamps so `repro trace`
+        # still reports wall-clock (tagged so readers know the source).
+        first = info.pop("_first_elapsed", None)
+        last = info.pop("_last_elapsed", None)
+        if info.get("wall_time") is not None:
+            info["wall_time_source"] = "run_finished"
+        elif first is not None and last is not None:
+            info["wall_time"] = round(last - first, 6)
+            info["wall_time_source"] = "events"
     summary: Dict[str, Any] = {
         "n_events": len(events),
         "event_counts": dict(sorted(counts.items())),
@@ -226,7 +293,10 @@ def format_summary(summary: Dict[str, Any]) -> str:
             if info.get("last_generation") is not None:
                 bits.append(f"gen={info['last_generation']}")
             if info.get("wall_time") is not None:
-                bits.append(f"wall={info['wall_time']:.2f}s")
+                # "~" flags wall-clock reconstructed from event timestamps
+                # (torn ledger) rather than reported by run_finished.
+                approx = "~" if info.get("wall_time_source") == "events" else ""
+                bits.append(f"wall={approx}{info['wall_time']:.2f}s")
             if info.get("failures"):
                 bits.append(f"failures={info['failures']}")
             if info.get("error"):

@@ -24,11 +24,21 @@ from repro.circuits.specs import IntegratorSpec
 from repro.core.callbacks import ProgressCallback, WallClockTimeout
 from repro.core.checkpoint import CheckpointCallback, load_checkpoint
 from repro.core.evaluation import EvaluationBackend, make_backend
+from repro.core.kernels import kernel_call_counts
 from repro.core.mesacga import MESACGA, PAPER_SCHEDULE
 from repro.core.nsga2 import NSGA2
 from repro.core.results import OptimizationResult
 from repro.core.sacga import SACGA, SACGAConfig
 from repro.experiments.ledger import LedgerCallback, RunLedger
+from repro.obs.exporters import (
+    save_metrics_csv,
+    save_profile,
+    save_prometheus,
+    save_telemetry_csv,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.obs.telemetry import TelemetryCallback
 from repro.metrics.hypervolume import hypervolume_paper
 from repro.metrics.diversity import range_coverage, cluster_fraction
 from repro.utils.rng import stable_seed
@@ -103,6 +113,8 @@ def make_algorithm(
     generations: Optional[int] = None,
     backend: Optional[EvaluationBackend] = None,
     kernel: Optional[str] = None,
+    metrics=None,
+    tracer=None,
 ):
     """Factory for the three compared algorithms.
 
@@ -114,6 +126,9 @@ def make_algorithm(
     fitness batches are evaluated; ``None`` keeps the serial default.
     *kernel* selects the dominance/selection kernel
     (``"blocked"``/``"reference"``; both are bit-identical in output).
+    *metrics* / *tracer* (a :class:`repro.obs.MetricsRegistry` /
+    :class:`repro.obs.SpanTracer`) enable instrumentation; ``None`` keeps
+    the no-op defaults.
     """
     key = name.strip().lower()
     gens = generations if generations is not None else scale.generations
@@ -126,6 +141,8 @@ def make_algorithm(
             seed=seed,
             backend=backend,
             kernel=kernel,
+            metrics=metrics,
+            tracer=tracer,
         )
     if key == "sacga":
         grid = problem.partition_grid(n_partitions)
@@ -137,6 +154,8 @@ def make_algorithm(
             config=config,
             backend=backend,
             kernel=kernel,
+            metrics=metrics,
+            tracer=tracer,
         )
     if key == "mesacga":
         return MESACGA(
@@ -150,6 +169,8 @@ def make_algorithm(
             config=config,
             backend=backend,
             kernel=kernel,
+            metrics=metrics,
+            tracer=tracer,
         )
     raise KeyError(f"unknown algorithm {name!r} (want tpg / sacga / mesacga)")
 
@@ -167,6 +188,12 @@ class RunSummary:
     wall_time: float
     n_evaluations: int
     result: Optional[OptimizationResult] = field(repr=False, default=None)
+    #: Populated only when run_one(metrics=...) enabled instrumentation.
+    metrics: Optional[Any] = field(repr=False, default=None)
+    tracer: Optional[Any] = field(repr=False, default=None)
+    telemetry: Optional[List[Any]] = field(repr=False, default=None)
+    profile: Optional[List[Dict[str, Any]]] = field(repr=False, default=None)
+    metrics_paths: Optional[Dict[str, str]] = field(repr=False, default=None)
 
 
 def score_front(front: np.ndarray) -> Dict[str, float]:
@@ -205,6 +232,8 @@ def run_one(
     ledger_every: int = 1,
     timeout_s: Optional[float] = None,
     callbacks: Sequence[ProgressCallback] = (),
+    metrics: Union[None, bool, MetricsRegistry] = None,
+    metrics_out: Optional[str] = None,
     **algo_kwargs,
 ) -> RunSummary:
     """Run one algorithm once and score its front.
@@ -231,6 +260,21 @@ def run_one(
       :class:`~repro.core.callbacks.RunTimeoutError` at the first
       generation boundary past the budget.
     * *callbacks*: extra progress callbacks appended after the built-ins.
+
+    Observability knobs:
+
+    * *metrics*: ``True`` (or a :class:`repro.obs.MetricsRegistry` to
+      reuse one across runs) turns on the metrics registry, timing spans
+      and the per-generation telemetry callback.  ``False``/``None``
+      keeps the no-op path (also enabled implicitly by *metrics_out*).
+      Instrumentation is read-only: the optimization trajectory is
+      byte-identical with it on or off.
+    * *metrics_out*: path prefix; on completion writes
+      ``<prefix>.prom`` (Prometheus text exposition),
+      ``<prefix>.metrics.csv`` (tidy metric samples),
+      ``<prefix>.telemetry.csv`` (per-generation series) and
+      ``<prefix>.profile.json`` (the span tree).  Paths land in
+      ``RunSummary.metrics_paths``.
     """
     scale = scale or Scale.from_env()
     problem = problem or make_problem(spec, scale)
@@ -238,14 +282,37 @@ def run_one(
     gens = generations if generations is not None else scale.generations
     run_id = f"{experiment_id}/{name}/seed{seed_index}"
     run_ledger = _as_ledger(ledger)
+    if isinstance(metrics, MetricsRegistry):
+        registry = metrics
+    elif metrics or metrics_out is not None:
+        registry = MetricsRegistry()
+    else:
+        registry = None
+    tracer = SpanTracer() if registry is not None else None
     eval_backend = make_backend(backend, workers=workers, cache_size=cache_size)
     algorithm = make_algorithm(
         name, problem, scale, seed, generations=gens, backend=eval_backend,
-        kernel=kernel, **algo_kwargs,
+        kernel=kernel, metrics=registry, tracer=tracer, **algo_kwargs,
     )
+    telemetry = None
+    if registry is not None:
+        telemetry = TelemetryCallback(
+            algorithm, registry, kernel_counts=kernel_call_counts
+        )
+        # Attached before the ledger callback so the ledger's extras_fn
+        # sees this generation's sample, not the previous one's.
+        algorithm.add_callback(telemetry)
     if run_ledger is not None:
         algorithm.add_callback(
-            LedgerCallback(run_ledger, algorithm, run_id=run_id, every=ledger_every)
+            LedgerCallback(
+                run_ledger,
+                algorithm,
+                run_id=run_id,
+                every=ledger_every,
+                extras_fn=(
+                    (lambda: telemetry.last_sample) if telemetry is not None else None
+                ),
+            )
         )
     if checkpoint_path is not None:
         # The context makes the checkpoint self-contained: `repro resume`
@@ -314,6 +381,20 @@ def run_one(
             coverage=scores["coverage"],
             backend_stats=eval_backend.stats.as_dict(),
         )
+    metrics_paths = None
+    if metrics_out is not None and registry is not None:
+        metrics_paths = {
+            "prometheus": str(save_prometheus(registry, f"{metrics_out}.prom")),
+            "metrics_csv": str(
+                save_metrics_csv(registry, f"{metrics_out}.metrics.csv")
+            ),
+            "telemetry_csv": str(
+                save_telemetry_csv(telemetry.samples, f"{metrics_out}.telemetry.csv")
+            ),
+            "profile": str(
+                save_profile(tracer.profile(), f"{metrics_out}.profile.json")
+            ),
+        }
     return RunSummary(
         algorithm=result.algorithm,
         seed=seed,
@@ -324,6 +405,11 @@ def run_one(
         wall_time=result.wall_time,
         n_evaluations=result.n_evaluations,
         result=result,
+        metrics=registry,
+        tracer=tracer,
+        telemetry=(telemetry.samples if telemetry is not None else None),
+        profile=(tracer.profile() if tracer is not None else None),
+        metrics_paths=metrics_paths,
     )
 
 
@@ -331,6 +417,8 @@ def resume_run(
     checkpoint_path: str,
     ledger: Union[None, str, RunLedger] = None,
     timeout_s: Optional[float] = None,
+    metrics: Union[None, bool, MetricsRegistry] = None,
+    metrics_out: Optional[str] = None,
 ) -> RunSummary:
     """Resume a crashed ``run_one`` from its checkpoint file.
 
@@ -363,6 +451,8 @@ def resume_run(
         resume_from=payload,
         ledger=ledger,
         timeout_s=timeout_s,
+        metrics=metrics,
+        metrics_out=metrics_out,
         **context.get("algo_kwargs", {}),
     )
 

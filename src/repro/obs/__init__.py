@@ -1,0 +1,83 @@
+"""Instrumentation subsystem: metrics, timing spans, telemetry, exporters.
+
+``repro.obs`` sits *below* :mod:`repro.core` in the layering — it
+depends only on the standard library and numpy, and the optimizers
+import it (never the reverse).  Three pieces:
+
+* :class:`MetricsRegistry` (+ :data:`NULL_METRICS`) — named counters,
+  gauges and fixed-bucket histograms, cheap enough to be always-on.
+* :class:`SpanTracer` (+ :data:`NULL_TRACER`) — ``with tracer.span(...)``
+  wall-clock regions aggregated into a bounded hierarchical profile.
+* :class:`TelemetryCallback` — per-generation algorithm-internals
+  sampling (annealing temperature, gate probabilities and accept/reject
+  counts, partition occupancy, feasibility, cache hit rate, ...).
+
+Exporters render a registry as a Prometheus text snapshot or tidy CSV,
+telemetry samples as per-generation CSV, and the span tree as JSON.
+Instrumentation is strictly read-only with respect to the optimization
+trajectory: instrumented runs are byte-identical to uninstrumented ones.
+"""
+
+from repro.obs.exporters import (
+    metrics_to_csv_rows,
+    parse_prometheus,
+    read_metrics_csv,
+    read_telemetry_csv,
+    save_metrics_csv,
+    save_profile,
+    save_prometheus,
+    save_telemetry_csv,
+    to_prometheus,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NullMetrics,
+    NULL_INSTRUMENT,
+    NULL_METRICS,
+)
+from repro.obs.spans import (
+    NullTracer,
+    NULL_TRACER,
+    SpanNode,
+    SpanTracer,
+    format_profile,
+)
+from repro.obs.telemetry import (
+    TelemetryCallback,
+    TelemetrySample,
+    gate_probability_curves,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_INSTRUMENT",
+    "NULL_METRICS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "SpanNode",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "format_profile",
+    "TelemetryCallback",
+    "TelemetrySample",
+    "gate_probability_curves",
+    "to_prometheus",
+    "save_prometheus",
+    "parse_prometheus",
+    "metrics_to_csv_rows",
+    "save_metrics_csv",
+    "read_metrics_csv",
+    "save_telemetry_csv",
+    "read_telemetry_csv",
+    "save_profile",
+]

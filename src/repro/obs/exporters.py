@@ -1,0 +1,322 @@
+"""Exporters: Prometheus text exposition, tidy CSV, profile JSON.
+
+Three serialization surfaces for the instrumentation subsystem:
+
+* :func:`to_prometheus` / :func:`save_prometheus` — a point-in-time
+  snapshot of a :class:`~repro.obs.registry.MetricsRegistry` in the
+  Prometheus *text exposition format* (``# HELP`` / ``# TYPE`` headers,
+  ``name{label="v"} value`` samples, histogram ``_bucket``/``_sum``/
+  ``_count`` expansion).  :func:`parse_prometheus` is the matching
+  dependency-free line-format checker used by tests and the CI smoke job.
+* :func:`metrics_to_csv_rows` / :func:`save_metrics_csv` /
+  :func:`read_metrics_csv` — a tidy (long-form) CSV of the same
+  snapshot, one row per scalar field, for spreadsheet/pandas plotting.
+* :func:`save_telemetry_csv` / :func:`read_telemetry_csv` — the
+  per-generation sample table recorded by
+  :class:`~repro.obs.telemetry.TelemetryCallback`.
+* :func:`save_profile` — the span tracer's timing tree as JSON.
+
+This module depends only on the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.telemetry import TelemetrySample
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "to_prometheus",
+    "save_prometheus",
+    "parse_prometheus",
+    "metrics_to_csv_rows",
+    "save_metrics_csv",
+    "read_metrics_csv",
+    "save_telemetry_csv",
+    "read_telemetry_csv",
+    "save_profile",
+]
+
+
+# ------------------------------------------------------------- Prometheus
+
+def _fmt_value(value: float) -> str:
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels: Dict[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    items = list(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry as Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, kind, help, samples in registry.collect():
+        if help:
+            lines.append(f"# HELP {name} {help}".replace("\n", " "))
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, instrument in samples:
+            if isinstance(instrument, Histogram):
+                cumulative = instrument.cumulative_counts()
+                bounds = [_fmt_value(b) for b in instrument.buckets] + ["+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    lines.append(
+                        f"{name}_bucket{_label_str(labels, ('le', bound))} {count}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_str(labels)} {_fmt_value(instrument.sum)}"
+                )
+                lines.append(f"{name}_count{_label_str(labels)} {instrument.count}")
+            else:
+                lines.append(
+                    f"{name}{_label_str(labels)} {_fmt_value(instrument.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def save_prometheus(registry: MetricsRegistry, path: PathLike) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus(registry), encoding="utf-8")
+    return path
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def _parse_value(text: str) -> float:
+    lowered = text.lower()
+    if lowered == "nan":
+        return float("nan")
+    if lowered in ("+inf", "inf"):
+        return float("inf")
+    if lowered == "-inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse Prometheus text exposition into ``{metric: {...}}``.
+
+    A deliberately simple checker (no client-library dependency): every
+    non-comment line must match ``name{labels} value``, labels must be
+    well-formed quoted pairs, and samples must fall under a declared
+    ``# TYPE`` (histogram samples under their ``_bucket``/``_sum``/
+    ``_count`` expansions).  Raises :class:`ValueError` on any violation
+    — this is the validation gate the CI ``obs-smoke`` job runs.
+    """
+    metrics: Dict[str, Dict[str, Any]] = {}
+
+    def base_metric(name: str) -> Optional[str]:
+        if name in metrics:
+            return name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                stem = name[: -len(suffix)]
+                if stem in metrics and metrics[stem]["kind"] == "histogram":
+                    return stem
+        return None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            metrics.setdefault(
+                name, {"kind": None, "help": "", "samples": []}
+            )["help"] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            metrics.setdefault(name, {"kind": None, "help": "", "samples": []})[
+                "kind"
+            ] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample line: {line!r}")
+        name = m.group("name")
+        labels: Dict[str, str] = {}
+        raw_labels = m.group("labels")
+        if raw_labels:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(raw_labels):
+                labels[pair.group(1)] = (
+                    pair.group(2)
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\")
+                )
+                consumed += len(pair.group(0))
+            stripped = re.sub(r"[,\s]", "", raw_labels)
+            matched = re.sub(
+                r"[,\s]", "", "".join(p.group(0) for p in _LABEL_PAIR_RE.finditer(raw_labels))
+            )
+            if stripped != matched:
+                raise ValueError(f"line {lineno}: malformed labels: {raw_labels!r}")
+        try:
+            value = _parse_value(m.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric sample value {m.group('value')!r}"
+            )
+        stem = base_metric(name)
+        if stem is None:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE"
+            )
+        metrics[stem]["samples"].append({"name": name, "labels": labels, "value": value})
+
+    for name, info in metrics.items():
+        if info["kind"] is None:
+            raise ValueError(f"metric {name!r} has HELP but no TYPE")
+    return metrics
+
+
+# -------------------------------------------------------------- tidy CSV
+
+METRICS_CSV_COLUMNS = ("metric", "kind", "labels", "field", "value")
+
+
+def metrics_to_csv_rows(registry: MetricsRegistry) -> List[Dict[str, str]]:
+    """Flatten a registry snapshot into tidy rows (one scalar per row).
+
+    ``labels`` is a stable ``k=v;k=v`` encoding; histograms expand into
+    ``sum`` / ``count`` / ``bucket_le_<bound>`` fields.
+    """
+    rows: List[Dict[str, str]] = []
+
+    def emit(name: str, kind: str, labels: Dict[str, str], field: str, value: float):
+        rows.append(
+            {
+                "metric": name,
+                "kind": kind,
+                "labels": ";".join(f"{k}={v}" for k, v in sorted(labels.items())),
+                "field": field,
+                "value": _fmt_value(value),
+            }
+        )
+
+    for name, kind, _help, samples in registry.collect():
+        for labels, instrument in samples:
+            if isinstance(instrument, Histogram):
+                emit(name, kind, labels, "sum", instrument.sum)
+                emit(name, kind, labels, "count", instrument.count)
+                bounds = [_fmt_value(b) for b in instrument.buckets] + ["Inf"]
+                for bound, count in zip(bounds, instrument.cumulative_counts()):
+                    emit(name, kind, labels, f"bucket_le_{bound}", count)
+            else:
+                emit(name, kind, labels, "value", instrument.value)
+    return rows
+
+
+def save_metrics_csv(registry: MetricsRegistry, path: PathLike) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=METRICS_CSV_COLUMNS)
+        writer.writeheader()
+        writer.writerows(metrics_to_csv_rows(registry))
+    return path
+
+
+def read_metrics_csv(path: PathLike) -> List[Dict[str, str]]:
+    """Read back :func:`save_metrics_csv` output (round-trip checked in CI)."""
+    with Path(path).open("r", encoding="utf-8", newline="") as fh:
+        reader = csv.DictReader(fh)
+        if tuple(reader.fieldnames or ()) != METRICS_CSV_COLUMNS:
+            raise ValueError(
+                f"{path}: unexpected metrics CSV header {reader.fieldnames}"
+            )
+        return list(reader)
+
+
+# ------------------------------------------------------- telemetry samples
+
+TELEMETRY_CSV_COLUMNS = ("generation", "metric", "value")
+
+
+def save_telemetry_csv(samples: List[TelemetrySample], path: PathLike) -> Path:
+    """Write per-generation telemetry samples as tidy CSV.
+
+    ``None`` values (sanitized NaN/inf, e.g. feasibility ratio of an
+    empty population) become empty cells, never the string ``"nan"``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(TELEMETRY_CSV_COLUMNS)
+        for generation, metric, value in samples:
+            writer.writerow(
+                [generation, metric, "" if value is None else repr(float(value))]
+            )
+    return path
+
+
+def read_telemetry_csv(path: PathLike) -> List[TelemetrySample]:
+    """Read back :func:`save_telemetry_csv` output as sample tuples."""
+    out: List[TelemetrySample] = []
+    with Path(path).open("r", encoding="utf-8", newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if tuple(header or ()) != TELEMETRY_CSV_COLUMNS:
+            raise ValueError(f"{path}: unexpected telemetry CSV header {header}")
+        for row in reader:
+            if len(row) != 3:
+                raise ValueError(f"{path}: malformed telemetry row {row!r}")
+            generation, metric, raw = row
+            out.append(
+                (int(generation), metric, None if raw == "" else float(raw))
+            )
+    return out
+
+
+# ---------------------------------------------------------------- profile
+
+def save_profile(profile: List[Dict[str, Any]], path: PathLike) -> Path:
+    """Persist a span tracer's :meth:`profile` tree as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(profile, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,371 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the always-on half of the instrumentation subsystem
+(:mod:`repro.obs`): cheap enough to leave enabled in production sweeps,
+and with a *true* no-op implementation (:data:`NULL_METRICS`) for the
+disabled path.  Two design rules keep the hot loop honest:
+
+* **Handles are resolved once.**  ``registry.counter(name)`` is called
+  at wiring time (optimizer construction, callback construction) and the
+  returned instrument handle is reused every generation — the registry
+  itself sees *zero* calls on the hot loop (locked in by
+  ``tests/obs/test_telemetry.py``).
+* **Disabled means no-op objects, not branches.**  :class:`NullMetrics`
+  hands out a single shared :data:`NULL_INSTRUMENT` whose ``inc`` /
+  ``set`` / ``observe`` bodies are empty, so instrumented call sites need
+  no ``if enabled`` guards.
+
+Instruments never touch the RNG or any optimizer state, so instrumented
+runs stay byte-identical to uninstrumented ones (locked in by
+``tests/core/test_determinism_regression.py``).
+
+This module depends only on the standard library.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_INSTRUMENT",
+    "NULL_METRICS",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default histogram buckets for wall-clock latencies (seconds).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r} (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+        )
+    return name
+
+
+class Counter:
+    """Monotonically increasing value (events, evaluations, accepts)."""
+
+    kind = "counter"
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Arbitrary instantaneous value (temperature, occupancy, sizes)."""
+
+    kind = "gauge"
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative bucket counts, Prometheus style).
+
+    *buckets* are finite upper bounds in increasing order; a ``+Inf``
+    bucket is implicit.  ``observe`` is a linear scan over a handful of
+    bounds — for the ~10-bucket latency histograms used here that is
+    faster than binary search and allocation-free.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be increasing, got {bounds}")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # trailing slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.sum += v
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if v <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative count per bucket (Prometheus ``le`` semantics),
+        including the terminal ``+Inf`` bucket (== ``count``)."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    @property
+    def value(self) -> float:
+        """Mean of observations (0 when empty) — scalar view for tables."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NullInstrument:
+    """Shared no-op instrument: absorbs every update, reports nothing."""
+
+    kind = "null"
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **label_values: str) -> "_NullInstrument":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricFamily:
+    """A labeled metric: one child instrument per label-value tuple.
+
+    Children are created on first :meth:`labels` access, so a family's
+    cardinality is exactly the label combinations the run actually
+    produced (e.g. one ``partition="k"`` child per live partition).
+    """
+
+    __slots__ = ("name", "help", "kind", "labelnames", "_cls", "_kwargs", "_children")
+
+    def __init__(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        **kwargs: Any,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.kind = cls.kind
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self._cls = cls
+        self._kwargs = kwargs
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def labels(self, **label_values: Any) -> Any:
+        if set(label_values) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        key = tuple(str(label_values[k]) for k in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._cls(**self._kwargs)
+            self._children[key] = child
+        return child
+
+    def samples(self) -> Iterator[Tuple[Dict[str, str], Any]]:
+        """(label dict, child instrument) pairs, insertion-ordered."""
+        for key, child in self._children.items():
+            yield dict(zip(self.labelnames, key)), child
+
+
+class MetricsRegistry:
+    """Named instruments, registered once and looked up by handle.
+
+    Registration is idempotent — asking for an existing name returns the
+    same instrument — but re-registering under a different kind, label
+    set, or bucket layout is a wiring bug and raises.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: "Dict[str, Any]" = {}
+        self._help: Dict[str, str] = {}
+
+    # ---------------------------------------------------------- registration
+
+    def _register(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: Sequence[str],
+        **kwargs: Any,
+    ) -> Any:
+        _check_name(name)
+        existing = self._metrics.get(name)
+        if existing is not None:
+            kind = existing.kind
+            if kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {kind}, "
+                    f"cannot re-register as {cls.kind}"
+                )
+            existing_labels = getattr(existing, "labelnames", ())
+            if tuple(existing_labels) != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{tuple(existing_labels)}, got {tuple(labels)}"
+                )
+            return existing
+        if labels:
+            metric: Any = MetricFamily(cls, name, help, labels, **kwargs)
+        else:
+            metric = cls(**kwargs)
+        self._metrics[name] = metric
+        self._help[name] = help
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Any:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Any:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Sequence[str] = (),
+    ) -> Any:
+        metric = self._register(Histogram, name, help, labels, buckets=buckets)
+        layout = tuple(float(b) for b in buckets)
+        existing = (
+            metric._kwargs["buckets"]
+            if isinstance(metric, MetricFamily)
+            else metric.buckets
+        )
+        if tuple(float(b) for b in existing) != layout:
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{tuple(existing)}, got {layout}"
+            )
+        return metric
+
+    # ------------------------------------------------------------ inspection
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def collect(
+        self,
+    ) -> Iterator[Tuple[str, str, str, List[Tuple[Dict[str, str], Any]]]]:
+        """Yield ``(name, kind, help, [(labels, instrument), ...])``.
+
+        Unlabeled metrics yield a single sample with an empty label dict;
+        a labeled family that never saw a label combination yields an
+        empty sample list (exported as a type/help header only).
+        """
+        for name, metric in self._metrics.items():
+            help = self._help[name]
+            if isinstance(metric, MetricFamily):
+                yield name, metric.kind, help, list(metric.samples())
+            else:
+                yield name, metric.kind, help, [({}, metric)]
+
+
+class NullMetrics:
+    """Disabled registry: every lookup returns the shared no-op instrument.
+
+    The API mirrors :class:`MetricsRegistry` so call sites need no
+    branching; ``collect()`` is empty and ``enabled`` is False.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        return NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Sequence[str] = (),
+    ):
+        return NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def collect(self):
+        return iter(())
+
+
+NULL_METRICS = NullMetrics()

@@ -15,10 +15,15 @@ import pytest
 
 from repro.circuits.sizing_problem import IntegratorSizingProblem
 from repro.core.evaluation import CachedBackend, SerialBackend, ThreadPoolBackend
+from repro.core.islands import IslandNSGA2
+from repro.core.kernels import kernel_call_counts
 from repro.core.mesacga import MESACGA
 from repro.core.nsga2 import NSGA2
 from repro.core.sacga import SACGA, SACGAConfig
 from repro.core.partitions import PartitionGrid
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.obs.telemetry import TelemetryCallback
 from repro.problems.synthetic import ClusteredFeasibility
 from repro.utils.serialization import result_to_dict, save_result
 
@@ -26,8 +31,10 @@ POP = 16
 GENS = 5
 SEED = 1234
 
+ALL_ALGOS = ["nsga2", "sacga", "mesacga", "islands"]
 
-def build(name, backend=None, problem=None, kernel=None):
+
+def build(name, backend=None, problem=None, kernel=None, metrics=None, tracer=None):
     if problem is None:
         problem = ClusteredFeasibility(n_var=4)
     high = 1.0
@@ -37,19 +44,26 @@ def build(name, backend=None, problem=None, kernel=None):
     if name == "nsga2":
         return NSGA2(
             problem, population_size=POP, seed=SEED, backend=backend,
-            kernel=kernel,
+            kernel=kernel, metrics=metrics, tracer=tracer,
         )
     if name == "sacga":
         grid = PartitionGrid(axis=1, low=0.0, high=high, n_partitions=4)
         return SACGA(
             problem, grid, population_size=POP, seed=SEED,
             config=config, backend=backend, kernel=kernel,
+            metrics=metrics, tracer=tracer,
         )
     if name == "mesacga":
         return MESACGA(
             problem, axis=1, low=0.0, high=high, partition_schedule=(4, 2, 1),
             population_size=POP, seed=SEED, config=config, backend=backend,
-            kernel=kernel,
+            kernel=kernel, metrics=metrics, tracer=tracer,
+        )
+    if name == "islands":
+        return IslandNSGA2(
+            problem, population_size=POP, n_islands=2, migration_interval=2,
+            seed=SEED, backend=backend, kernel=kernel,
+            metrics=metrics, tracer=tracer,
         )
     raise KeyError(name)
 
@@ -59,11 +73,31 @@ def serialized(result):
     return json.dumps(payload, sort_keys=True).encode()
 
 
-@pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
+@pytest.mark.parametrize("algo", ALL_ALGOS)
 def test_two_runs_serialize_byte_identical(algo):
     blob_a = serialized(build(algo).run(GENS))
     blob_b = serialized(build(algo).run(GENS))
     assert blob_a == blob_b
+
+
+@pytest.mark.parametrize("algo", ALL_ALGOS)
+def test_instrumented_run_serializes_byte_identical(algo):
+    """Observability is read-only: a fully instrumented run (metrics
+    registry + span tracer + per-generation telemetry callback) must
+    serialize byte-identically to a bare run.  This is the acceptance
+    gate for the instrumentation subsystem."""
+    plain = serialized(build(algo).run(GENS))
+    registry = MetricsRegistry()
+    algorithm = build(algo, metrics=registry, tracer=SpanTracer())
+    algorithm.add_callback(
+        TelemetryCallback(algorithm, registry, kernel_counts=kernel_call_counts)
+    )
+    instrumented = serialized(algorithm.run(GENS))
+    assert instrumented == plain
+    # Guard against the instrumented leg silently running uninstrumented.
+    collected = {name for name, _, _, _ in registry.collect()}
+    assert "repro_generation" in collected
+    assert "repro_backend_batches_total" in collected
 
 
 @pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])

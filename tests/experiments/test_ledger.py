@@ -132,6 +132,44 @@ class TestRunLedger:
         tail = tail_events(ledger.path, 2)
         assert [e["generation"] for e in tail] == [3, 4]
         assert tail_events(ledger.path, 0) == []
+        assert len(tail_events(ledger.path, 100)) == 5
+
+    def test_tail_events_streams_from_file_end(self, tmp_path):
+        """Multi-MB ledger: the tail must come from seeking backwards, not
+        a full-file parse, and must match read_ledger's view exactly."""
+        path = tmp_path / "big.jsonl"
+        pad = "x" * 200
+        n = 20000
+        with path.open("w", encoding="utf-8") as fh:
+            for i in range(n):
+                fh.write(
+                    json.dumps({"event": "generation", "generation": i, "pad": pad})
+                    + "\n"
+                )
+        assert path.stat().st_size > 4 * 1024 * 1024
+        tail = tail_events(path, 5)
+        assert [e["generation"] for e in tail] == list(range(n - 5, n))
+        assert tail == read_ledger(path)[-5:]
+
+    def test_tail_events_with_tiny_blocks_and_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        ledger = RunLedger(path)
+        for i in range(30):
+            ledger.emit("generation", generation=i)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"event": "generation", "gener')  # crash mid-write
+        # block_size smaller than one line exercises the backward loop and
+        # the partial-first-line drop on every block boundary.
+        tail = tail_events(path, 4, block_size=16)
+        assert [e["generation"] for e in tail] == [26, 27, 28, 29]
+
+    def test_tail_events_corrupt_line_in_window_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"event": "a"}\nnot json at all\n{"event": "b"}\n', encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="corrupt ledger line"):
+            tail_events(path, 10)
 
 
 class TestSummarize:
@@ -168,6 +206,41 @@ class TestSummarize:
         summary = summarize_ledger([])
         assert summary["n_events"] == 0
         assert summary["runs"] == {}
+
+    def test_wall_clock_fallback_for_crash_torn_ledger(self):
+        """A run that never logged run_finished still gets a wall-clock
+        figure, reconstructed from the span of its event timestamps."""
+        events = [
+            {"event": "run_started", "run": "r", "elapsed_s": 1.0},
+            {"event": "generation", "run": "r", "generation": 1, "elapsed_s": 2.5},
+            {"event": "generation", "run": "r", "generation": 2, "elapsed_s": 4.0},
+        ]
+        info = summarize_ledger(events)["runs"]["r"]
+        assert info["status"] == "running"
+        assert info["wall_time"] == pytest.approx(3.0)
+        assert info["wall_time_source"] == "events"
+        assert "_first_elapsed" not in info and "_last_elapsed" not in info
+
+    def test_run_finished_wall_time_wins_over_fallback(self):
+        events = [
+            {"event": "run_started", "run": "r", "elapsed_s": 0.0},
+            {"event": "run_finished", "run": "r", "wall_time": 9.0, "elapsed_s": 5.0},
+        ]
+        info = summarize_ledger(events)["runs"]["r"]
+        assert info["wall_time"] == 9.0
+        assert info["wall_time_source"] == "run_finished"
+
+    def test_no_timestamps_means_no_wall_time(self):
+        info = summarize_ledger([{"event": "run_started", "run": "r"}])["runs"]["r"]
+        assert "wall_time" not in info
+
+    def test_format_summary_flags_reconstructed_wall_clock(self):
+        events = [
+            {"event": "run_started", "run": "r", "elapsed_s": 1.0},
+            {"event": "generation", "run": "r", "generation": 3, "elapsed_s": 4.0},
+        ]
+        text = format_summary(summarize_ledger(events))
+        assert "wall=~3.00s" in text
 
     def test_format_event_and_summary_smoke(self):
         events = self._events()
@@ -213,6 +286,65 @@ class TestLedgerCallback:
         algo = NSGA2(ClusteredFeasibility(n_var=4), population_size=16, seed=3)
         with pytest.raises(ValueError, match="every"):
             LedgerCallback(ledger, algo, every=0)
+
+
+class TestLedgerCallbackSanitization:
+    """Degenerate populations and telemetry extras serialize NaN-free."""
+
+    @staticmethod
+    def _fake_optimizer():
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            backend=SimpleNamespace(stats=SimpleNamespace(eval_time=0.0)),
+            _n_evaluations=0,
+        )
+
+    @staticmethod
+    def _population(size, n_feasible=0):
+        from types import SimpleNamespace
+
+        feasible = np.zeros(size, dtype=bool)
+        feasible[:n_feasible] = True
+        return SimpleNamespace(size=size, feasible=feasible)
+
+    def test_empty_population_emits_null_ratio(self, tmp_path):
+        ledger = RunLedger(tmp_path / "t.jsonl")
+        cb = LedgerCallback(ledger, self._fake_optimizer(), run_id="r")
+        cb(0, self._population(0))
+        text = ledger.path.read_text(encoding="utf-8")
+        assert "NaN" not in text  # json.dumps would spell it exactly so
+        (event,) = read_ledger(ledger.path)
+        assert event["feasible_ratio"] is None
+        assert event["n_feasible"] == 0
+        assert event["population_size"] == 0
+
+    def test_zero_feasible_population_is_ratio_zero(self, tmp_path):
+        ledger = RunLedger(tmp_path / "t.jsonl")
+        cb = LedgerCallback(ledger, self._fake_optimizer(), run_id="r")
+        cb(1, self._population(8, n_feasible=0))
+        (event,) = read_ledger(ledger.path)
+        assert event["feasible_ratio"] == 0.0
+
+    def test_extras_fn_values_are_sanitized(self, tmp_path):
+        ledger = RunLedger(tmp_path / "t.jsonl")
+        extras = {"temperature": float("nan"), "gate_probability_1": 0.5}
+        cb = LedgerCallback(
+            ledger, self._fake_optimizer(), run_id="r", extras_fn=lambda: extras
+        )
+        cb(1, self._population(4, n_feasible=2))
+        (event,) = read_ledger(ledger.path)
+        assert event["telemetry"]["temperature"] is None
+        assert event["telemetry"]["gate_probability_1"] == 0.5
+
+    def test_empty_extras_are_omitted(self, tmp_path):
+        ledger = RunLedger(tmp_path / "t.jsonl")
+        cb = LedgerCallback(
+            ledger, self._fake_optimizer(), run_id="r", extras_fn=dict
+        )
+        cb(0, self._population(4, n_feasible=4))
+        (event,) = read_ledger(ledger.path)
+        assert "telemetry" not in event
 
 
 class TestRunOneLedger:

@@ -1,0 +1,142 @@
+"""Exporter round-trips: Prometheus text, tidy CSVs, profile JSON."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    metrics_to_csv_rows,
+    parse_prometheus,
+    read_metrics_csv,
+    read_telemetry_csv,
+    save_metrics_csv,
+    save_profile,
+    save_prometheus,
+    save_telemetry_csv,
+    to_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_evaluations_total", "Design evaluations").inc(880)
+    reg.gauge("repro_temperature", "Annealing T_A").set(0.125)
+    fam = reg.gauge("repro_occupancy", "Per-partition members", labels=("partition",))
+    fam.labels(partition="0").set(10)
+    fam.labels(partition="1").set(12)
+    h = reg.histogram("repro_batch_seconds", "Batch latency", buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheus:
+    def test_round_trip_preserves_values(self):
+        text = to_prometheus(populated_registry())
+        metrics = parse_prometheus(text)
+        assert metrics["repro_evaluations_total"]["kind"] == "counter"
+        assert metrics["repro_evaluations_total"]["help"] == "Design evaluations"
+        (sample,) = metrics["repro_evaluations_total"]["samples"]
+        assert sample["value"] == 880.0
+
+        occ = {
+            s["labels"]["partition"]: s["value"]
+            for s in metrics["repro_occupancy"]["samples"]
+        }
+        assert occ == {"0": 10.0, "1": 12.0}
+
+    def test_histogram_expansion_is_cumulative_with_inf(self):
+        metrics = parse_prometheus(to_prometheus(populated_registry()))
+        hist = metrics["repro_batch_seconds"]
+        assert hist["kind"] == "histogram"
+        buckets = {
+            s["labels"]["le"]: s["value"]
+            for s in hist["samples"]
+            if s["name"].endswith("_bucket")
+        }
+        assert buckets == {"0.01": 1.0, "0.1": 2.0, "1": 3.0, "+Inf": 4.0}
+        by_name = {s["name"]: s["value"] for s in hist["samples"]}
+        assert by_name["repro_batch_seconds_count"] == 4.0
+        assert by_name["repro_batch_seconds_sum"] == pytest.approx(5.555)
+
+    def test_counter_names_end_in_total(self):
+        # Convention check on our own exposition, not a parser rule.
+        metrics = parse_prometheus(to_prometheus(populated_registry()))
+        for name, info in metrics.items():
+            if info["kind"] == "counter":
+                assert name.endswith("_total")
+
+    def test_parse_rejects_sample_without_type(self):
+        with pytest.raises(ValueError, match="no preceding # TYPE"):
+            parse_prometheus("orphan_metric 1\n")
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(ValueError, match="malformed sample line"):
+            parse_prometheus("# TYPE x gauge\nx one two three\n")
+
+    def test_parse_rejects_malformed_labels(self):
+        with pytest.raises(ValueError, match="malformed labels"):
+            parse_prometheus('# TYPE x gauge\nx{bad} 1\n')
+
+    def test_parse_rejects_non_numeric_value(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_prometheus("# TYPE x gauge\nx notanumber\n")
+
+    def test_parse_rejects_help_without_type(self):
+        with pytest.raises(ValueError, match="HELP but no TYPE"):
+            parse_prometheus("# HELP x something\n")
+
+    def test_save_prometheus(self, tmp_path):
+        path = save_prometheus(populated_registry(), tmp_path / "snap.prom")
+        metrics = parse_prometheus(path.read_text(encoding="utf-8"))
+        assert "repro_evaluations_total" in metrics
+
+
+class TestMetricsCsv:
+    def test_round_trip(self, tmp_path):
+        reg = populated_registry()
+        path = save_metrics_csv(reg, tmp_path / "m.csv")
+        rows = read_metrics_csv(path)
+        assert rows == metrics_to_csv_rows(reg)
+        by_key = {(r["metric"], r["labels"], r["field"]): r["value"] for r in rows}
+        assert by_key[("repro_evaluations_total", "", "value")] == "880"
+        assert by_key[("repro_occupancy", "partition=1", "value")] == "12"
+        assert by_key[("repro_batch_seconds", "", "bucket_le_Inf")] == "4"
+
+    def test_header_mismatch_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="unexpected metrics CSV header"):
+            read_metrics_csv(path)
+
+
+class TestTelemetryCsv:
+    def test_round_trip_with_none_values(self, tmp_path):
+        samples = [
+            (0, "feasible_ratio", None),  # zero-feasible generation
+            (1, "feasible_ratio", 0.25),
+            (1, "temperature", 1.0),
+        ]
+        path = save_telemetry_csv(samples, tmp_path / "t.csv")
+        text = path.read_text(encoding="utf-8")
+        assert "nan" not in text.lower()
+        assert read_telemetry_csv(path) == samples
+
+    def test_header_mismatch_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,z\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="unexpected telemetry CSV header"):
+            read_telemetry_csv(path)
+
+
+class TestProfileJson:
+    def test_save_profile_round_trips(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("run"):
+            with tracer.span("generation"):
+                pass
+        path = save_profile(tracer.profile(), tmp_path / "p.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == tracer.profile()

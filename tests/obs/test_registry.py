@@ -1,0 +1,165 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NULL_METRICS,
+    NullMetrics,
+)
+
+
+class TestCounter:
+    def test_monotone_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError, match="counters only go up"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec()
+        assert g.value == 6.0
+
+
+class TestHistogram:
+    def test_observe_and_cumulative_counts(self):
+        h = Histogram(buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.7, 3.0, 7.0, 100.0):
+            h.observe(v)
+        # raw per-bucket: [2, 1, 1, 1(+Inf)]
+        assert h.counts == [2, 1, 1, 1]
+        assert h.cumulative_counts() == [2, 3, 4, 5]
+        assert h.count == 5
+        assert h.sum == pytest.approx(111.2)
+        assert h.value == pytest.approx(111.2 / 5)
+
+    def test_boundary_value_falls_in_le_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.0)  # le semantics: 1.0 <= 1.0
+        assert h.counts == [1, 0, 0]
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().value == 0.0
+
+    def test_default_buckets_are_latencies(self):
+        h = Histogram()
+        assert h.buckets == DEFAULT_LATENCY_BUCKETS
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram(buckets=())
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram(buckets=(2.0, 1.0))
+
+
+class TestMetricFamily:
+    def test_children_created_lazily_per_label_tuple(self):
+        fam = MetricFamily(Counter, "requests", "", ("code",))
+        fam.labels(code="200").inc()
+        fam.labels(code="200").inc()
+        fam.labels(code="500").inc()
+        samples = dict(
+            (tuple(labels.items()), inst.value) for labels, inst in fam.samples()
+        )
+        assert samples == {(("code", "200"),): 2.0, (("code", "500"),): 1.0}
+
+    def test_wrong_label_set_rejected(self):
+        fam = MetricFamily(Gauge, "g", "", ("a", "b"))
+        with pytest.raises(ValueError, match="expected labels"):
+            fam.labels(a="1")
+        with pytest.raises(ValueError, match="expected labels"):
+            fam.labels(a="1", b="2", c="3")
+
+    def test_invalid_label_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid label name"):
+            MetricFamily(Counter, "c", "", ("bad-label",))
+
+
+class TestMetricsRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_evals_total", "evals")
+        b = reg.counter("repro_evals_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x")
+
+    def test_label_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.gauge("x", labels=("a",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            reg.gauge("x", labels=("b",))
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        assert reg.histogram("h", buckets=(1.0, 2.0)) is reg.get("h")
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_invalid_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("bad name")
+
+    def test_collect_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("plain").inc(3)
+        reg.gauge("fam", labels=("k",)).labels(k="a").set(1.0)
+        reg.gauge("empty_family", labels=("k",))
+        collected = {name: (kind, samples) for name, kind, _h, samples in reg.collect()}
+        assert collected["plain"][0] == "counter"
+        assert collected["plain"][1][0][0] == {}
+        assert collected["plain"][1][0][1].value == 3.0
+        assert collected["fam"][1] == [({"k": "a"}, reg.get("fam").labels(k="a"))]
+        assert collected["empty_family"][1] == []
+        assert "plain" in reg
+        assert reg.get("missing") is None
+
+
+class TestNullMetrics:
+    def test_disabled_and_empty(self):
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry.enabled is True
+        assert list(NULL_METRICS.collect()) == []
+        assert len(NULL_METRICS) == 0
+        assert "anything" not in NULL_METRICS
+        assert NULL_METRICS.get("anything") is None
+
+    def test_all_lookups_share_the_null_instrument(self):
+        null = NullMetrics()
+        c = null.counter("a")
+        g = null.gauge("b")
+        h = null.histogram("c", buckets=(1.0,))
+        assert c is g is h is NULL_INSTRUMENT
+
+    def test_null_instrument_absorbs_everything(self):
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.dec(2)
+        NULL_INSTRUMENT.set(9.0)
+        NULL_INSTRUMENT.observe(1.5)
+        assert NULL_INSTRUMENT.labels(any_label="x") is NULL_INSTRUMENT
+        assert NULL_INSTRUMENT.value == 0.0

@@ -1,0 +1,110 @@
+"""Unit tests for the aggregated span tracer."""
+
+import pytest
+
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    SpanNode,
+    SpanTracer,
+    format_profile,
+)
+
+
+class TestSpanAggregation:
+    def test_repeated_spans_merge_into_one_node(self):
+        tracer = SpanTracer()
+        for _ in range(3):
+            with tracer.span("generation"):
+                with tracer.span("evaluate"):
+                    pass
+        (gen,) = tracer.profile()
+        assert gen["name"] == "generation"
+        assert gen["count"] == 3
+        (child,) = gen["children"]
+        assert child["name"] == "evaluate"
+        assert child["count"] == 3
+
+    def test_same_name_under_different_parents_stays_separate(self):
+        tracer = SpanTracer()
+        with tracer.span("rank"):
+            with tracer.span("kernel"):
+                pass
+        with tracer.span("migrate"):
+            with tracer.span("kernel"):
+                pass
+        names = [node["name"] for node in tracer.profile()]
+        assert names == ["rank", "migrate"]
+        rollup = tracer.rollup()
+        assert rollup["kernel"]["count"] == 2  # summed across both parents
+
+    def test_self_time_excludes_children(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (outer,) = tracer.profile()
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - outer["children"][0]["total_s"]
+        )
+        assert outer["self_s"] >= 0.0
+
+    def test_exception_unwinds_stack_and_records_time(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("run"):
+                with tracer.span("generation"):
+                    raise RuntimeError("boom")
+        assert tracer._stack == []
+        (run,) = tracer.profile()
+        assert run["count"] == 1
+        assert run["children"][0]["count"] == 1
+        # Tracer still usable after the unwind.
+        with tracer.span("run"):
+            pass
+        (run,) = tracer.profile()
+        assert run["count"] == 2
+
+    def test_span_node_child_reuse(self):
+        node = SpanNode("parent")
+        assert node.child("a") is node.child("a")
+        assert node.child("a") is not node.child("b")
+
+
+class TestFormatting:
+    def _tracer(self):
+        tracer = SpanTracer()
+        with tracer.span("run"):
+            for _ in range(2):
+                with tracer.span("generation"):
+                    with tracer.span("evaluate"):
+                        pass
+        return tracer
+
+    def test_format_tree_lists_every_span(self):
+        text = self._tracer().format_tree()
+        assert "run" in text
+        assert "  generation" in text
+        assert "    evaluate" in text
+        assert "2x" in text
+
+    def test_format_profile_round_trips_through_json(self):
+        import json
+
+        profile = json.loads(json.dumps(self._tracer().profile()))
+        assert "generation" in format_profile(profile)
+
+    def test_empty_profile(self):
+        assert format_profile([]) == "(no spans recorded)"
+        assert SpanTracer().format_tree() == "(no spans recorded)"
+
+
+class TestNullTracer:
+    def test_shared_noop_span(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().span("a") is NULL_TRACER.span("b")
+        with NULL_TRACER.span("anything"):
+            pass
+        assert NULL_TRACER.profile() == []
+        assert NULL_TRACER.rollup() == {}
+        assert NULL_TRACER.format_tree() == "(tracing disabled)"

@@ -41,6 +41,21 @@ class TestParser:
         args = build_parser().parse_args(["trace", "t.jsonl", "--tail", "7"])
         assert args.ledger == "t.jsonl"
         assert args.tail == 7
+        assert not args.profile
+
+    def test_run_metrics_flags(self):
+        args = build_parser().parse_args(
+            ["run", "sacga", "--metrics", "--metrics-out", "obs/run"]
+        )
+        assert args.metrics is True
+        assert args.metrics_out == "obs/run"
+
+    def test_stats_requires_run(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats"])
+        args = build_parser().parse_args(["stats", "run1", "--metric", "gate"])
+        assert args.run == "run1"
+        assert args.metric == "gate"
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -112,6 +127,56 @@ class TestCheckpointResumeTrace:
         out = capsys.readouterr().out
         assert len(out.strip().splitlines()) == 3
         assert "run_finished" in out
+
+
+class TestMetricsCommands:
+    def test_run_metrics_out_stats_and_profile_round_trip(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        prefix = tmp_path / "obsrun"
+
+        code = main(
+            ["run", "sacga", "--generations", "5", "--partitions", "4",
+             "--metrics-out", str(prefix)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote {prefix}.prom" in out
+        assert "run" in out and "generation" in out  # span tree printed
+
+        # `repro stats` accepts both the prefix and the .prom path.
+        assert main(["stats", str(prefix)]) == 0
+        by_prefix = capsys.readouterr().out
+        assert "repro_generations_total" in by_prefix
+        assert main(["stats", f"{prefix}.prom", "--metric", "gate"]) == 0
+        filtered = capsys.readouterr().out
+        assert "repro_gate_considered_total" in filtered
+        assert "repro_generations_total" not in filtered
+
+        # `repro trace --profile` renders the saved span tree.
+        assert main(["trace", f"{prefix}.profile.json", "--profile"]) == 0
+        tree = capsys.readouterr().out
+        assert "generation" in tree and "x " in tree
+
+    def test_stats_missing_file(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope")]) == 2
+        assert "no metrics snapshot" in capsys.readouterr().out
+
+    def test_stats_rejects_invalid_snapshot(self, capsys, tmp_path):
+        bad = tmp_path / "bad.prom"
+        bad.write_text("orphan_metric 1\n", encoding="utf-8")
+        assert main(["stats", str(bad)]) == 2
+        assert "invalid Prometheus snapshot" in capsys.readouterr().out
+
+    def test_run_metrics_without_out_prints_tree_only(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert main(["run", "tpg", "--generations", "3", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" not in out
+        assert "evaluate" in out  # span tree includes the evaluate phase
 
 
 class TestFiguresStubbed:
