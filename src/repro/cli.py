@@ -27,12 +27,31 @@ Subcommands
 
 ``repro spec-ladder``
     Print the 20-step specification difficulty ladder.
+
+``repro serve``
+    Run the JSON/HTTP optimization service: a bounded job pool plus a
+    versioned design-surface store (see :mod:`repro.serve`).
+
+``repro submit ALGO``
+    Submit an optimization job to a running ``repro serve`` instance;
+    ``--wait`` polls it to completion and prints the outcome.
+
+``repro query NAME C_LOAD_PF``
+    Ask a running service for the minimum power at a load point on a
+    registered design surface (``--design`` adds the sizing vector).
+
+Commands that read files (``resume``, ``trace``, ``stats``) exit with
+status 2 and a one-line message — never a traceback — when the file is
+missing, unreadable or corrupt.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
+import pickle
+import signal
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -163,27 +182,35 @@ def _print_metrics_outcome(summary: RunSummary) -> None:
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
-    summary = resume_run(
-        args.checkpoint,
-        ledger=args.ledger,
-        metrics=getattr(args, "metrics", None),
-        metrics_out=getattr(args, "metrics_out", None),
-    )
+    try:
+        summary = resume_run(
+            args.checkpoint,
+            ledger=args.ledger,
+            metrics=getattr(args, "metrics", None),
+            metrics_out=getattr(args, "metrics_out", None),
+        )
+    except (OSError, ValueError, EOFError, pickle.UnpicklingError) as exc:
+        print(f"cannot resume from {args.checkpoint!r}: {exc}", file=sys.stderr)
+        return 2
     _print_run_summary(summary, max_rows=args.max_rows, json_path=args.json)
     _print_metrics_outcome(summary)
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    if args.profile:
-        profile = json.loads(Path(args.ledger).read_text(encoding="utf-8"))
-        print(format_profile(profile))
-        return 0
-    if args.tail:
-        for event in tail_events(args.ledger, args.tail):
-            print(format_event(event))
-    else:
-        print(format_summary(summarize_ledger(read_ledger(args.ledger))))
+    try:
+        if args.profile:
+            profile = json.loads(Path(args.ledger).read_text(encoding="utf-8"))
+            print(format_profile(profile))
+            return 0
+        if args.tail:
+            for event in tail_events(args.ledger, args.tail):
+                print(format_event(event))
+        else:
+            print(format_summary(summarize_ledger(read_ledger(args.ledger))))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.ledger!r}: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -205,6 +232,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
         return 2
     try:
         metrics = parse_prometheus(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        print(f"cannot read {str(path)!r}: {exc}", file=sys.stderr)
+        return 2
     except ValueError as exc:
         print(f"{path}: invalid Prometheus snapshot: {exc}")
         return 2
@@ -245,6 +275,137 @@ def cmd_spec_ladder(args: argparse.Namespace) -> int:
             ["name", "DR_dB", "OR_V", "ST_us", "SE", "robustness"], rows
         )
     )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily so `repro run` and friends never pay for the
+    # service layer.
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve import JobManager, ReproServer, ServeApp, SurfaceStore
+
+    registry = MetricsRegistry()
+    store = SurfaceStore(Path(args.data_dir) / "surfaces")
+    manager = JobManager(
+        store=store,
+        data_dir=args.data_dir,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        metrics=registry,
+    )
+    server = ReproServer(
+        ServeApp(manager, store, registry), host=args.host, port=args.port
+    )
+    server.start()
+    if args.port_file:
+        Path(args.port_file).write_text(str(server.port), encoding="utf-8")
+    print(
+        f"repro serve listening on {server.url} "
+        f"(workers={args.workers}, queue={args.queue_size}, "
+        f"data={args.data_dir})"
+    )
+
+    stop = {"flag": False}
+
+    def _graceful(signum, frame):  # pragma: no cover - signal path
+        stop["flag"] = True
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, _graceful)
+    try:
+        import time as _time
+
+        while not stop["flag"]:
+            _time.sleep(0.2)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        print("draining job pool ...")
+        server.close(drain=not args.no_drain)
+        print("repro serve stopped")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    params = {"algorithm": args.algorithm}
+    if args.generations is not None:
+        params["generations"] = args.generations
+    if args.population is not None:
+        params["population"] = args.population
+    if args.n_mc is not None:
+        params["n_mc"] = args.n_mc
+    if args.partitions is not None and args.algorithm == "sacga":
+        params["n_partitions"] = args.partitions
+    if args.surface:
+        params["surface"] = args.surface
+    client = ServeClient(args.url)
+    try:
+        job = client.submit(params, kind=args.kind)
+    except ServeError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2 if exc.status != 429 else 3
+    except OSError as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2
+    print(f"job {job['id']} {job['state']}")
+    if not args.wait:
+        return 0
+    try:
+        done = client.wait(job["id"], timeout=args.timeout)
+    except TimeoutError as exc:
+        print(str(exc), file=sys.stderr)
+        return 3
+    print(f"job {done['id']} {done['state']}")
+    if done["state"] != "done":
+        if done.get("error"):
+            print(done["error"], file=sys.stderr)
+        return 1
+    result = done.get("result") or {}
+    for run in result.get("runs", []):
+        print(
+            f"  {run['algorithm']}: front={run['front_size']} "
+            f"hv_paper={run['hv_paper']:.2f} "
+            f"({run['n_evaluations']} evaluations, {run['wall_time']:.1f}s)"
+        )
+    surface = result.get("surface")
+    if surface:
+        print(
+            f"  surface {surface['name']} v{surface['version']} "
+            f"({surface['size']} points)"
+        )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    c_load = args.c_load_pf * 1e-12
+    try:
+        answer = client.query(
+            args.name, c_load, design=args.design, version=args.version
+        )
+    except ServeError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2
+    power = answer.get("power")
+    if power is None or (isinstance(power, float) and math.isnan(power)):
+        print(
+            f"{args.name}: no design reaches {args.c_load_pf:g} pF "
+            "(above the stored range)"
+        )
+        return 1
+    print(f"{args.name} v{answer['version']}: power {power * 1e3:.6g} mW")
+    design = answer.get("design")
+    if args.design and design:
+        actual_pf = design["c_load"] * 1e12
+        print(f"  drives {actual_pf:.4g} pF with x = {design['x']}")
     return 0
 
 
@@ -368,6 +529,84 @@ def build_parser() -> argparse.ArgumentParser:
     p_spec = sub.add_parser("spec-ladder", help="print the 20-spec difficulty ladder")
     p_spec.add_argument("-n", type=int, default=20)
     p_spec.set_defaults(func=cmd_spec_ladder)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the optimization-job / design-surface HTTP service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks an ephemeral port; default: 8321)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="optimization worker threads (default: 2)",
+    )
+    p_serve.add_argument(
+        "--queue-size", type=int, default=16,
+        help="job queue bound; submissions beyond it get 429 (default: 16)",
+    )
+    p_serve.add_argument(
+        "--data-dir", default="serve-data",
+        help="root for surfaces, ledgers and checkpoints (default: serve-data)",
+    )
+    p_serve.add_argument(
+        "--port-file", default=None, metavar="FILE",
+        help="write the bound port to FILE once listening (for scripts/CI)",
+    )
+    p_serve.add_argument(
+        "--no-drain", action="store_true",
+        help="on shutdown, cancel queued/running jobs instead of draining",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit an optimization job to a running `repro serve`"
+    )
+    p_submit.add_argument("algorithm", choices=["tpg", "sacga", "mesacga"])
+    p_submit.add_argument(
+        "--url", default="http://127.0.0.1:8321", help="service base URL"
+    )
+    p_submit.add_argument("--generations", type=int, default=None)
+    p_submit.add_argument("--population", type=int, default=None)
+    p_submit.add_argument("--n-mc", type=int, default=None)
+    p_submit.add_argument("--partitions", type=int, default=None)
+    p_submit.add_argument(
+        "--surface", default=None,
+        help="register the resulting design surface under this name",
+    )
+    p_submit.add_argument(
+        "--kind", choices=["run_one", "run_many"], default="run_one",
+        help="single run or a seed sweep (default: run_one)",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true", help="poll the job to completion"
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait budget in seconds (default: 600)",
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_query = sub.add_parser(
+        "query", help="query a registered design surface on a running service"
+    )
+    p_query.add_argument("name", help="surface name used at submit time")
+    p_query.add_argument(
+        "c_load_pf", type=float, help="load capacitance in picofarads"
+    )
+    p_query.add_argument(
+        "--url", default="http://127.0.0.1:8321", help="service base URL"
+    )
+    p_query.add_argument(
+        "--design", action="store_true",
+        help="also print the sizing vector that achieves the power",
+    )
+    p_query.add_argument(
+        "--version", type=int, default=None,
+        help="pin a surface version (default: latest)",
+    )
+    p_query.set_defaults(func=cmd_query)
 
     return parser
 

@@ -15,6 +15,7 @@ explored designs into that object:
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Iterable, Tuple
 
@@ -172,8 +173,15 @@ class DesignSurface:
         )
 
     def merged_with(self, other: "DesignSurface") -> "DesignSurface":
-        """Non-dominated union of two surfaces (same load convention)."""
-        if other.c_load_max != self.c_load_max:
+        """Non-dominated union of two surfaces (same load convention).
+
+        ``c_load_max`` is compared with :func:`math.isclose` so a surface
+        that went through a JSON round trip (float -> repr -> float, or a
+        serializer that trimmed digits) still merges with its original.
+        """
+        if not math.isclose(
+            other.c_load_max, self.c_load_max, rel_tol=1e-9, abs_tol=0.0
+        ):
             raise ValueError("cannot merge surfaces with different load ranges")
         return DesignSurface(
             np.vstack([self._x, other._x]),

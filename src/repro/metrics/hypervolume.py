@@ -31,8 +31,15 @@ from repro.utils.pareto import pareto_mask
 
 def _clean_front(points: np.ndarray) -> np.ndarray:
     pts = np.atleast_2d(np.asarray(points, dtype=float))
-    if pts.size == 0:
-        return pts.reshape(0, pts.shape[1] if pts.ndim == 2 else 0)
+    if pts.ndim != 2 or pts.shape[1] == 0:
+        # A front with zero objectives has no volume to measure; treating
+        # it as "empty front -> 0.0" would silently hide a caller bug
+        # (e.g. np.asarray([]) or a bad reshape).
+        raise ValueError(
+            f"front must have at least one objective column, got shape {pts.shape}"
+        )
+    if pts.shape[0] == 0:
+        return pts
     if np.any(~np.isfinite(pts)):
         raise ValueError("front contains non-finite values")
     return pts

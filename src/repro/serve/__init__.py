@@ -1,0 +1,55 @@
+"""repro.serve — the concurrent design-surface and optimization-job service.
+
+Turns the reproduction from a batch tool into a long-lived service: a
+bounded :class:`JobManager` pool runs optimization jobs asynchronously,
+a :class:`SurfaceStore` persists and serves the resulting
+power-vs-load design surfaces (versioned, atomically written, LRU-query-
+cached), and a stdlib :class:`ReproServer` exposes both over a JSON
+HTTP API with Prometheus metrics from :mod:`repro.obs`.
+
+Quick start::
+
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve import JobManager, ReproServer, ServeApp, SurfaceStore
+    from repro.serve.client import ServeClient
+
+    registry = MetricsRegistry()
+    store = SurfaceStore("serve-data/surfaces")
+    manager = JobManager(store=store, data_dir="serve-data", metrics=registry)
+    with ReproServer(ServeApp(manager, store, registry)) as server:
+        client = ServeClient(server.url)
+        job = client.submit({"algorithm": "sacga", "generations": 40,
+                             "surface": "integrator"})
+        client.wait(job["id"])
+        client.query("integrator", c_load=2.5e-12)
+
+Or from the command line: ``repro serve``, ``repro submit``,
+``repro query``.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.http import ReproServer, ServeApp
+from repro.serve.jobs import (
+    CancellationToken,
+    Job,
+    JobCancelled,
+    JobManager,
+    JobQueueFull,
+    UnknownJob,
+)
+from repro.serve.surfaces import SurfaceStore, UnknownSurface
+
+__all__ = [
+    "CancellationToken",
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "JobQueueFull",
+    "ReproServer",
+    "ServeApp",
+    "ServeClient",
+    "ServeError",
+    "SurfaceStore",
+    "UnknownJob",
+    "UnknownSurface",
+]

@@ -1,0 +1,368 @@
+"""JSON-over-HTTP API for the service layer (stdlib ``http.server``).
+
+Endpoints (all JSON unless noted):
+
+=========================================  ====================================
+``POST /jobs``                              submit a job (202; 429 when full)
+``GET /jobs``                               list all jobs
+``GET /jobs/{id}``                          one job's status/result
+``DELETE /jobs/{id}``                       cooperative cancel
+``GET /surfaces``                           registered surface catalog
+``GET /surfaces/{name}``                    one surface's description
+``GET /surfaces/{name}/query?c_load=...``   min-power query (``design=1`` for
+                                            the sizing vector; ``version=N``
+                                            pins a version)
+``GET /healthz``                            liveness + pool/store counters
+``GET /metrics``                            Prometheus text exposition
+=========================================  ====================================
+
+Design notes:
+
+* **Routing is pure.**  :class:`ServeApp` maps ``(method, path, query,
+  body)`` to ``(status, payload)`` with no sockets involved, so tests
+  exercise every route (including the 4xx paths) without binding a port.
+* **Observability rides the existing registry.**  Request counters
+  (``repro_http_requests_total{method,route,status}``) and latency
+  histograms (``repro_http_request_seconds{route}``) live in the same
+  :class:`~repro.obs.registry.MetricsRegistry` the job pool reports to,
+  and ``GET /metrics`` serves the whole snapshot through
+  :func:`~repro.obs.exporters.to_prometheus` — one scrape shows HTTP
+  traffic, queue depth and running jobs together.  Routes are labeled by
+  *pattern* (``/jobs/:id`` — colon placeholders keep label values free of
+  braces for the text exposition), never by raw path, so cardinality
+  stays bounded.
+* **Backpressure, not buffering.**  A full job queue returns 429 with a
+  ``Retry-After`` hint; the server never queues unboundedly on behalf of
+  clients.
+* **Graceful shutdown.**  :meth:`ReproServer.close` stops accepting
+  connections, then drains the job pool (in-flight jobs finish and
+  register their surfaces) unless asked to cancel instead.
+* **Request timeouts.**  The per-connection socket timeout bounds how
+  long a slow client can pin a handler thread.
+
+The optimization work itself never runs on a request thread — requests
+only enqueue jobs and read state, so the API stays responsive while the
+pool crunches.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.exporters import to_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.serve.jobs import JobManager, JobQueueFull, UnknownJob
+from repro.serve.surfaces import SurfaceStore, UnknownSurface
+
+__all__ = ["ServeApp", "ReproServer", "MAX_BODY_BYTES"]
+
+#: Submissions are tiny JSON objects; anything bigger is a client bug.
+MAX_BODY_BYTES = 1 << 20
+
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ServeApp:
+    """Socket-free request router shared by the server and the tests."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        store: SurfaceStore,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.manager = manager
+        self.store = store
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method/route/status",
+            labels=("method", "route", "status"),
+        )
+        self._m_latency = self.registry.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency",
+            labels=("route",),
+        )
+        self._m_store_hits = self.registry.gauge(
+            "repro_serve_surface_query_hits", "Surface query cache hits"
+        )
+        self._m_store_misses = self.registry.gauge(
+            "repro_serve_surface_query_misses", "Surface query cache misses"
+        )
+        self._m_surfaces = self.registry.gauge(
+            "repro_serve_surfaces", "Registered surface names"
+        )
+
+    # -------------------------------------------------------------- dispatch
+
+    def handle(
+        self,
+        method: str,
+        target: str,
+        body: bytes = b"",
+    ) -> Tuple[int, str, bytes]:
+        """Route one request; returns ``(status, content_type, body)``.
+
+        Never raises: anything unexpected becomes a 500 JSON error, so a
+        broken handler cannot take down the serving thread.
+        """
+        started = time.perf_counter()
+        parsed = urlparse(target)
+        path = parsed.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        route, thunk = self._match(method.upper(), path, query, body)
+        try:
+            status, payload = thunk()
+        except JobQueueFull as exc:
+            status, payload = 429, {"error": str(exc), "retry_after_s": 1.0}
+        except (UnknownJob, UnknownSurface) as exc:
+            status, payload = 404, {"error": f"not found: {exc.args[0]}"}
+        except ValueError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        elapsed = time.perf_counter() - started
+        self._m_requests.labels(
+            method=method.upper(), route=route, status=str(status)
+        ).inc()
+        self._m_latency.labels(route=route).observe(elapsed)
+        if isinstance(payload, str):
+            return status, _PROMETHEUS_CONTENT_TYPE, payload.encode("utf-8")
+        body_out = (json.dumps(payload) + "\n").encode("utf-8")
+        return status, "application/json", body_out
+
+    def _match(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        body: bytes,
+    ):
+        """Resolve ``(route_label, thunk)`` — the label is known *before*
+        the handler runs, so error responses are attributed correctly."""
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz" and method == "GET":
+            return "/healthz", lambda: (200, self._healthz())
+        if path == "/metrics" and method == "GET":
+
+            def metrics():
+                self._refresh_store_gauges()
+                return 200, to_prometheus(self.registry)
+
+            return "/metrics", metrics
+        if parts[:1] == ["jobs"]:
+            if len(parts) == 1:
+                if method == "POST":
+                    return "/jobs", lambda: (202, self._submit(body))
+                if method == "GET":
+                    return "/jobs", lambda: (
+                        200,
+                        {"jobs": self.manager.list_jobs()},
+                    )
+            elif len(parts) == 2:
+                if method == "GET":
+                    return "/jobs/:id", lambda: (
+                        200,
+                        self.manager.status(parts[1]),
+                    )
+                if method == "DELETE":
+                    return "/jobs/:id", lambda: (
+                        200,
+                        self.manager.cancel(parts[1]),
+                    )
+        if parts[:1] == ["surfaces"] and method == "GET":
+            if len(parts) == 1:
+                return "/surfaces", lambda: (
+                    200,
+                    {"surfaces": [self.store.describe(n) for n in self.store.names()]},
+                )
+            if len(parts) == 2:
+                return "/surfaces/:name", lambda: (
+                    200,
+                    self.store.describe(parts[1]),
+                )
+            if len(parts) == 3 and parts[2] == "query":
+                return "/surfaces/:name/query", lambda: (
+                    200,
+                    self._query_surface(parts[1], query),
+                )
+        return "unknown", lambda: (
+            404,
+            {"error": f"no route for {method} {path}"},
+        )
+
+    # --------------------------------------------------------------- routes
+
+    def _submit(self, body: bytes) -> Dict[str, Any]:
+        if len(body) > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        kind = str(payload.pop("kind", "run_one"))
+        job = self.manager.submit(payload, kind=kind)
+        return job.snapshot()
+
+    def _query_surface(self, name: str, query: Dict[str, str]) -> Dict[str, Any]:
+        if "c_load" not in query:
+            raise ValueError("query needs c_load=<farads> (e.g. c_load=2.5e-12)")
+        try:
+            c_load = float(query["c_load"])
+        except ValueError:
+            raise ValueError(f"c_load is not a number: {query['c_load']!r}") from None
+        version = None
+        if "version" in query:
+            try:
+                version = int(query["version"])
+            except ValueError:
+                raise ValueError(
+                    f"version is not an integer: {query['version']!r}"
+                ) from None
+        want_design = query.get("design", "").lower() in ("1", "true", "yes")
+        surface, resolved = self.store._load_versioned(name, version)
+        out: Dict[str, Any] = {
+            "name": name,
+            "version": resolved,
+            "c_load": c_load,
+            # NaN (query above the stored range) survives the JSON trip:
+            # json.dumps emits the NaN literal and the client parses it.
+            "power": self.store.power_at(name, c_load, version=resolved),
+        }
+        if want_design:
+            out["design"] = self.store.design_for(name, c_load, version=resolved)
+        return out
+
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "jobs": self.manager.counts(),
+            "store": self.store.stats(),
+        }
+
+    def _refresh_store_gauges(self) -> None:
+        stats = self.store.stats()
+        self._m_store_hits.set(stats["query_hits"])
+        self._m_store_misses.set(stats["query_misses"])
+        self._m_surfaces.set(stats["surfaces"])
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin socket adapter around :meth:`ServeApp.handle`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    def _serve(self, method: str) -> None:
+        body = b""
+        if method in ("POST", "PUT"):
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                self._reply(413, "application/json",
+                            b'{"error": "request body too large"}\n')
+                return
+            if length:
+                body = self.rfile.read(length)
+        app: ServeApp = self.server.app  # type: ignore[attr-defined]
+        status, content_type, payload = app.handle(method, self.path, body)
+        self._reply(status, content_type, payload)
+
+    def _reply(self, status: int, content_type: str, payload: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._serve("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._serve("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._serve("DELETE")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Request accounting goes through the metrics registry; keep
+        # stderr quiet so the CLI's stdout/stderr stay parseable.
+        pass
+
+
+class ReproServer:
+    """A running service: threaded HTTP front end over app + job pool.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` afterwards —
+    that is how the tests and the CI smoke job avoid collisions).
+    """
+
+    def __init__(
+        self,
+        app: ServeApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.app = app
+        handler = type("BoundHandler", (_Handler,), {"timeout": request_timeout})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = app  # type: ignore[attr-defined]
+        # Bound socket timeout so a stalled client cannot pin a thread.
+        self._request_timeout = request_timeout
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting, then drain the job pool.
+
+        With ``drain=False``, queued jobs are cancelled and running jobs
+        stop at their next generation boundary instead.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._httpd.server_close()
+        self.app.manager.shutdown(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

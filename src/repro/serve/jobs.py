@@ -1,0 +1,528 @@
+"""JobManager: a bounded, fault-contained worker pool for optimization jobs.
+
+The service layer's compute half.  Jobs wrap the experiment runner's
+:func:`~repro.experiments.runner.run_one` / ``run_many`` — one seed or a
+fault-tolerant sweep — and run asynchronously on a small pool of worker
+threads behind a **bounded** queue:
+
+* ``submit`` returns a job id immediately, or raises
+  :class:`JobQueueFull` when the queue is at capacity — the HTTP layer
+  turns that into a 429, which is the service's backpressure story.
+* Each job gets its own ledger (JSONL trace) and checkpoint file under
+  the manager's data directory, so a crashed service can be forensically
+  inspected (``repro trace``) and long jobs resumed (``repro resume``).
+* Cancellation is **cooperative**, using the same generation-boundary
+  callback machinery as :class:`~repro.core.callbacks.WallClockTimeout`:
+  a :class:`CancellationToken` raises :class:`JobCancelled` at the next
+  generation end once the job's cancel event is set.
+* A worker that sees a job raise — bad parameters, an optimizer crash,
+  a timeout — records the failure on the job and **keeps serving**: one
+  failed job never kills the pool (locked in by
+  ``tests/serve/test_jobs.py``).
+
+On success, the job's front is registered into the attached
+:class:`~repro.serve.surfaces.SurfaceStore` as a new version of the
+surface named by the job (default: the job id), closing the loop from
+"submit an optimization" to "query the served design surface".
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core.callbacks import RunTimeoutError
+from repro.experiments.runner import Scale, run_many, run_one
+from repro.experiments.tradeoff import DesignSurface
+from repro.obs.registry import NULL_METRICS
+from repro.serve.surfaces import _check_name as _check_surface_name
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "CancellationToken",
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "JobQueueFull",
+    "UnknownJob",
+    "JOB_PARAMS",
+]
+
+#: Buckets for whole-job wall time (seconds) — jobs run for seconds to
+#: hours, unlike the sub-second request latencies of the default buckets.
+JOB_SECONDS_BUCKETS = (0.05, 0.25, 1.0, 5.0, 30.0, 120.0, 600.0, 3600.0)
+
+#: Parameters a job submission may carry (everything else is rejected
+#: up front, so a typo fails at submit time, not inside a worker).
+JOB_PARAMS = frozenset(
+    {
+        "algorithm",
+        "generations",
+        "population",
+        "n_mc",
+        "n_seeds",
+        "seed_index",
+        "experiment_id",
+        "n_partitions",
+        "backend",
+        "workers",
+        "cache_size",
+        "kernel",
+        "surface",
+        "timeout_s",
+        "checkpoint_every",
+        "retries",
+        "skip_failures",
+    }
+)
+
+_ALGORITHMS = ("tpg", "sacga", "mesacga")
+
+
+class JobQueueFull(RuntimeError):
+    """The bounded job queue is at capacity (HTTP maps this to 429)."""
+
+
+class JobCancelled(RuntimeError):
+    """Raised inside a run when its job's cancel event is set."""
+
+
+class UnknownJob(KeyError):
+    """Raised for job ids the manager has never seen."""
+
+
+class CancellationToken:
+    """Generation-boundary cancellation check (WallClockTimeout-style).
+
+    Attached via ``run_one(..., callbacks=[token])``; being cooperative
+    it cannot interrupt a single evaluation batch, but a generation is
+    the natural preemption point for these workloads (same trade-off as
+    :class:`~repro.core.callbacks.WallClockTimeout`).
+    """
+
+    def __init__(self, event: threading.Event) -> None:
+        self.event = event
+
+    def __call__(self, generation: int, population) -> None:
+        if self.event.is_set():
+            raise JobCancelled(f"job cancelled at generation {generation}")
+
+
+def _jsonable(value: Any) -> Any:
+    """Strictly JSON-able copy (non-finite floats become ``None``)."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalars
+        return _jsonable(value.item())
+    return value
+
+
+@dataclass
+class Job:
+    """One submitted optimization job and everything known about it."""
+
+    id: str
+    kind: str
+    params: Dict[str, Any]
+    state: str = "queued"  # queued | running | done | failed | cancelled
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    surface: Optional[Dict[str, Any]] = None
+    ledger_path: Optional[str] = None
+    checkpoint_path: Optional[str] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able public view (no events, no live objects)."""
+        return _jsonable(
+            {
+                "id": self.id,
+                "kind": self.kind,
+                "params": dict(self.params),
+                "state": self.state,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "error": self.error,
+                "result": self.result,
+                "surface": self.surface,
+                "ledger_path": self.ledger_path,
+                "checkpoint_path": self.checkpoint_path,
+            }
+        )
+
+
+class JobManager:
+    """Thread-safe bounded worker pool running optimization jobs.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.serve.surfaces.SurfaceStore` that
+        successful jobs register their fronts into.
+    data_dir:
+        Directory for per-job ledgers and checkpoints.
+    workers:
+        Worker thread count (each runs at most one job at a time).
+    queue_size:
+        Bound on *waiting* jobs; a full queue makes :meth:`submit` raise
+        :class:`JobQueueFull`.
+    metrics:
+        A :class:`~repro.obs.registry.MetricsRegistry` (or the default
+        no-op) receiving the pool gauges and counters.  Handles are
+        resolved here, once.
+    runner / sweep_runner:
+        The callables that execute ``run_one``-shaped and
+        ``run_many``-shaped jobs.  Tests inject stubs here to exercise
+        fault paths deterministically.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        data_dir: PathLike = "serve-data",
+        workers: int = 2,
+        queue_size: int = 16,
+        metrics=None,
+        runner: Callable = run_one,
+        sweep_runner: Callable = run_many,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.store = store
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._runner = runner
+        self._sweep_runner = sweep_runner
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue(maxsize=queue_size)
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.RLock()
+        self._closed = False
+        self._joined = False
+        metrics = NULL_METRICS if metrics is None else metrics
+        self._m_submitted = metrics.counter(
+            "repro_serve_jobs_submitted_total", "Jobs accepted into the queue"
+        )
+        self._m_rejected = metrics.counter(
+            "repro_serve_jobs_rejected_total",
+            "Submissions refused because the queue was full",
+        )
+        self._m_finished = metrics.counter(
+            "repro_serve_jobs_finished_total",
+            "Jobs finished, by terminal state",
+            labels=("state",),
+        )
+        self._m_queue_depth = metrics.gauge(
+            "repro_serve_queue_depth", "Jobs waiting in the bounded queue"
+        )
+        self._m_running = metrics.gauge(
+            "repro_serve_jobs_running", "Jobs currently executing on a worker"
+        )
+        self._m_workers = metrics.gauge(
+            "repro_serve_workers", "Worker threads in the pool"
+        )
+        self._m_job_seconds = metrics.histogram(
+            "repro_serve_job_seconds",
+            "Whole-job wall time in seconds",
+            buckets=JOB_SECONDS_BUCKETS,
+        )
+        self._m_workers.set(workers)
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(self, params: Dict[str, Any], kind: str = "run_one") -> Job:
+        """Validate and enqueue a job; returns it (state ``queued``).
+
+        Raises :class:`ValueError` on malformed parameters and
+        :class:`JobQueueFull` when the queue is at capacity.
+        """
+        if kind not in ("run_one", "run_many"):
+            raise ValueError(f"unknown job kind {kind!r} (want run_one/run_many)")
+        params = dict(params or {})
+        unknown = sorted(set(params) - JOB_PARAMS)
+        if unknown:
+            raise ValueError(
+                f"unknown job parameters {unknown} (allowed: {sorted(JOB_PARAMS)})"
+            )
+        algorithm = str(params.get("algorithm", "")).strip().lower()
+        if algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"job needs algorithm in {_ALGORITHMS}, got {algorithm!r}"
+            )
+        params["algorithm"] = algorithm
+        surface_name = params.get("surface")
+        job_id = f"job-{uuid.uuid4().hex[:12]}"
+        if surface_name is not None:
+            # Fail a bad surface name at submit time, not in the worker.
+            _check_surface_name(str(surface_name))
+        job = Job(
+            id=job_id,
+            kind=kind,
+            params=params,
+            ledger_path=str(self.data_dir / "jobs" / f"{job_id}.ledger.jsonl"),
+            checkpoint_path=str(self.data_dir / "jobs" / f"{job_id}.ckpt"),
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("JobManager is shut down; no new jobs accepted")
+            self._jobs[job.id] = job
+        try:
+            self._queue.put_nowait(job.id)
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job.id]
+            self._m_rejected.inc()
+            raise JobQueueFull(
+                f"job queue is full ({self._queue.maxsize} waiting jobs); retry later"
+            ) from None
+        self._m_submitted.inc()
+        self._m_queue_depth.set(self._queue.qsize())
+        return job
+
+    # ---------------------------------------------------------------- lookup
+
+    def _get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(job_id)
+        return job
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        with self._lock:
+            return self._get(job_id).snapshot()
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._get(job_id).result
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+            return [job.snapshot() for job in jobs]
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            out = {s: 0 for s in ("queued", "running", "done", "failed", "cancelled")}
+            for job in self._jobs.values():
+                out[job.state] += 1
+            return out
+
+    # ---------------------------------------------------------------- cancel
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued or running job; finished jobs are left alone.
+
+        Queued jobs flip to ``cancelled`` immediately (the worker skips
+        them); running jobs get their cancel event set and flip once the
+        run hits its next generation boundary.
+        """
+        with self._lock:
+            job = self._get(job_id)
+            if job.state == "queued":
+                self._finish(job, "cancelled", error="cancelled while queued")
+            elif job.state == "running":
+                job.cancel_event.set()
+        return self.status(job_id)
+
+    # ---------------------------------------------------------------- worker
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            try:
+                if job_id is None:
+                    return
+                self._m_queue_depth.set(self._queue.qsize())
+                with self._lock:
+                    job = self._jobs[job_id]
+                    if job.state != "queued":  # cancelled while waiting
+                        continue
+                    job.state = "running"
+                    job.started_at = time.time()
+                self._m_running.inc()
+                try:
+                    self._execute(job)
+                except JobCancelled as exc:
+                    with self._lock:
+                        self._finish(job, "cancelled", error=str(exc))
+                except RunTimeoutError as exc:
+                    with self._lock:
+                        self._finish(job, "failed", error=f"timeout: {exc}")
+                except Exception as exc:  # crash containment: pool survives
+                    with self._lock:
+                        self._finish(
+                            job, "failed", error=f"{type(exc).__name__}: {exc}"
+                        )
+                finally:
+                    self._m_running.dec()
+            finally:
+                self._queue.task_done()
+
+    def _finish(self, job: Job, state: str, error: Optional[str] = None) -> None:
+        """Terminal bookkeeping (caller holds the lock)."""
+        job.state = state
+        job.error = error
+        job.finished_at = time.time()
+        started = job.started_at if job.started_at is not None else job.finished_at
+        self._m_finished.labels(state=state).inc()
+        self._m_job_seconds.observe(max(0.0, job.finished_at - started))
+
+    def _execute(self, job: Job) -> None:
+        params = job.params
+        base = Scale.from_env()
+        scale = Scale(
+            population=int(params.get("population", base.population)),
+            generations=int(params.get("generations", base.generations)),
+            n_mc=int(params.get("n_mc", base.n_mc)),
+            n_seeds=int(params.get("n_seeds", base.n_seeds)),
+            label="serve",
+        )
+        algo_kwargs: Dict[str, Any] = {}
+        if params["algorithm"] == "sacga" and "n_partitions" in params:
+            algo_kwargs["n_partitions"] = int(params["n_partitions"])
+        common = dict(
+            scale=scale,
+            generations=scale.generations,
+            backend=params.get("backend"),
+            workers=params.get("workers"),
+            cache_size=params.get("cache_size"),
+            kernel=params.get("kernel"),
+            ledger=job.ledger_path,
+            timeout_s=params.get("timeout_s"),
+            callbacks=[CancellationToken(job.cancel_event)],
+            **algo_kwargs,
+        )
+        experiment_id = str(params.get("experiment_id", "serve"))
+        if job.kind == "run_one":
+            summary = self._runner(
+                params["algorithm"],
+                experiment_id,
+                seed_index=int(params.get("seed_index", 0)),
+                checkpoint_path=job.checkpoint_path,
+                checkpoint_every=int(params.get("checkpoint_every", 10)),
+                **common,
+            )
+            summaries = [summary]
+        else:
+            summaries = self._sweep_runner(
+                params["algorithm"],
+                experiment_id,
+                retries=int(params.get("retries", 0)),
+                skip_failures=bool(params.get("skip_failures", True)),
+                **common,
+            )
+        if job.cancel_event.is_set():
+            # A cancelled sweep seed is swallowed by run_many's fault
+            # tolerance; surface the cancellation as the job outcome.
+            raise JobCancelled("job cancelled mid-run")
+        surface_info = self._register_surface(job, summaries)
+        runs = [
+            {
+                "algorithm": s.algorithm,
+                "seed": s.seed,
+                "front_size": s.front_size,
+                "hv_paper": s.hv_paper,
+                "coverage": s.coverage,
+                "n_evaluations": s.n_evaluations,
+                "wall_time": s.wall_time,
+            }
+            for s in summaries
+        ]
+        with self._lock:
+            job.result = _jsonable(
+                {
+                    "kind": job.kind,
+                    "n_runs": len(runs),
+                    "runs": runs,
+                    "surface": surface_info,
+                }
+            )
+            job.surface = surface_info
+            self._finish(job, "done")
+
+    def _register_surface(self, job: Job, summaries) -> Optional[Dict[str, Any]]:
+        if self.store is None or not summaries:
+            return None
+        results = [
+            s.result
+            for s in summaries
+            if s.result is not None and s.result.front_objectives.shape[0] > 0
+        ]
+        if not results:
+            return None
+        surface = DesignSurface.from_results(results)
+        name = str(job.params.get("surface") or job.id)
+        version = self.store.register(name, surface)
+        return {"name": name, "version": version, "size": surface.size}
+
+    # -------------------------------------------------------------- shutdown
+
+    def shutdown(
+        self,
+        drain: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Stop accepting jobs and bring the workers down.
+
+        With ``drain=True`` (the default) queued and running jobs finish
+        first; with ``drain=False`` queued jobs are cancelled outright
+        and running jobs get their cancel events set, so the pool exits
+        at the next generation boundaries.  Idempotent.
+        """
+        with self._lock:
+            if self._joined:
+                return
+            self._closed = True
+            if not drain:
+                for job in self._jobs.values():
+                    if job.state == "queued":
+                        self._finish(job, "cancelled", error="cancelled at shutdown")
+                    elif job.state == "running":
+                        job.cancel_event.set()
+        # Sentinels queue behind any remaining work, one per worker.
+        for _ in self._threads:
+            self._queue.put(None)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+        with self._lock:
+            self._joined = all(not t.is_alive() for t in self._threads)
+        self._m_queue_depth.set(self._queue.qsize())
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)

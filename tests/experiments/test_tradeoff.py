@@ -115,3 +115,27 @@ class TestMergeAndIo:
         np.testing.assert_allclose(loaded.c_load, surface.c_load)
         np.testing.assert_allclose(loaded.power, surface.power)
         np.testing.assert_allclose(loaded.x, surface.x)
+
+    def test_merge_after_json_roundtrip(self, tmp_path):
+        # merged_with compares c_load_max with isclose, so a surface that
+        # took a serialization round trip still merges with its original.
+        a = make_surface([1.0, 3.0], [0.30, 0.40])
+        b = make_surface([2.0, 3.0], [0.32, 0.38])
+        path = b.save(tmp_path / "b.json")
+        b_loaded = DesignSurface.load(path)
+        merged = a.merged_with(b_loaded)
+        _, _, p3 = merged.design_for(3e-12)
+        assert p3 == pytest.approx(0.38e-3)
+
+    def test_merge_tolerates_last_ulp_range_drift(self):
+        a = make_surface([1.0], [0.3])
+        drifted = np.nextafter(5e-12, 1.0)  # one ulp of serializer drift
+        b = make_surface([1.0], [0.3], c_max=drifted)
+        merged = a.merged_with(b)
+        assert merged.size >= 1
+
+    def test_merge_still_rejects_real_range_mismatch(self):
+        a = make_surface([1.0], [0.3])
+        b = make_surface([1.0], [0.3], c_max=5e-12 * (1 + 1e-6))
+        with pytest.raises(ValueError, match="load ranges"):
+            a.merged_with(b)

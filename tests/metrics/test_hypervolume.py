@@ -120,6 +120,43 @@ class TestHypervolumeRef:
         assert with_dominated == pytest.approx(base)
 
 
+class TestZeroColumnFronts:
+    """A front with zero objective columns is a caller bug, not an empty
+    front: both variants must refuse it instead of silently returning 0."""
+
+    @pytest.mark.parametrize(
+        "bad",
+        [np.asarray([]), np.zeros((0, 0)), np.zeros((3, 0)), [[], []]],
+        ids=["flat-empty", "0x0", "3x0", "list-of-empties"],
+    )
+    def test_paper_rejects_zero_columns(self, bad):
+        with pytest.raises(ValueError, match="objective column"):
+            hypervolume_paper(bad)
+
+    @pytest.mark.parametrize(
+        "bad", [np.asarray([]), np.zeros((0, 0)), np.zeros((3, 0))],
+        ids=["flat-empty", "0x0", "3x0"],
+    )
+    def test_ref_rejects_zero_columns(self, bad):
+        with pytest.raises(ValueError, match="objective column"):
+            hypervolume_ref(bad, reference=[1.0, 1.0])
+
+    def test_empty_front_with_columns_still_fine(self):
+        # The legitimate empty front keeps its shape and keeps working.
+        assert hypervolume_paper(np.zeros((0, 2))) == 0.0
+        assert hypervolume_ref(np.zeros((0, 2)), [1.0, 1.0]) == 0.0
+
+    def test_single_and_duplicated_points_unchanged(self):
+        single = hypervolume_paper([[2.0, 3.0]])
+        assert single == pytest.approx(6.0)
+        assert hypervolume_paper([[2.0, 3.0], [2.0, 3.0]]) == pytest.approx(single)
+        ref_single = hypervolume_ref([[1.0, 1.0]], reference=[3.0, 4.0])
+        assert ref_single == pytest.approx(6.0)
+        assert hypervolume_ref(
+            [[1.0, 1.0], [1.0, 1.0]], reference=[3.0, 4.0]
+        ) == pytest.approx(ref_single)
+
+
 positive_fronts = arrays(
     dtype=float,
     shape=st.tuples(st.integers(1, 15), st.integers(1, 3)),

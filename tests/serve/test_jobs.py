@@ -1,0 +1,333 @@
+"""JobManager fault paths: crash containment, cancellation, backpressure,
+concurrent access, graceful shutdown.
+
+Stub runners injected via ``JobManager(runner=...)`` make every scenario
+deterministic; the real-optimizer path is covered end-to-end in
+``test_http.py``.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.results import OptimizationResult
+from repro.experiments.runner import RunSummary
+from repro.obs.registry import MetricsRegistry
+from repro.serve.jobs import (
+    CancellationToken,
+    JobCancelled,
+    JobManager,
+    JobQueueFull,
+    UnknownJob,
+)
+from repro.serve.surfaces import SurfaceStore
+
+POLL_S = 0.01
+DEADLINE_S = 30.0
+
+
+def build_summary(algorithm="STUB", seed=0,
+                  c_loads_pF=(1.0, 2.0, 3.0), powers_mW=(1.0, 2.0, 3.0)):
+    """A RunSummary whose stub front survives Pareto filtering."""
+    c = np.asarray(c_loads_pF, dtype=float) * 1e-12
+    p = np.asarray(powers_mW, dtype=float) * 1e-3
+    result = OptimizationResult(
+        algorithm=algorithm,
+        problem_name="stub",
+        population=None,  # type: ignore[arg-type]
+        front_x=np.arange(len(c), dtype=float).reshape(-1, 1),
+        front_objectives=np.column_stack([p, 5e-12 - c]),
+        n_generations=1,
+        n_evaluations=len(c),
+        wall_time=0.0,
+    )
+    return RunSummary(
+        algorithm=algorithm,
+        seed=seed,
+        hv_paper=1.0,
+        coverage=1.0,
+        cluster_4_5pF=0.0,
+        front_size=len(c),
+        wall_time=0.01,
+        n_evaluations=len(c),
+        result=result,
+    )
+
+
+def metric_value(registry, name, **labels):
+    """One sample's value from a registry collect() pass (None if absent)."""
+    for metric_name, kind, help_text, samples in registry.collect():
+        if metric_name != name:
+            continue
+        for sample_labels, instrument in samples:
+            if sample_labels == labels:
+                return instrument.value
+    return None
+
+
+def wait_for(predicate, deadline_s=DEADLINE_S):
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(POLL_S)
+    return False
+
+
+def wait_terminal(manager, job_id, deadline_s=DEADLINE_S):
+    assert wait_for(
+        lambda: manager.status(job_id)["state"] in ("done", "failed", "cancelled"),
+        deadline_s,
+    ), f"job {job_id} never reached a terminal state"
+    return manager.status(job_id)
+
+
+def fast_runner(algorithm, experiment_id, **kwargs):
+    return build_summary(algorithm=algorithm.upper())
+
+
+class BlockingRunner:
+    """Runs until released, honouring the job's cancellation callbacks."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def __call__(self, algorithm, experiment_id, callbacks=(), **kwargs):
+        self.started.set()
+        generation = 0
+        while not self.release.wait(POLL_S):
+            for callback in callbacks:
+                callback(generation, None)
+            generation += 1
+        return build_summary(algorithm=algorithm.upper())
+
+
+class TestValidation:
+    def test_rejects_unknown_parameters(self, tmp_path):
+        with JobManager(data_dir=tmp_path, workers=1) as manager:
+            with pytest.raises(ValueError, match="unknown job parameters"):
+                manager.submit({"algorithm": "sacga", "typo_field": 1})
+
+    def test_rejects_unknown_algorithm(self, tmp_path):
+        with JobManager(data_dir=tmp_path, workers=1) as manager:
+            with pytest.raises(ValueError, match="algorithm"):
+                manager.submit({"algorithm": "simulated-annealing"})
+
+    def test_rejects_unknown_kind(self, tmp_path):
+        with JobManager(data_dir=tmp_path, workers=1) as manager:
+            with pytest.raises(ValueError, match="kind"):
+                manager.submit({"algorithm": "sacga"}, kind="run_all")
+
+    def test_rejects_bad_surface_name_at_submit(self, tmp_path):
+        with JobManager(data_dir=tmp_path, workers=1) as manager:
+            with pytest.raises(ValueError, match="surface name"):
+                manager.submit({"algorithm": "sacga", "surface": "../escape"})
+
+    def test_unknown_job_id(self, tmp_path):
+        with JobManager(data_dir=tmp_path, workers=1) as manager:
+            with pytest.raises(UnknownJob):
+                manager.status("job-nope")
+
+
+class TestCrashContainment:
+    def test_worker_survives_job_exception(self, tmp_path):
+        def crashy(algorithm, experiment_id, **kwargs):
+            if experiment_id == "boom":
+                raise RuntimeError("optimizer exploded")
+            return build_summary()
+
+        with JobManager(data_dir=tmp_path, workers=1, runner=crashy) as manager:
+            bad = manager.submit({"algorithm": "sacga", "experiment_id": "boom"})
+            failed = wait_terminal(manager, bad.id)
+            assert failed["state"] == "failed"
+            assert "optimizer exploded" in failed["error"]
+
+            # Same (sole) worker thread still serves the next job.
+            good = manager.submit({"algorithm": "sacga"})
+            assert wait_terminal(manager, good.id)["state"] == "done"
+
+    def test_failed_jobs_counted_in_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+
+        def crashy(algorithm, experiment_id, **kwargs):
+            raise ValueError("nope")
+
+        with JobManager(
+            data_dir=tmp_path, workers=1, runner=crashy, metrics=registry
+        ) as manager:
+            job = manager.submit({"algorithm": "sacga"})
+            wait_terminal(manager, job.id)
+        assert metric_value(registry, "repro_serve_jobs_submitted_total") == 1
+        assert (
+            metric_value(
+                registry, "repro_serve_jobs_finished_total", state="failed"
+            )
+            == 1
+        )
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, tmp_path):
+        blocker = BlockingRunner()
+        manager = JobManager(data_dir=tmp_path, workers=1, runner=blocker)
+        try:
+            running = manager.submit({"algorithm": "sacga"})
+            assert blocker.started.wait(DEADLINE_S)
+            queued = manager.submit({"algorithm": "sacga"})
+            snapshot = manager.cancel(queued.id)
+            assert snapshot["state"] == "cancelled"
+            assert "queued" in snapshot["error"]
+        finally:
+            blocker.release.set()
+            manager.shutdown()
+        assert manager.status(running.id)["state"] == "done"
+
+    def test_cancel_running_job_at_generation_boundary(self, tmp_path):
+        blocker = BlockingRunner()
+        manager = JobManager(data_dir=tmp_path, workers=1, runner=blocker)
+        try:
+            job = manager.submit({"algorithm": "sacga"})
+            assert blocker.started.wait(DEADLINE_S)
+            manager.cancel(job.id)
+            done = wait_terminal(manager, job.id)
+            assert done["state"] == "cancelled"
+            assert "generation" in done["error"]
+        finally:
+            blocker.release.set()
+            manager.shutdown()
+
+    def test_cancel_finished_job_is_a_no_op(self, tmp_path):
+        with JobManager(data_dir=tmp_path, workers=1, runner=fast_runner) as manager:
+            job = manager.submit({"algorithm": "sacga"})
+            wait_terminal(manager, job.id)
+            assert manager.cancel(job.id)["state"] == "done"
+
+    def test_cancellation_token_raises_when_set(self):
+        event = threading.Event()
+        token = CancellationToken(event)
+        token(3, None)  # not set: no-op
+        event.set()
+        with pytest.raises(JobCancelled, match="generation 7"):
+            token(7, None)
+
+
+class TestBackpressure:
+    def test_queue_full_raises_and_recovers(self, tmp_path):
+        blocker = BlockingRunner()
+        registry = MetricsRegistry()
+        manager = JobManager(
+            data_dir=tmp_path,
+            workers=1,
+            queue_size=1,
+            runner=blocker,
+            metrics=registry,
+        )
+        try:
+            first = manager.submit({"algorithm": "sacga"})
+            assert blocker.started.wait(DEADLINE_S)  # worker busy
+            second = manager.submit({"algorithm": "sacga"})  # fills the queue
+            with pytest.raises(JobQueueFull):
+                manager.submit({"algorithm": "sacga"})
+            # The rejected job leaves no trace in the table.
+            assert len(manager.list_jobs()) == 2
+        finally:
+            blocker.release.set()
+            manager.shutdown()
+        assert manager.status(first.id)["state"] == "done"
+        assert manager.status(second.id)["state"] == "done"
+        assert metric_value(registry, "repro_serve_jobs_rejected_total") == 1
+
+
+class TestConcurrency:
+    def test_concurrent_submit_and_status_from_many_threads(self, tmp_path):
+        manager = JobManager(
+            data_dir=tmp_path, workers=4, queue_size=256, runner=fast_runner
+        )
+        errors = []
+        ids = []
+        ids_lock = threading.Lock()
+
+        def hammer():
+            try:
+                for _ in range(5):
+                    job = manager.submit({"algorithm": "sacga"})
+                    with ids_lock:
+                        ids.append(job.id)
+                    for _ in range(10):
+                        manager.status(job.id)
+                        manager.list_jobs()
+                        manager.counts()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        try:
+            assert errors == []
+            assert len(ids) == 40
+            for job_id in ids:
+                assert wait_terminal(manager, job_id)["state"] == "done"
+            assert manager.counts()["done"] == 40
+        finally:
+            manager.shutdown()
+
+
+class TestSurfaces:
+    def test_done_job_registers_surface_versions(self, tmp_path):
+        store = SurfaceStore(tmp_path / "surfaces")
+        with JobManager(
+            store=store, data_dir=tmp_path, workers=1, runner=fast_runner
+        ) as manager:
+            a = manager.submit({"algorithm": "sacga", "surface": "amp"})
+            b = manager.submit({"algorithm": "sacga", "surface": "amp"})
+            done_a = wait_terminal(manager, a.id)
+            done_b = wait_terminal(manager, b.id)
+        versions = {done_a["surface"]["version"], done_b["surface"]["version"]}
+        assert versions == {1, 2}
+        assert store.versions("amp") == [1, 2]
+
+    def test_surface_defaults_to_job_id(self, tmp_path):
+        store = SurfaceStore(tmp_path / "surfaces")
+        with JobManager(
+            store=store, data_dir=tmp_path, workers=1, runner=fast_runner
+        ) as manager:
+            job = manager.submit({"algorithm": "sacga"})
+            done = wait_terminal(manager, job.id)
+        assert done["surface"]["name"] == job.id
+        assert store.names() == [job.id]
+
+
+class TestShutdown:
+    def test_drain_finishes_queued_jobs(self, tmp_path):
+        manager = JobManager(
+            data_dir=tmp_path, workers=2, queue_size=32, runner=fast_runner
+        )
+        jobs = [manager.submit({"algorithm": "sacga"}) for _ in range(6)]
+        manager.shutdown(drain=True)
+        for job in jobs:
+            assert manager.status(job.id)["state"] == "done"
+        with pytest.raises(RuntimeError, match="shut down"):
+            manager.submit({"algorithm": "sacga"})
+
+    def test_no_drain_cancels_queued_and_running(self, tmp_path):
+        blocker = BlockingRunner()
+        manager = JobManager(
+            data_dir=tmp_path, workers=1, queue_size=8, runner=blocker
+        )
+        running = manager.submit({"algorithm": "sacga"})
+        assert blocker.started.wait(DEADLINE_S)
+        queued = manager.submit({"algorithm": "sacga"})
+        manager.shutdown(drain=False)
+        assert manager.status(queued.id)["state"] == "cancelled"
+        assert manager.status(running.id)["state"] == "cancelled"
+
+    def test_shutdown_is_idempotent(self, tmp_path):
+        manager = JobManager(data_dir=tmp_path, workers=1, runner=fast_runner)
+        manager.shutdown()
+        manager.shutdown()

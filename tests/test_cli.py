@@ -61,6 +61,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.workers == 2
+        assert args.queue_size == 16
+        assert args.data_dir == "serve-data"
+        assert args.port_file is None
+        assert not args.no_drain
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "sacga", "--generations", "40", "--population", "24",
+             "--surface", "amp", "--wait", "--timeout", "60"]
+        )
+        assert args.algorithm == "sacga"
+        assert args.generations == 40
+        assert args.population == 24
+        assert args.surface == "amp"
+        assert args.wait and args.timeout == 60.0
+
+    def test_query_flags(self):
+        args = build_parser().parse_args(
+            ["query", "amp", "2.5", "--design", "--version", "3"]
+        )
+        assert args.name == "amp"
+        assert args.c_load_pf == 2.5
+        assert args.design
+        assert args.version == 3
+
 
 class TestCommands:
     def test_spec_ladder(self, capsys):
@@ -177,6 +207,131 @@ class TestMetricsCommands:
         out = capsys.readouterr().out
         assert "wrote" not in out
         assert "evaluate" in out  # span tree includes the evaluate phase
+
+
+class TestFileErrorExitCodes:
+    """Missing/unreadable inputs exit 2 with a message, never a traceback."""
+
+    def test_resume_missing_checkpoint(self, capsys, tmp_path):
+        assert main(["resume", str(tmp_path / "nope.ckpt")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err and "Traceback" not in err
+
+    def test_resume_corrupt_checkpoint(self, capsys, tmp_path):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"this is not a pickle")
+        assert main(["resume", str(bad)]) == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_trace_missing_ledger(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "Traceback" not in err
+
+    def test_trace_corrupt_ledger(self, capsys, tmp_path):
+        # A torn *final* line is tolerated (crash mid-write), so the
+        # corruption must sit mid-file to count as a broken ledger.
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            '{"event": "run_started"}\nnot json\n{"event": "run_finished"}\n',
+            encoding="utf-8",
+        )
+        assert main(["trace", str(bad)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_profile_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.json"), "--profile"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_profile_corrupt_json(self, capsys, tmp_path):
+        bad = tmp_path / "bad.profile.json"
+        bad.write_text("{broken", encoding="utf-8")
+        assert main(["trace", str(bad), "--profile"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_stats_unreadable_file(self, capsys, tmp_path):
+        locked = tmp_path / "locked.prom"
+        locked.write_text("# nothing\n", encoding="utf-8")
+        locked.chmod(0o000)
+        try:
+            code = main(["stats", str(locked)])
+        finally:
+            locked.chmod(0o644)
+        if code != 0:  # running as root makes chmod 000 readable
+            assert code == 2
+            assert "cannot read" in capsys.readouterr().err
+
+
+class TestServeCommandsOffline:
+    """submit/query against a dead URL fail fast with exit code 2."""
+
+    DEAD_URL = "http://127.0.0.1:9"  # discard port: nothing listens
+
+    def test_submit_connection_refused(self, capsys):
+        code = main(["submit", "sacga", "--url", self.DEAD_URL])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_query_connection_refused(self, capsys):
+        code = main(["query", "amp", "2.5", "--url", self.DEAD_URL])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestServeCommandsInProcess:
+    def test_submit_wait_and_query_against_live_server(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.core.results import OptimizationResult
+        from repro.experiments.runner import RunSummary
+        from repro.obs.registry import MetricsRegistry
+        from repro.serve import JobManager, ReproServer, ServeApp, SurfaceStore
+
+        def fast_runner(algorithm, experiment_id, **kwargs):
+            c = np.asarray([1.0, 2.0, 3.0]) * 1e-12
+            p = np.asarray([1.0, 2.0, 3.0]) * 1e-3
+            result = OptimizationResult(
+                algorithm=algorithm.upper(),
+                problem_name="stub",
+                population=None,  # type: ignore[arg-type]
+                front_x=np.arange(3, dtype=float).reshape(-1, 1),
+                front_objectives=np.column_stack([p, 5e-12 - c]),
+                n_generations=1,
+                n_evaluations=3,
+                wall_time=0.0,
+            )
+            return RunSummary(
+                algorithm=algorithm.upper(), seed=0, hv_paper=1.0,
+                coverage=1.0, cluster_4_5pF=0.0, front_size=3,
+                wall_time=0.01, n_evaluations=3, result=result,
+            )
+
+        registry = MetricsRegistry()
+        store = SurfaceStore(tmp_path / "surfaces")
+        manager = JobManager(
+            store=store, data_dir=tmp_path, workers=1,
+            runner=fast_runner, metrics=registry,
+        )
+        with ReproServer(ServeApp(manager, store, registry)) as server:
+            code = main(
+                ["submit", "sacga", "--url", server.url,
+                 "--surface", "amp", "--wait"]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "done" in out and "surface amp v1" in out
+
+            assert main(["query", "amp", "2.0", "--url", server.url]) == 0
+            out = capsys.readouterr().out
+            assert "amp v1: power" in out
+
+            # Above the stored range: informative message, exit 1.
+            assert main(["query", "amp", "9.0", "--url", server.url]) == 1
+            assert "no design reaches" in capsys.readouterr().out
+
+            # Unknown surface: exit 2 via the 404 path.
+            assert main(["query", "ghost", "2.0", "--url", server.url]) == 2
+            assert "query failed" in capsys.readouterr().err
 
 
 class TestFiguresStubbed:
