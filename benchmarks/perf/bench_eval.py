@@ -1,0 +1,213 @@
+"""Benchmark of batched vs per-individual problem evaluation.
+
+Times ``Problem.evaluate_batch`` on an ``(N, D)`` generation matrix
+against the per-individual scalar path (``evaluate_one`` row by row) for
+the analytic circuit-sizing problem and a synthetic reference, at
+several batch sizes, and writes ``BENCH_eval.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_eval.py
+    PYTHONPATH=src python benchmarks/perf/bench_eval.py \
+        --sizes 100 1000 --repeats 3 --baseline BENCH_eval.json
+
+Numbers are best-of-``--repeats`` wall times.  The scalar path at the
+full acceptance scale (N = 10^4 integrator designs) would take minutes
+per repeat, so it is timed on a ``--scalar-cap`` row subsample and
+extrapolated linearly — the scalar loop is embarrassingly linear in N,
+which makes the extrapolation conservative (it ignores the per-call
+overhead growth a real loop would pay).
+
+The JSON holds raw seconds plus, for each (problem, size), the
+``speedup`` of the batched path over the scalar loop — a
+machine-independent ratio.  With ``--baseline``, the run fails (exit 1)
+when any overlapping speedup regresses by more than
+``--max-regression`` (default 20%); only overlapping keys are compared,
+so CI can run at small N against a baseline recorded at full scale.
+As with the kernel bench, the *committed* baseline is recorded with
+``--floor 0.5`` so scheduler noise cannot trip the gate.  Regenerate
+the checked-in baseline with::
+
+    PYTHONPATH=src python benchmarks/perf/bench_eval.py \
+        --repeats 5 --floor 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.circuits.sizing_problem import IntegratorSizingProblem
+from repro.problems.base import Problem
+from repro.problems.synthetic import ClusteredFeasibility
+
+DEFAULT_SIZES = (100, 1000, 10000)
+SAMPLE_SEED = 99
+
+
+def make_problems() -> Dict[str, Problem]:
+    return {
+        "integrator": IntegratorSizingProblem(n_mc=2),
+        "clustered": ClusteredFeasibility(n_var=8),
+    }
+
+
+def best_of(fn: Callable[[], None], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_problem(
+    name: str,
+    problem: Problem,
+    sizes,
+    repeats: int,
+    scalar_cap: int,
+) -> Dict[str, float]:
+    times: Dict[str, float] = {}
+    rng = np.random.default_rng(SAMPLE_SEED)
+    for n in sizes:
+        x = problem.sample(n, rng)
+        times[f"{name}/n={n}/batch"] = best_of(
+            lambda: problem.evaluate_batch(x), repeats
+        )
+        # Scalar loop timed on a subsample and extrapolated linearly.
+        n_scalar = min(n, scalar_cap)
+        sample = x[:n_scalar]
+
+        def scalar_loop():
+            for i in range(sample.shape[0]):
+                problem.evaluate_one(sample[i])
+
+        t_sample = best_of(scalar_loop, repeats)
+        times[f"{name}/n={n}/scalar"] = t_sample * (n / n_scalar)
+        times[f"{name}/n={n}/scalar_sample_rows"] = float(n_scalar)
+    return times
+
+
+def speedups(times: Dict[str, float]) -> Dict[str, float]:
+    """scalar-over-batch time ratio per (problem, size); >1 means the
+    batched path is faster."""
+    out: Dict[str, float] = {}
+    for key, t_batch in times.items():
+        if not key.endswith("/batch"):
+            continue
+        stem = key[: -len("/batch")]
+        t_scalar = times.get(stem + "/scalar")
+        if t_scalar and t_batch > 0:
+            out[stem] = t_scalar / t_batch
+    return out
+
+
+def compare_to_baseline(
+    current: Dict[str, float], baseline: Dict[str, float], max_regression: float
+) -> List[str]:
+    """Speedup-ratio regressions beyond the threshold, over shared keys."""
+    failures = []
+    for key in sorted(set(current) & set(baseline)):
+        if baseline[key] <= 0:
+            continue
+        ratio = current[key] / baseline[key]
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{key}: speedup {current[key]:.2f}x vs baseline "
+                f"{baseline[key]:.2f}x ({(1.0 - ratio) * 100.0:.0f}% regression)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="batch sizes to benchmark (default: 100 1000 10000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="take the best of this many timed runs (default: 3)",
+    )
+    parser.add_argument(
+        "--scalar-cap", type=int, default=200,
+        help="time the scalar loop on at most this many rows and "
+        "extrapolate linearly (default: 200)",
+    )
+    parser.add_argument(
+        "--problems", nargs="+", default=None,
+        choices=sorted(make_problems()),
+        help="subset of problems to benchmark (default: all)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parents[2] / "BENCH_eval.json",
+        help="where to write the results JSON (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="compare speedup ratios against this earlier BENCH_eval.json",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="fail when a speedup ratio worsens by more than this fraction",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=1.0,
+        help="write speedups scaled by this factor — use < 1 to record a "
+        "noise-tolerant floor baseline (default: 1.0, raw ratios)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.floor <= 1.0:
+        parser.error(f"--floor must be in (0, 1], got {args.floor}")
+    if args.scalar_cap < 1:
+        parser.error(f"--scalar-cap must be >= 1, got {args.scalar_cap}")
+
+    problems = make_problems()
+    if args.problems:
+        problems = {k: problems[k] for k in args.problems}
+
+    times: Dict[str, float] = {}
+    for name, problem in problems.items():
+        times.update(
+            bench_problem(name, problem, args.sizes, args.repeats, args.scalar_cap)
+        )
+    ratios = {k: v * args.floor for k, v in speedups(times).items()}
+
+    payload = {
+        "sizes": list(args.sizes),
+        "repeats": args.repeats,
+        "scalar_cap": args.scalar_cap,
+        "floor_factor": args.floor,
+        "times_s": {k: times[k] for k in sorted(times)},
+        "speedup_batch_over_scalar": {k: ratios[k] for k in sorted(ratios)},
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    for key in sorted(ratios):
+        print(f"{key:<32} {ratios[key]:8.1f}x")
+    print(f"wrote {args.output}")
+
+    if args.baseline is not None:
+        base = json.loads(args.baseline.read_text())
+        base_ratios = base.get("speedup_batch_over_scalar", {})
+        failures = compare_to_baseline(ratios, base_ratios, args.max_regression)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        shared = len(set(ratios) & set(base_ratios))
+        print(f"baseline check passed ({shared} shared keys)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

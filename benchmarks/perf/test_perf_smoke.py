@@ -124,3 +124,75 @@ def test_committed_obs_baseline_is_sane():
     for key, value in payload["overhead_fraction"].items():
         if key.endswith("/overhead_on"):
             assert value < 2.0, f"{key}: {value:+.1%}"
+
+
+# ------------------------------------------------------------- eval bench
+
+
+EVAL_SCRIPT = REPO / "benchmarks" / "perf" / "bench_eval.py"
+
+
+def run_eval_bench(tmp_path, *extra):
+    out = tmp_path / "bench_eval.json"
+    cmd = [
+        sys.executable, str(EVAL_SCRIPT),
+        "--sizes", "50", "200",
+        "--repeats", "2",
+        "--scalar-cap", "25",
+        "--output", str(out),
+        *extra,
+    ]
+    env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"}
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, cwd=REPO, timeout=600
+    )
+    return proc, out
+
+
+def test_eval_bench_writes_json_and_batch_wins(tmp_path):
+    proc, out = run_eval_bench(tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    times = payload["times_s"]
+    ratios = payload["speedup_batch_over_scalar"]
+    for name in ("integrator", "clustered"):
+        for n in (50, 200):
+            for path in ("batch", "scalar"):
+                key = f"{name}/n={n}/{path}"
+                assert key in times and times[key] > 0.0, key
+            assert f"{name}/n={n}" in ratios
+    # Even at modest N the batched path must clearly beat the row loop;
+    # keep the bound loose so CI machine noise can't flake the job.
+    assert ratios["integrator/n=200"] > 2.0
+    assert ratios["clustered/n=200"] > 2.0
+
+
+def test_eval_bench_baseline_comparison(tmp_path):
+    proc, out = run_eval_bench(tmp_path, "--problems", "clustered")
+    assert proc.returncode == 0, proc.stderr
+    # Self-comparison passes trivially ...
+    proc2, _ = run_eval_bench(
+        tmp_path, "--problems", "clustered", "--baseline", str(out)
+    )
+    assert proc2.returncode == 0, proc2.stderr
+    # ... and an impossibly fast baseline trips the regression gate.
+    payload = json.loads(out.read_text())
+    payload["speedup_batch_over_scalar"] = {
+        k: v * 100.0 for k, v in payload["speedup_batch_over_scalar"].items()
+    }
+    fake = tmp_path / "fake_eval_baseline.json"
+    fake.write_text(json.dumps(payload))
+    proc3, _ = run_eval_bench(
+        tmp_path, "--problems", "clustered", "--baseline", str(fake)
+    )
+    assert proc3.returncode == 1
+    assert "PERF REGRESSION" in proc3.stderr
+
+
+def test_committed_eval_baseline_witnesses_acceptance_target():
+    """The checked-in BENCH_eval.json must show the >=10x batched speedup
+    at N=10^4 on the integrator sizing problem (the PR acceptance bar) —
+    and it does so even after the conservative --floor 0.5 scaling."""
+    baseline = json.loads((REPO / "BENCH_eval.json").read_text())
+    ratios = baseline["speedup_batch_over_scalar"]
+    assert ratios["integrator/n=10000"] >= 10.0

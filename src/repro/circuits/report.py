@@ -85,7 +85,7 @@ def constraint_margins(
 ) -> Dict[str, float]:
     """Named normalized constraint values (g <= 0 feasible) for one design."""
     problem = problem or IntegratorSizingProblem(n_mc=4)
-    ev = problem.evaluate(np.atleast_2d(x)[0:1])
+    ev = problem.evaluate_one(np.atleast_2d(x)[0])
     return dict(zip(problem.constraint_names, ev.constraints[0].tolist()))
 
 

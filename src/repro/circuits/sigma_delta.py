@@ -182,6 +182,63 @@ class SigmaDeltaModulator:
         return stimulus, self.simulate(stimulus)
 
 
+def simulate_bank(
+    modulators: Sequence[SigmaDeltaModulator], stimulus: np.ndarray
+) -> np.ndarray:
+    """Vectorized simulation of a batch of modulators over one stimulus.
+
+    The time loop is inherently sequential, but the *batch* axis is not:
+    a whole population of candidate modulators (e.g. the sized stages of
+    every design on a Pareto front) advances one clock per iteration as
+    ``(B, order)`` matrix operations.  Returns the ``(B, n)`` bitstream
+    matrix, row *b* bit-identical to ``modulators[b].simulate(stimulus)``
+    — including the thermal-noise draws, because each noisy modulator's
+    generator is pre-drawn as an ``(n, order)`` block, which consumes its
+    bit stream in exactly the per-sample order of the scalar loop (the
+    batch/scalar equivalence suite locks this in).
+    """
+    if not modulators:
+        return np.zeros((0, np.asarray(stimulus, dtype=float).size))
+    order = modulators[0].order
+    if any(m.order != order for m in modulators):
+        raise ValueError("all modulators in a bank must share the same order")
+    u = np.asarray(stimulus, dtype=float)
+    n = u.size
+    n_mod = len(modulators)
+
+    def stacked(attr: str) -> np.ndarray:
+        return np.array(
+            [[getattr(s, attr) for s in m.stages] for m in modulators]
+        )
+
+    gains = stacked("gain")
+    keep = 1.0 - stacked("leak")
+    step = gains * (1.0 - stacked("gain_error"))
+    swings = stacked("swing") / 2.0
+    noise = stacked("noise_rms")
+    fb = np.array([m.quantizer_levels for m in modulators])
+    noisy = noise > 0
+    draws = {
+        b: modulators[b]._rng.standard_normal((n, order))
+        for b in range(n_mod)
+        if noisy[b].any()
+    }
+
+    state = np.zeros((n_mod, order))
+    bits = np.empty((n_mod, n))
+    inputs = np.empty((n_mod, order))
+    for k in range(n):
+        y = np.where(state[:, -1] >= 0, fb, -fb)
+        bits[:, k] = y / fb
+        inputs[:, 0] = u[k] - y
+        inputs[:, 1:] = state[:, :-1] - y[:, None]
+        for b, block in draws.items():
+            inputs[b] = inputs[b] + noise[b] * block[k]
+        state = keep * state + step * inputs
+        np.clip(state, -swings, swings, out=state)
+    return bits
+
+
 def snr_db(
     bits: np.ndarray,
     signal_bin: int,

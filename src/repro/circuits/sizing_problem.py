@@ -168,7 +168,12 @@ class IntegratorSizingProblem(Problem):
     @staticmethod
     def build_design(x: np.ndarray) -> IntegratorDesign:
         """Assemble the integrator design structure from a decision batch."""
-        p = IntegratorSizingProblem.decode(x)
+        return IntegratorSizingProblem._design_from_params(
+            IntegratorSizingProblem.decode(x)
+        )
+
+    @staticmethod
+    def _design_from_params(p: Dict[str, np.ndarray]) -> IntegratorDesign:
         sizing = OpAmpSizing(
             w1=p["w1"], l1=p["l1"],
             w3=p["w3"], l3=p["l3"],
@@ -215,7 +220,12 @@ class IntegratorSizingProblem(Problem):
         )
 
     def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        design = self.build_design(x)
+        # Batch-native end to end: the (n, 15) matrix is decoded once
+        # into column views, and every analysis below broadcasts over the
+        # population axis (corner/MC technology cards stack as (k, 1)
+        # leading axes), so one call serves the whole generation.
+        p = self.decode(x)
+        design = self._design_from_params(p)
         s = self.spec
         eps = s.se_max / 2.0
 
@@ -244,7 +254,6 @@ class IntegratorSizingProblem(Problem):
             overdrive_worst = nominal.min_overdrive
 
         mc = analyze_integrator(self._mc_tech, design, settle_epsilon=eps)
-        p = self.decode(x)
         mismatch = self.sampler.mismatch_offsets(
             self.tech.nmos.a_vt, p["w1"], p["l1"]
         )

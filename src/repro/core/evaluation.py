@@ -3,8 +3,10 @@
 Every optimizer funnels fitness work through
 :meth:`BaseOptimizer._evaluate_population`; this module makes that call
 site pluggable.  A backend turns a ``(n, n_var)`` decision batch into an
-:class:`~repro.problems.base.Evaluation` and keeps counters
-(:class:`BackendStats`) that the optimizers surface in
+:class:`~repro.problems.base.Evaluation` by calling
+:meth:`Problem.evaluate_batch` — serial hands the whole generation to
+one vectorized call, the pool backends chunk the matrix row-wise — and
+keeps counters (:class:`BackendStats`) that the optimizers surface in
 ``OptimizationResult.metadata`` and the per-generation history.
 
 Backends must be *semantics-preserving*: for a deterministic, row-wise
@@ -157,14 +159,14 @@ class SerialBackend(EvaluationBackend):
     name = "serial"
 
     def _evaluate_batch(self, problem: Problem, x: np.ndarray) -> Evaluation:
-        evaluation = problem.evaluate(x)
+        evaluation = problem.evaluate_batch(x)
         self.stats.n_evaluations += x.shape[0]
         return evaluation
 
 
 def _evaluate_rows(problem: Problem, x: np.ndarray) -> Evaluation:
     """Module-level chunk worker (must be picklable for process pools)."""
-    return problem.evaluate(x)
+    return problem.evaluate_batch(x)
 
 
 def _merge_evaluations(chunks: List[Evaluation]) -> Evaluation:
@@ -223,7 +225,7 @@ class _PoolBackend(EvaluationBackend):
 
     def _evaluate_batch(self, problem: Problem, x: np.ndarray) -> Evaluation:
         if x.shape[0] == 0:
-            return problem.evaluate(x)
+            return problem.evaluate_batch(x)
         if not self._broken:
             try:
                 evaluation = self._fan_out(problem, x)
@@ -235,7 +237,7 @@ class _PoolBackend(EvaluationBackend):
                 self._broken = True
                 self.stats.fallbacks += 1
                 self.close()
-        evaluation = problem.evaluate(x)
+        evaluation = problem.evaluate_batch(x)
         self.stats.n_evaluations += x.shape[0]
         return evaluation
 
@@ -323,11 +325,18 @@ class _CacheEntry:
 class CachedBackend(EvaluationBackend):
     """Bounded-LRU memoization wrapped around any inner backend.
 
-    Rows are keyed by their raw float64 bytes, so only *exact* repeats
-    hit — which is precisely what elitist GAs produce (survivors
+    Rows are keyed by their canonical float64 bytes, so only *exact*
+    repeats hit — which is precisely what elitist GAs produce (survivors
     re-entering later merges, duplicate offspring after clipping).
+    "Canonical" means the genome row is first converted to a contiguous
+    float64 buffer with negative zeros normalized to ``+0.0``: ``-0.0``
+    and ``0.0`` are the same design point but have different raw bytes,
+    and keying on the raw bytes made the batch and scalar evaluation
+    paths miss each other's entries whenever clipping or mutation
+    produced a signed zero (the batch/scalar harness surfaced this).
     Results for hit rows are bit-identical to recomputation because the
-    Problem contract requires deterministic evaluation.
+    Problem contract requires deterministic, row-decomposable
+    evaluation.
 
     Parameters
     ----------
@@ -355,12 +364,15 @@ class CachedBackend(EvaluationBackend):
 
     @staticmethod
     def _keys(x: np.ndarray) -> List[bytes]:
-        rows = np.ascontiguousarray(x, dtype=float)
+        # Adding 0.0 yields a fresh contiguous buffer with -0.0 flushed
+        # to +0.0 (IEEE: -0.0 + 0.0 == +0.0), so numerically identical
+        # genome rows from the batch and scalar paths map to one key.
+        rows = np.ascontiguousarray(x, dtype=float) + 0.0
         return [rows[i].tobytes() for i in range(rows.shape[0])]
 
     def _evaluate_batch(self, problem: Problem, x: np.ndarray) -> Evaluation:
         if x.shape[0] == 0:
-            return problem.evaluate(x)
+            return problem.evaluate_batch(x)
         keys = self._keys(x)
         batch: Dict[bytes, _CacheEntry] = {}
         missing: "OrderedDict[bytes, int]" = OrderedDict()

@@ -40,6 +40,14 @@ class IndividualView:
 class Population:
     """A fixed-size batch of evaluated candidate designs.
 
+    Storage is struct-of-arrays: the genome matrix ``x`` and the
+    ``objectives`` / ``constraints`` / ``violation`` matrices are
+    private C-contiguous float64 copies (the constructor copies, and
+    ``ndarray.copy`` defaults to C order), so whole generations feed the
+    vectorized kernels and :meth:`Problem.evaluate_batch` without any
+    per-individual marshalling, and row views (``pop.x[i]``) hash to the
+    same memoization keys as the batch they came from.
+
     Parameters
     ----------
     x:
@@ -75,13 +83,13 @@ class Population:
     ) -> "Population":
         """Uniformly sample and evaluate *size* designs of *problem*."""
         x = problem.sample(size, rng)
-        return cls(x, problem.evaluate(x))
+        return cls(x, problem.evaluate_batch(x))
 
     @classmethod
     def from_x(cls, problem: Problem, x: np.ndarray) -> "Population":
         """Evaluate the given decision vectors under *problem*."""
         x = np.atleast_2d(np.asarray(x, dtype=float))
-        return cls(x, problem.evaluate(x))
+        return cls(x, problem.evaluate_batch(x))
 
     @classmethod
     def empty(cls, n_var: int, n_obj: int, n_con: int) -> "Population":

@@ -23,6 +23,7 @@ from repro.problems.synthetic import (
     ClusteredFeasibility,
     ALL_SYNTHETIC,
     get_problem,
+    make_zoo,
 )
 
 __all__ = [
@@ -45,4 +46,5 @@ __all__ = [
     "ClusteredFeasibility",
     "ALL_SYNTHETIC",
     "get_problem",
+    "make_zoo",
 ]

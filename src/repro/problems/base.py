@@ -43,7 +43,10 @@ class Evaluation:
         self.objectives = np.atleast_2d(np.asarray(self.objectives, dtype=float))
         n = self.objectives.shape[0]
         cons = np.asarray(self.constraints, dtype=float)
-        if cons.size == 0:
+        # An explicit 2-D shape is kept as-is even when empty, so an N=0
+        # batch still reports (0, n_con) and not (0, 0); only shapeless
+        # empties (e.g. a bare []) fall back to zero constraint columns.
+        if cons.size == 0 and cons.ndim != 2:
             cons = np.zeros((n, 0))
         self.constraints = np.atleast_2d(cons)
         if self.constraints.shape[0] != n:
@@ -86,10 +89,36 @@ def aggregate_violation(constraints: np.ndarray) -> np.ndarray:
 class Problem:
     """Base class for vectorized constrained multi-objective problems.
 
-    Subclasses implement :meth:`_evaluate` taking an ``(n, n_var)`` array
-    and returning ``(objectives, constraints)`` arrays.  Everything else
-    (bounds bookkeeping, clipping, scalar convenience evaluation) lives
-    here.
+    The canonical entry point is :meth:`evaluate_batch`, the batched
+    contract every caller in the GA stack relies on::
+
+        evaluate_batch((N, n_var)) -> Evaluation with (N, n_obj)
+                                      objectives and (N, n_con)
+                                      constraints
+
+    The contract guarantees (and the batch/scalar test harness in
+    ``tests/problems/test_batch_contract.py`` enforces):
+
+    * **row decomposability** — the row *i* of a batched result is
+      bit-identical to evaluating row *i* alone (:meth:`evaluate_one`);
+      output must never depend on batch composition or size;
+    * **no input mutation** — ``_evaluate`` receives a read-only view,
+      so an implementation that writes into the decision matrix fails
+      loudly instead of corrupting the caller's population;
+    * **dtype stability** — objectives/constraints/violation are always
+      float64, regardless of the input dtype;
+    * **totality** — every objective/constraint value is finite for any
+      input (in or out of the box); a non-finite row raises at the
+      boundary instead of silently poisoning non-dominated sorting.
+
+    Batch-native subclasses implement :meth:`_evaluate` taking an
+    ``(n, n_var)`` array and returning ``(objectives, constraints)``
+    matrices.  Scalar-only subclasses may instead implement
+    :meth:`_evaluate_one` for a single design row; the base class then
+    provides ``_evaluate`` as a row loop, so third-party problems get
+    the batched API (and every backend) for free, just without the
+    vectorization speedup.  Everything else (bounds bookkeeping,
+    clipping, sampling) lives here.
 
     Parameters
     ----------
@@ -127,14 +156,25 @@ class Problem:
 
     # ------------------------------------------------------------------ API
 
-    def evaluate(self, x: np.ndarray) -> Evaluation:
-        """Evaluate a batch ``(n, n_var)`` (or a single vector) of designs."""
+    def evaluate_batch(self, x: np.ndarray) -> Evaluation:
+        """Evaluate a batch ``(n, n_var)`` of designs — the canonical entry.
+
+        Accepts anything convertible to a float matrix (a single
+        ``(n_var,)`` vector is promoted to one row); ``n = 0`` is valid
+        and returns an empty :class:`Evaluation`.  The input array is
+        never modified: the implementation hook sees a read-only view.
+        """
         arr = np.atleast_2d(np.asarray(x, dtype=float))
         if arr.shape[1] != self.n_var:
             raise ValueError(
                 f"{self.name}: expected {self.n_var} variables, got {arr.shape[1]}"
             )
-        objectives, constraints = self._evaluate(arr)
+        # Enforce the no-mutation half of the batch contract structurally:
+        # _evaluate gets a read-only view, so a buggy in-place write in a
+        # subclass raises instead of corrupting the caller's population.
+        view = arr[:]
+        view.flags.writeable = False
+        objectives, constraints = self._evaluate(view)
         objectives = np.atleast_2d(np.asarray(objectives, dtype=float))
         if objectives.shape != (arr.shape[0], self.n_obj):
             raise ValueError(
@@ -166,8 +206,55 @@ class Problem:
         self._n_evaluations += arr.shape[0]
         return Evaluation(objectives=objectives, constraints=cons)
 
+    def evaluate(self, x: np.ndarray) -> Evaluation:
+        """Compatibility alias for :meth:`evaluate_batch`."""
+        return self.evaluate_batch(x)
+
+    def evaluate_one(self, x: np.ndarray) -> Evaluation:
+        """Evaluate a single ``(n_var,)`` design as a one-row batch.
+
+        This is the scalar reference path the bit-identity harness loops
+        against :meth:`evaluate_batch`; it shares cache keys with the
+        batched path under :class:`~repro.core.evaluation.CachedBackend`
+        because both hash the same canonical float64 row bytes.
+        """
+        row = np.asarray(x, dtype=float)
+        if row.ndim != 1 or row.size != self.n_var:
+            raise ValueError(
+                f"{self.name}: evaluate_one expects a ({self.n_var},) vector, "
+                f"got shape {row.shape}"
+            )
+        return self.evaluate_batch(row.reshape(1, -1))
+
     def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        raise NotImplementedError
+        """Batched implementation hook.
+
+        The default is the scalar fallback: loop :meth:`_evaluate_one`
+        row by row and stack.  Batch-native problems override this with
+        a broadcasting implementation (every shipped problem does).
+        """
+        n = x.shape[0]
+        objectives = np.empty((n, self.n_obj), dtype=float)
+        constraints = np.empty((n, self.n_con), dtype=float)
+        for i in range(n):
+            obj_row, con_row = self._evaluate_one(x[i])
+            objectives[i] = np.asarray(obj_row, dtype=float).reshape(self.n_obj)
+            constraints[i] = np.asarray(con_row, dtype=float).reshape(self.n_con)
+        return objectives, constraints
+
+    def _evaluate_one(
+        self, x: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scalar implementation hook for problems without a batched form.
+
+        Takes one ``(n_var,)`` design row, returns ``(objectives,
+        constraints)`` of sizes ``n_obj`` / ``n_con``.  Only called by
+        the default ``_evaluate`` fallback loop.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither _evaluate (batched) "
+            "nor _evaluate_one (scalar fallback)"
+        )
 
     # -------------------------------------------------------------- helpers
 

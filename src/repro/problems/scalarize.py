@@ -83,14 +83,18 @@ class WeightedSumProblem(Problem):
         self.last_inner_objectives: Optional[np.ndarray] = None
 
     def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        ev = self.inner.evaluate(x)
+        ev = self.inner.evaluate_batch(x)
         objs = ev.objectives
         self.last_inner_objectives = objs.copy()
         if self.ranges is not None:
             lo = self.ranges[:, 0]
             hi = self.ranges[:, 1]
             objs = (objs - lo) / (hi - lo)
-        scalar = objs @ self.weights
+        # Row-wise sum rather than `objs @ weights`: BLAS matvec kernels
+        # pick different instruction paths for different row counts, so
+        # the matmul result was not bit-identical between batched and
+        # one-row evaluation (the batch/scalar harness caught this).
+        scalar = np.sum(objs * self.weights, axis=1)
         return scalar.reshape(-1, 1), ev.constraints
 
 
@@ -147,7 +151,7 @@ def weighted_sum_front(
         if result.front_x.shape[0] == 0:
             continue
         # Re-evaluate the winners in the original objective space.
-        ev = problem.evaluate(result.front_x)
+        ev = problem.evaluate_batch(result.front_x)
         feasible = ev.feasible
         all_x.append(result.front_x[feasible])
         all_f.append(ev.objectives[feasible])

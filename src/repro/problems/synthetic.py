@@ -313,7 +313,7 @@ class ClusteredFeasibility(Problem):
     ) -> np.ndarray:
         """Empirical feasibility rate per x0 band (diagnostic for tests)."""
         x = self.sample(n_samples, rng)
-        ev = self.evaluate(x)
+        ev = self.evaluate_batch(x)
         bands = np.clip((x[:, 0] * n_bands).astype(int), 0, n_bands - 1)
         rates = np.zeros(n_bands)
         for b in range(n_bands):
@@ -347,3 +347,14 @@ def get_problem(name: str, **kwargs) -> Problem:
         known = ", ".join(sorted(ALL_SYNTHETIC))
         raise KeyError(f"unknown synthetic problem {name!r}; known: {known}") from None
     return cls(**kwargs)
+
+
+def make_zoo() -> "dict[str, Problem]":
+    """One default-configured instance of every synthetic problem.
+
+    The batch/scalar equivalence harness iterates this to assert that
+    :meth:`Problem.evaluate_batch` is bit-identical to the row-by-row
+    scalar path for the whole zoo; new problems added to
+    :data:`ALL_SYNTHETIC` are covered automatically.
+    """
+    return {name: cls() for name, cls in ALL_SYNTHETIC.items()}

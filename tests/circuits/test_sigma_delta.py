@@ -9,6 +9,7 @@ from repro.circuits.sigma_delta import (
     SigmaDeltaModulator,
     StageModel,
     modulator_snr,
+    simulate_bank,
     snr_db,
 )
 from repro.circuits.technology import nominal_technology
@@ -136,3 +137,61 @@ class TestSnrMeasurement:
         m = SigmaDeltaModulator.ideal(order=2)
         _, bits = m.sine_test(n_samples=8192, amplitude=0.5, frequency_bins=17)
         assert snr_db(bits, 17, 64) > snr_db(random_bits, 17, 64) + 20
+
+
+class TestSimulateBank:
+    """Batch-axis vectorization of the modulator loop: each row of the
+    bank output must be bit-identical to the scalar ``simulate`` —
+    including the thermal-noise draws, which consume each modulator's
+    generator in exactly the per-sample order of the scalar loop."""
+
+    @staticmethod
+    def _stimulus(n=2048, amplitude=0.4, bin_=33):
+        t = np.arange(n)
+        return amplitude * np.sin(2.0 * np.pi * bin_ * t / n)
+
+    def _noisy(self, seed, noise=2e-4, leak=1e-3):
+        stages = [
+            StageModel(gain=g, leak=leak, gain_error=leak, noise_rms=noise)
+            for g in DEFAULT_GAINS_4TH_ORDER
+        ]
+        return SigmaDeltaModulator(stages=stages, seed=seed)
+
+    def test_ideal_bank_matches_scalar_bitwise(self):
+        u = self._stimulus()
+        bank = [SigmaDeltaModulator.ideal(order=4) for _ in range(5)]
+        twins = [SigmaDeltaModulator.ideal(order=4) for _ in range(5)]
+        got = simulate_bank(bank, u)
+        assert got.shape == (5, u.size)
+        for b, twin in enumerate(twins):
+            assert got[b].tobytes() == twin.simulate(u).tobytes()
+
+    def test_noisy_bank_matches_scalar_bitwise(self):
+        """Noise draws are the hard part: the bank pre-draws an (n, order)
+        block per modulator, which must replay the scalar loop's RNG
+        stream exactly."""
+        u = self._stimulus()
+        seeds = [11, 22, 33]
+        got = simulate_bank([self._noisy(s) for s in seeds], u)
+        for b, seed in enumerate(seeds):
+            want = self._noisy(seed).simulate(u)
+            assert got[b].tobytes() == want.tobytes()
+
+    def test_mixed_noisy_and_ideal_rows(self):
+        u = self._stimulus(n=1024)
+        bank = [SigmaDeltaModulator.ideal(order=4, seed=5), self._noisy(7)]
+        twins = [SigmaDeltaModulator.ideal(order=4, seed=5), self._noisy(7)]
+        got = simulate_bank(bank, u)
+        for b, twin in enumerate(twins):
+            assert got[b].tobytes() == twin.simulate(u).tobytes()
+
+    def test_mixed_orders_rejected(self):
+        with pytest.raises(ValueError, match="same order"):
+            simulate_bank(
+                [SigmaDeltaModulator.ideal(order=2), SigmaDeltaModulator.ideal(order=4)],
+                self._stimulus(n=256),
+            )
+
+    def test_empty_bank(self):
+        out = simulate_bank([], self._stimulus(n=128))
+        assert out.shape == (0, 128)

@@ -8,13 +8,20 @@ byte level and this file fails first.  Timing fields are stripped via
 exactly.
 """
 
+import hashlib
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.circuits.sizing_problem import IntegratorSizingProblem
-from repro.core.evaluation import CachedBackend, SerialBackend, ThreadPoolBackend
+from repro.core.evaluation import (
+    CachedBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+)
 from repro.core.islands import IslandNSGA2
 from repro.core.kernels import kernel_call_counts
 from repro.core.mesacga import MESACGA
@@ -169,9 +176,119 @@ def test_kernels_byte_identical_on_integrator_problem(algo):
     assert blocked == reference
 
 
+# --------------------------------------------------------------- golden fronts
+#
+# tests/core/golden_fronts.json pins sha256 hashes of the serialized runs
+# captured on the pre-batch-refactor tree (before evaluate_batch /
+# evaluate_one split, CachedBackend key canonicalization, and the circuit
+# model routing changes).  Matching these hashes proves the refactor is
+# byte-invisible to every optimizer on both a synthetic and the real
+# sizing problem.  Regenerate ONLY for an intentional trajectory change:
+#
+#     PYTHONPATH=src python tests/core/test_determinism_regression.py --regen
+
+GOLDEN_PATH = Path(__file__).parent / "golden_fronts.json"
+
+GOLDEN_PROBLEMS = {
+    "clustered": lambda: ClusteredFeasibility(n_var=4),
+    "integrator": lambda: IntegratorSizingProblem(n_mc=2),
+}
+
+
+def golden_run(algo, problem_key, backend=None, kernel=None):
+    return build(algo, backend=backend, problem=GOLDEN_PROBLEMS[problem_key](),
+                 kernel=kernel).run(GENS)
+
+
+def golden_digest(result):
+    return hashlib.sha256(serialized(result)).hexdigest()
+
+
+def load_golden():
+    payload = json.loads(GOLDEN_PATH.read_text())
+    assert payload["pop"] == POP and payload["generations"] == GENS
+    assert payload["seed"] == SEED
+    return payload["hashes"]
+
+
+@pytest.mark.parametrize("problem_key", sorted(GOLDEN_PROBLEMS))
+@pytest.mark.parametrize("algo", ALL_ALGOS)
+@pytest.mark.parametrize("kernel", ["blocked", "reference"])
+def test_golden_fronts_all_algorithms_both_kernels(algo, problem_key, kernel):
+    """All four optimizers reproduce the pre-refactor goldens byte-for-byte
+    under the serial backend with either NDS kernel."""
+    want = load_golden()[f"{algo}/{problem_key}"]
+    got = golden_digest(golden_run(algo, problem_key, SerialBackend(), kernel))
+    assert got == want, (
+        f"{algo}/{problem_key} (kernel={kernel}) diverged from the "
+        f"pre-refactor golden: {got} != {want}"
+    )
+
+
+@pytest.mark.parametrize("algo", ALL_ALGOS)
+def test_golden_fronts_default_backend(algo):
+    """The no-backend default path hits the same goldens."""
+    want = load_golden()[f"{algo}/clustered"]
+    assert golden_digest(golden_run(algo, "clustered")) == want
+
+
+@pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
+def test_golden_fronts_survive_pool_backends(algo):
+    """Chunked pool evaluation cannot perturb the trajectory: after
+    stripping the backend echo from metadata, thread- and process-backend
+    runs serialize identically to the golden-matching serial run."""
+    def stripped(result):
+        payload = result_to_dict(result, include_timing=False)
+        payload["metadata"].pop("backend")
+        payload["metadata"].pop("backend_stats")
+        return json.dumps(payload, sort_keys=True)
+
+    serial_result = golden_run(algo, "clustered", SerialBackend())
+    assert golden_digest(serial_result) == load_golden()[f"{algo}/clustered"]
+    with ThreadPoolBackend(n_workers=3) as thread_backend:
+        thread = stripped(golden_run(algo, "clustered", thread_backend))
+    with ProcessPoolBackend(n_workers=2) as process_backend:
+        process = stripped(golden_run(algo, "clustered", process_backend))
+    serial = stripped(serial_result)
+    assert thread == serial
+    assert process == serial
+
+
 def test_different_seeds_actually_differ():
     """Guard against the test proving nothing (e.g. constant output)."""
     problem = ClusteredFeasibility(n_var=4)
     r1 = NSGA2(problem, population_size=POP, seed=1).run(GENS)
     r2 = NSGA2(ClusteredFeasibility(n_var=4), population_size=POP, seed=2).run(GENS)
     assert not np.array_equal(r1.front_objectives, r2.front_objectives)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("usage: python tests/core/test_determinism_regression.py --regen")
+    hashes = {
+        f"{algo}/{problem_key}": golden_digest(golden_run(algo, problem_key))
+        for algo in ALL_ALGOS
+        for problem_key in GOLDEN_PROBLEMS
+    }
+    GOLDEN_PATH.write_text(
+        json.dumps(
+            {
+                "_comment": (
+                    "sha256 of result_to_dict(include_timing=False) JSON blobs, "
+                    f"pop={POP} gens={GENS} seed={SEED}; regenerate via "
+                    "tests/core/test_determinism_regression.py --regen "
+                    "(see module docstring)"
+                ),
+                "generations": GENS,
+                "hashes": hashes,
+                "pop": POP,
+                "seed": SEED,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH} with {len(hashes)} hashes")

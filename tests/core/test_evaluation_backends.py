@@ -225,6 +225,49 @@ def test_cache_results_match_direct_evaluation_with_duplicates():
     assert_evaluations_equal(direct, cached)
 
 
+def test_cache_key_normalizes_negative_zero():
+    """Regression: -0.0 and +0.0 are the same design point but have
+    different raw bytes.  Before the keys were canonicalized, a row that
+    clipped to -0.0 on one path and +0.0 on the other missed the cache
+    and was re-evaluated — batch and scalar paths must share hits."""
+    problem = synthetic_problem()
+    pos = problem.sample(3, np.random.default_rng(7))
+    pos[:, 0] = 0.0
+    neg = pos.copy()
+    neg[:, 0] = -0.0
+    assert pos.tobytes() != neg.tobytes()  # genuinely different raw bytes
+
+    backend = CachedBackend(max_size=64)
+    first = backend.evaluate(problem, pos)
+    assert backend.stats.cache_misses == 3
+    second = backend.evaluate(problem, neg)
+    assert backend.stats.cache_hits == 3, "signed-zero rows missed the cache"
+    assert backend.stats.cache_misses == 3
+    assert problem.n_evaluations == 3  # the -0.0 batch never hit the problem
+    assert_evaluations_equal(first, second)
+
+
+def test_cache_shared_between_batch_and_scalar_paths():
+    """A generation evaluated as one batch then re-requested row by row
+    (and vice versa) is served entirely from cache — both paths hash the
+    same canonical row bytes."""
+    problem = synthetic_problem()
+    x = problem.sample(6, np.random.default_rng(9))
+    backend = CachedBackend(max_size=64)
+    backend.evaluate(problem, x)
+    assert backend.stats.n_evaluations == 6
+    for i in range(x.shape[0]):
+        backend.evaluate(problem, x[i : i + 1])
+    assert backend.stats.cache_hits == 6
+    assert backend.stats.n_evaluations == 6  # no scalar re-computation
+    # And rows first seen scalar serve a later batched request.
+    fresh = problem.sample(4, np.random.default_rng(10))
+    backend.evaluate(problem, fresh[:1])
+    backend.evaluate(problem, fresh)
+    assert backend.stats.n_evaluations == 6 + 4  # row 0 reused, not recomputed
+    assert backend.stats.cache_hits == 6 + 1
+
+
 def test_cache_lru_eviction():
     problem = synthetic_problem()
     x = problem.sample(6, np.random.default_rng(4))
