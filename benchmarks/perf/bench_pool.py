@@ -1,0 +1,295 @@
+"""Benchmark of evaluation transports: pickling process pool vs shared memory.
+
+Times one warm-pool "generation dispatch" — an ``(N, D)`` genome batch in,
+objectives/constraints/violation back — through ``ProcessPoolBackend``
+(problem + chunks pickled every call) and ``SharedMemoryBackend`` (problem
+shipped once, genomes through reusable shared-memory arenas), and writes
+``BENCH_pool.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_pool.py
+    PYTHONPATH=src python benchmarks/perf/bench_pool.py \
+        --sizes 1000 10000 --repeats 3 --baseline BENCH_pool.json
+
+The gated metric isolates the *transport*: the real integrator problem's
+evaluation is compute-bound (seconds per 10^4 designs), so end-to-end
+times would mostly measure the simulator and hide the serialization cost
+this PR removes.  ``TransportProbeProblem`` therefore shares the
+integrator's exact geometry — n_var/n_obj/n_con, bounds, and a pickled
+problem blob that *contains* a real ``IntegratorSizingProblem`` — but
+evaluates in microseconds, and the reported speedup is the ratio of
+transport overheads::
+
+    speedup = (t_process - t_serial) / (t_shm - t_serial)
+
+where ``t_serial`` is the same batch evaluated in-process (the compute
+floor both pools also pay).  Real integrator end-to-end times are
+recorded alongside (``integrator_e2e/...``) as context only — their
+overhead deltas are small against seconds of simulator compute, too
+noisy to gate on, so they are kept out of the regression-checked dict.
+
+Pools are warmed before timing (one untimed dispatch spins up workers,
+ships the shm problem blob, and sizes the arenas), so the numbers are
+steady-state per-generation costs — the regime a 100+-generation run
+lives in.
+
+The JSON holds raw seconds plus, per size, the machine-independent
+speedup ratio.  With ``--baseline``, the run fails (exit 1) when any
+overlapping speedup regresses by more than ``--max-regression`` (default
+20%); only overlapping keys are compared, so CI can run at reduced N
+against a baseline recorded at full scale.  As with the kernel/eval
+benches, the *committed* baseline is recorded with a conservative
+``--floor`` so scheduler noise cannot trip the gate.  Regenerate the
+checked-in baseline with::
+
+    PYTHONPATH=src python benchmarks/perf/bench_pool.py \
+        --repeats 5 --floor 0.75
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.circuits.sizing_problem import IntegratorSizingProblem
+from repro.core.evaluation import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedMemoryBackend,
+)
+from repro.problems.base import Problem
+
+DEFAULT_SIZES = (1000, 10000, 100000)
+DEFAULT_E2E_SIZES = (1000,)
+SAMPLE_SEED = 99
+
+
+class TransportProbeProblem(Problem):
+    """Integrator-shaped problem with microsecond evaluation.
+
+    Same decision-space geometry as :class:`IntegratorSizingProblem`
+    (n_var, n_obj, n_con, bounds) and a realistic pickled footprint (the
+    ``payload`` attribute embeds a real integrator problem, so the
+    process backend's per-task problem blob matches production), but the
+    objectives are trivial vectorized expressions — what the transports
+    move dominates what the workers compute.
+    """
+
+    def __init__(self) -> None:
+        base = IntegratorSizingProblem(n_mc=2)
+        super().__init__(
+            n_var=base.n_var,
+            n_obj=base.n_obj,
+            n_con=base.n_con,
+            lower=base.lower,
+            upper=base.upper,
+        )
+        self.payload = base
+
+    def _evaluate(self, x: np.ndarray):
+        objectives = np.stack([x.sum(axis=1), x[:, 0] - x[:, 1]], axis=1)
+        constraints = np.tile(x[:, :1], (1, self.n_con)) - 0.5
+        return objectives, constraints
+
+
+def best_of(fn: Callable[[], None], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_transports(
+    name: str,
+    problem: Problem,
+    sizes,
+    repeats: int,
+    workers: int,
+) -> Dict[str, float]:
+    """serial/process/shm per-generation seconds for each batch size."""
+    times: Dict[str, float] = {}
+    rng = np.random.default_rng(SAMPLE_SEED)
+    serial = SerialBackend()
+    with ProcessPoolBackend(n_workers=workers) as process, \
+            SharedMemoryBackend(n_workers=workers) as shm:
+        for n in sizes:
+            x = problem.sample(n, rng)
+            times[f"{name}/n={n}/serial"] = best_of(
+                lambda: serial.evaluate(problem, x), repeats
+            )
+            # Warm dispatch: spin up workers / ship the problem blob /
+            # size the arenas outside the timed region.
+            process.evaluate(problem, x)
+            times[f"{name}/n={n}/process"] = best_of(
+                lambda: process.evaluate(problem, x), repeats
+            )
+            shm.evaluate(problem, x)
+            times[f"{name}/n={n}/shm"] = best_of(
+                lambda: shm.evaluate(problem, x), repeats
+            )
+        if process.stats.fallbacks or shm.stats.fallbacks:
+            raise RuntimeError(
+                "a pool backend fell back to serial mid-benchmark "
+                f"(process={process.stats.fallbacks}, shm={shm.stats.fallbacks})"
+            )
+    return times
+
+
+def speedups(times: Dict[str, float]) -> Dict[str, float]:
+    """Transport-overhead ratio (process over shm) per (section, size).
+
+    Subtracting the serial compute floor isolates what each pool *adds*
+    on top of the evaluation itself; >1 means the shared-memory
+    transport is cheaper.
+    """
+    out: Dict[str, float] = {}
+    for key, t_shm in times.items():
+        if not key.endswith("/shm"):
+            continue
+        stem = key[: -len("/shm")]
+        t_process = times.get(stem + "/process")
+        t_serial = times.get(stem + "/serial", 0.0)
+        if t_process is None:
+            continue
+        overhead_shm = max(t_shm - t_serial, 1e-6)
+        overhead_process = max(t_process - t_serial, 1e-6)
+        out[stem] = overhead_process / overhead_shm
+    return out
+
+
+def compare_to_baseline(
+    current: Dict[str, float], baseline: Dict[str, float], max_regression: float
+) -> List[str]:
+    """Speedup-ratio regressions beyond the threshold, over shared keys."""
+    failures = []
+    for key in sorted(set(current) & set(baseline)):
+        if baseline[key] <= 0:
+            continue
+        ratio = current[key] / baseline[key]
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{key}: speedup {current[key]:.2f}x vs baseline "
+                f"{baseline[key]:.2f}x ({(1.0 - ratio) * 100.0:.0f}% regression)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="probe batch sizes to benchmark (default: 1000 10000 100000)",
+    )
+    parser.add_argument(
+        "--e2e-sizes", type=int, nargs="+", default=list(DEFAULT_E2E_SIZES),
+        help="real-integrator end-to-end batch sizes (context only; "
+        "default: 1000; pass 0 to skip)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="take the best of this many timed dispatches (default: 3)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="pool workers for both transports (default: 2)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parents[2] / "BENCH_pool.json",
+        help="where to write the results JSON (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="compare speedup ratios against this earlier BENCH_pool.json",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="fail when a speedup ratio worsens by more than this fraction",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=1.0,
+        help="write speedups scaled by this factor — use < 1 to record a "
+        "noise-tolerant floor baseline (default: 1.0, raw ratios)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.floor <= 1.0:
+        parser.error(f"--floor must be in (0, 1], got {args.floor}")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    times: Dict[str, float] = {}
+    times.update(
+        bench_transports(
+            "integrator_transport",
+            TransportProbeProblem(),
+            args.sizes,
+            args.repeats,
+            args.workers,
+        )
+    )
+    e2e_sizes = [n for n in args.e2e_sizes if n > 0]
+    if e2e_sizes:
+        times.update(
+            bench_transports(
+                "integrator_e2e",
+                IntegratorSizingProblem(n_mc=2),
+                e2e_sizes,
+                args.repeats,
+                args.workers,
+            )
+        )
+    all_ratios = speedups(times)
+    ratios = {
+        k: v * args.floor
+        for k, v in all_ratios.items()
+        if k.startswith("integrator_transport/")
+    }
+    context = {
+        k: v for k, v in all_ratios.items()
+        if not k.startswith("integrator_transport/")
+    }
+
+    payload = {
+        "sizes": list(args.sizes),
+        "e2e_sizes": e2e_sizes,
+        "repeats": args.repeats,
+        "workers": args.workers,
+        "floor_factor": args.floor,
+        "times_s": {k: times[k] for k in sorted(times)},
+        "speedup_shm_over_process": {k: ratios[k] for k in sorted(ratios)},
+        "context_speedup_ungated": {k: context[k] for k in sorted(context)},
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    for key in sorted(ratios):
+        print(f"{key:<36} {ratios[key]:8.2f}x")
+    print(f"wrote {args.output}")
+
+    if args.baseline is not None:
+        base = json.loads(args.baseline.read_text())
+        base_ratios = base.get("speedup_shm_over_process", {})
+        failures = compare_to_baseline(ratios, base_ratios, args.max_regression)
+        if failures:
+            print("PERF REGRESSION against baseline:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        overlap = sorted(set(ratios) & set(base_ratios))
+        print(
+            f"baseline check passed ({len(overlap)} overlapping keys, "
+            f"max regression {args.max_regression:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

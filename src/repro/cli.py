@@ -339,6 +339,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
         params["n_mc"] = args.n_mc
     if args.partitions is not None and args.algorithm == "sacga":
         params["n_partitions"] = args.partitions
+    if args.backend is not None:
+        params["backend"] = args.backend
+    if args.workers is not None:
+        params["workers"] = args.workers
+    if args.cache_size is not None:
+        params["cache_size"] = args.cache_size
     if args.surface:
         params["surface"] = args.surface
     client = ServeClient(args.url)
@@ -435,7 +441,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--workers", type=int, default=None,
-        help="worker count for thread/process backends (default: cpu_count-1)",
+        help="worker count for thread/process/shm backends "
+             "(default: available cores - 1, respecting CPU affinity)",
     )
     p_run.add_argument(
         "--cache-size", type=int, default=None,
@@ -571,6 +578,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--population", type=int, default=None)
     p_submit.add_argument("--n-mc", type=int, default=None)
     p_submit.add_argument("--partitions", type=int, default=None)
+    p_submit.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="evaluation backend for the job (default: serial)",
+    )
+    p_submit.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for pool backends (default: available cores - 1)",
+    )
+    p_submit.add_argument(
+        "--cache-size", type=int, default=None,
+        help="wrap the job's backend in an LRU evaluation cache",
+    )
     p_submit.add_argument(
         "--surface", default=None,
         help="register the resulting design surface under this name",

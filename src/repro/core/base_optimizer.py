@@ -398,6 +398,8 @@ class BaseOptimizer:
             "cache_misses",
             "cache_evictions",
             "fallbacks",
+            "bytes_shared",
+            "bytes_pickled",
         ):
             if field in saved:
                 setattr(stats, field, int(saved[field]))

@@ -240,9 +240,10 @@ def run_one(
 
     Seeds are derived deterministically from ``(experiment_id, name,
     seed_index)`` so benchmarks are reproducible run to run.  *backend*
-    (``"serial"`` / ``"thread"`` / ``"process"``), *workers* and
-    *cache_size* configure the evaluation backend; the pool is shut down
-    once the run finishes.  *kernel* picks the dominance/selection
+    (``"serial"`` / ``"thread"`` / ``"process"`` / ``"shm"``), *workers*
+    and *cache_size* configure the evaluation backend; the pool — and,
+    for ``"shm"``, its shared-memory arenas — is shut down once the run
+    finishes.  *kernel* picks the dominance/selection
     kernel (``"blocked"``/``"reference"``) — a pure speed knob.
 
     Robustness knobs:

@@ -98,6 +98,10 @@ class TelemetryCallback:
         self._evals_prev = int(getattr(optimizer, "_n_evaluations", 0))
         stats = optimizer.backend.stats
         self._cache_prev = (int(stats.cache_hits), int(stats.cache_misses))
+        self._bytes_prev = (
+            int(getattr(stats, "bytes_shared", 0)),
+            int(getattr(stats, "bytes_pickled", 0)),
+        )
         self._gate_prev = (0, 0)  # (considered, exposed) cumulative
 
         # --- instrument handles, resolved once (never on the hot loop) ---
@@ -178,6 +182,14 @@ class TelemetryCallback:
         )
         self._c_cache_misses = registry.counter(
             "repro_cache_misses_total", "Evaluation cache misses"
+        )
+        self._c_bytes_shared = registry.counter(
+            "repro_backend_bytes_shared_total",
+            "Genome/result bytes moved through shared-memory segments",
+        )
+        self._c_bytes_pickled = registry.counter(
+            "repro_backend_bytes_pickled_total",
+            "Payload bytes pickled across the pool-worker boundary",
         )
         self._c_kernel_calls = registry.counter(
             "repro_kernel_calls_total",
@@ -316,6 +328,20 @@ class TelemetryCallback:
             ratio = hits / (hits + misses)
             self._g_cache_ratio.set(ratio)
             sample["cache_hit_ratio"] = ratio
+        shared = int(getattr(stats, "bytes_shared", 0))
+        pickled = int(getattr(stats, "bytes_pickled", 0))
+        d_shared = shared - self._bytes_prev[0]
+        d_pickled = pickled - self._bytes_prev[1]
+        if d_shared > 0:
+            self._c_bytes_shared.inc(d_shared)
+        if d_pickled > 0:
+            self._c_bytes_pickled.inc(d_pickled)
+        self._bytes_prev = (shared, pickled)
+        # IPC keys appear only for backends that moved bytes, so serial
+        # and thread telemetry tables keep their historical shape.
+        if shared or pickled:
+            sample["backend_bytes_shared"] = float(shared)
+            sample["backend_bytes_pickled"] = float(pickled)
         sample["eval_time_s"] = _finite(stats.eval_time)
 
     def _sample_archive(self, sample: Dict[str, Optional[float]]) -> None:

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.callbacks import RunTimeoutError
+from repro.core.evaluation import BACKEND_NAMES
 from repro.experiments.runner import Scale, run_many, run_one
 from repro.experiments.tradeoff import DesignSurface
 from repro.obs.registry import NULL_METRICS
@@ -278,6 +279,15 @@ class JobManager:
                 f"job needs algorithm in {_ALGORITHMS}, got {algorithm!r}"
             )
         params["algorithm"] = algorithm
+        backend = params.get("backend")
+        if backend is not None:
+            # Fail a bad backend name at submit time, not inside a worker.
+            backend = str(backend).strip().lower()
+            if backend not in BACKEND_NAMES:
+                raise ValueError(
+                    f"job needs backend in {list(BACKEND_NAMES)}, got {backend!r}"
+                )
+            params["backend"] = backend
         surface_name = params.get("surface")
         job_id = f"job-{uuid.uuid4().hex[:12]}"
         if surface_name is not None:

@@ -17,9 +17,11 @@ import pytest
 
 from repro.circuits.sizing_problem import IntegratorSizingProblem
 from repro.core.evaluation import (
+    SHM_SEGMENT_PREFIX,
     CachedBackend,
     ProcessPoolBackend,
     SerialBackend,
+    SharedMemoryBackend,
     ThreadPoolBackend,
 )
 from repro.core.islands import IslandNSGA2
@@ -252,6 +254,34 @@ def test_golden_fronts_survive_pool_backends(algo):
     serial = stripped(serial_result)
     assert thread == serial
     assert process == serial
+
+
+@pytest.mark.parametrize("problem_key", sorted(GOLDEN_PROBLEMS))
+@pytest.mark.parametrize("algo", ALL_ALGOS)
+def test_golden_fronts_survive_shm_backend(algo, problem_key):
+    """The shared-memory transport is byte-invisible: for all four
+    optimizers on both golden problems, an shm-backend run serializes
+    identically (modulo the backend echo) to the golden-matching serial
+    run — and leaves nothing behind in /dev/shm."""
+    import os
+
+    def stripped(result):
+        payload = result_to_dict(result, include_timing=False)
+        payload["metadata"].pop("backend")
+        payload["metadata"].pop("backend_stats")
+        return json.dumps(payload, sort_keys=True)
+
+    serial_result = golden_run(algo, problem_key, SerialBackend())
+    assert golden_digest(serial_result) == load_golden()[f"{algo}/{problem_key}"]
+    with SharedMemoryBackend(n_workers=2) as shm_backend:
+        shm = stripped(golden_run(algo, problem_key, shm_backend))
+        assert shm_backend.stats.fallbacks == 0
+    assert shm == stripped(serial_result)
+    leaked = [
+        name for name in os.listdir("/dev/shm")
+        if name.startswith(SHM_SEGMENT_PREFIX)
+    ]
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
 def test_different_seeds_actually_differ():

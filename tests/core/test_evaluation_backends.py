@@ -15,7 +15,9 @@ from repro.core.evaluation import (
     CachedBackend,
     ProcessPoolBackend,
     SerialBackend,
+    SharedMemoryBackend,
     ThreadPoolBackend,
+    default_workers,
     make_backend,
 )
 from repro.core.mesacga import MESACGA
@@ -119,6 +121,40 @@ def test_process_backend_mirrors_problem_counter():
     assert problem.n_evaluations == 10
 
 
+@pytest.mark.parametrize("problem_factory", [synthetic_problem, integrator_problem])
+def test_shm_backend_matches_serial(problem_factory):
+    problem = problem_factory()
+    x = problem.sample(17, np.random.default_rng(11))
+    serial = SerialBackend().evaluate(problem, x)
+    with SharedMemoryBackend(n_workers=2) as backend:
+        pooled = backend.evaluate(problem, x)
+    assert_evaluations_equal(serial, pooled)
+    assert backend.stats.fallbacks == 0
+
+
+def test_shm_backend_mirrors_problem_counter_and_accounts_bytes():
+    problem = synthetic_problem()
+    x = problem.sample(10, np.random.default_rng(0))
+    with SharedMemoryBackend(n_workers=2) as backend:
+        backend.evaluate(problem, x)
+        assert problem.n_evaluations == 10
+        stats = backend.stats
+        # Genome in + objectives/constraints/violation out, all float64.
+        out_cols = problem.n_obj + problem.n_con + 1
+        assert stats.bytes_shared == 10 * problem.n_var * 8 + 10 * out_cols * 8
+        # Only the row-slice descriptors cross the pickle boundary.
+        assert 0 < stats.bytes_pickled < x.nbytes
+
+
+def test_shm_backend_chunk_size_override_preserves_results():
+    problem = synthetic_problem()
+    x = problem.sample(19, np.random.default_rng(3))
+    serial = SerialBackend().evaluate(problem, x)
+    with SharedMemoryBackend(n_workers=2, chunk_size=4) as backend:
+        chunked = backend.evaluate(problem, x)
+    assert_evaluations_equal(serial, chunked)
+
+
 def test_chunk_size_override_preserves_results():
     problem = synthetic_problem()
     x = problem.sample(19, np.random.default_rng(3))
@@ -172,6 +208,23 @@ def test_thread_run_front_identical_on_integrator(algo):
 def test_process_run_front_identical_on_integrator():
     serial = make_optimizer("nsga2", integrator_problem(), 9, SerialBackend()).run(2)
     with ProcessPoolBackend(n_workers=2) as backend:
+        pooled = make_optimizer("nsga2", integrator_problem(), 9, backend).run(2)
+    np.testing.assert_array_equal(serial.front_objectives, pooled.front_objectives)
+
+
+@pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
+def test_shm_run_front_identical_on_synthetic(algo):
+    serial = make_optimizer(algo, synthetic_problem(), 42, SerialBackend()).run(GENS)
+    with SharedMemoryBackend(n_workers=2) as backend:
+        pooled = make_optimizer(algo, synthetic_problem(), 42, backend).run(GENS)
+    np.testing.assert_array_equal(serial.front_objectives, pooled.front_objectives)
+    np.testing.assert_array_equal(serial.front_x, pooled.front_x)
+    assert serial.n_evaluations == pooled.n_evaluations
+
+
+def test_shm_run_front_identical_on_integrator():
+    serial = make_optimizer("nsga2", integrator_problem(), 9, SerialBackend()).run(2)
+    with SharedMemoryBackend(n_workers=2) as backend:
         pooled = make_optimizer("nsga2", integrator_problem(), 9, backend).run(2)
     np.testing.assert_array_equal(serial.front_objectives, pooled.front_objectives)
 
@@ -334,6 +387,58 @@ def test_unpicklable_problem_falls_back_to_serial():
     assert_evaluations_equal(SerialBackend().evaluate(synthetic_problem(), x), ev)
 
 
+def test_unpicklable_problem_falls_back_to_serial_on_shm():
+    problem = synthetic_problem()
+    problem.poison = lambda: None  # the one-time problem ship must fail too
+    x = problem.sample(6, np.random.default_rng(10))
+    with SharedMemoryBackend(n_workers=2) as backend:
+        ev = backend.evaluate(problem, x)
+    assert backend.stats.fallbacks == 1
+    assert backend.stats.bytes_shared == 0  # transport never engaged
+    assert_evaluations_equal(SerialBackend().evaluate(synthetic_problem(), x), ev)
+
+
+class FailOnPoisonRowProblem(ClusteredFeasibility):
+    """Raises the first time a batch contains the poisoned marker row.
+
+    The flag makes the failure one-shot: the chunk that carries the
+    marker dies in the pool, but the serial fallback retry of the full
+    batch succeeds — exactly the shape of a transient worker fault.
+    """
+
+    def __init__(self):
+        super().__init__(n_var=4)
+        self.tripped = False
+
+    def evaluate_batch(self, x):
+        if not self.tripped and np.any(x[:, 0] == -1.0):
+            self.tripped = True
+            raise RuntimeError("poisoned chunk")
+        return super().evaluate_batch(x)
+
+
+def test_thread_fallback_does_not_double_count_completed_chunks():
+    """Regression: a thread fan-out that dies after some chunks finished
+    used to leave those chunks' rows in ``problem.n_evaluations`` and
+    then re-count them in the serial retry of the whole batch."""
+    problem = FailOnPoisonRowProblem()
+    x = problem.sample(12, np.random.default_rng(5))
+    x[:, 0] = np.abs(x[:, 0])
+    x[-1, 0] = -1.0  # poison lands in the final chunk
+    # One worker => chunks run strictly in submission order, so the first
+    # two 4-row chunks complete (and bump the counter) before the third
+    # raises.
+    with ThreadPoolBackend(n_workers=1, chunk_size=4) as backend:
+        ev = backend.evaluate(problem, x)
+    assert backend.stats.fallbacks == 1
+    assert problem.tripped
+    # Pre-fix this reported 20 (12 serial retry + 8 completed-chunk rows).
+    assert problem.n_evaluations == 12
+    assert backend.stats.n_evaluations == 12
+    reference = synthetic_problem()
+    assert_evaluations_equal(SerialBackend().evaluate(reference, x), ev)
+
+
 def test_full_run_with_broken_pool_matches_serial():
     serial = make_optimizer("nsga2", synthetic_problem(), 13, SerialBackend()).run(GENS)
     broken = make_optimizer(
@@ -351,13 +456,58 @@ def test_make_backend_names():
     assert isinstance(make_backend("serial"), SerialBackend)
     assert isinstance(make_backend("thread", workers=2), ThreadPoolBackend)
     assert isinstance(make_backend("process", workers=2), ProcessPoolBackend)
+    with make_backend("shm", workers=2) as shm:
+        assert isinstance(shm, SharedMemoryBackend)
+        assert shm.n_workers == 2
     cached = make_backend("thread", workers=2, cache_size=100)
     assert isinstance(cached, CachedBackend)
     assert isinstance(cached.inner, ThreadPoolBackend)
     assert cached.inner.n_workers == 2
     with pytest.raises(KeyError):
         make_backend("gpu")
-    assert set(BACKEND_NAMES) == {"serial", "thread", "process"}
+    assert set(BACKEND_NAMES) == {"serial", "thread", "process", "shm"}
+
+
+def test_default_workers_respects_cpu_affinity(monkeypatch):
+    """Containerized runs pin the process to a CPU subset; the default
+    pool size must follow the affinity mask, not the host core count."""
+    monkeypatch.setattr("os.sched_getaffinity", lambda pid: {0, 1, 2}, raising=False)
+    monkeypatch.setattr("os.cpu_count", lambda: 64)
+    assert default_workers() == 2  # affinity - 1, not cpu_count - 1
+
+    def unavailable(pid):
+        raise AttributeError("sched_getaffinity unavailable")
+
+    monkeypatch.setattr("os.sched_getaffinity", unavailable, raising=False)
+    monkeypatch.setattr("os.cpu_count", lambda: 4)
+    assert default_workers() == 3  # cpu_count fallback
+    monkeypatch.setattr("os.sched_getaffinity", lambda pid: {5}, raising=False)
+    assert default_workers() == 1  # never below one worker
+
+
+def test_cache_keys_match_per_row_reference():
+    """Regression for the vectorized ``CachedBackend._keys``: the single
+    whole-matrix ``tobytes`` + stride slicing must yield exactly the
+    bytes the historical per-row loop produced, including -0.0
+    canonicalization and non-contiguous / non-float64 inputs."""
+
+    def reference_keys(x):
+        rows = np.ascontiguousarray(x, dtype=float) + 0.0
+        return [rows[i].tobytes() for i in range(rows.shape[0])]
+
+    rng = np.random.default_rng(3)
+    dense = rng.normal(size=(37, 5))
+    dense[::4, 2] = -0.0
+    cases = [
+        dense,
+        dense[::3],                      # non-contiguous row stride
+        dense.T[:4].T,                   # non-contiguous column slice
+        dense.astype(np.float32),        # dtype widening
+        np.zeros((1, 1)),
+        rng.normal(size=(2, 8))[:, ::2], # strided columns
+    ]
+    for case in cases:
+        assert CachedBackend._keys(case) == reference_keys(case)
 
 
 def test_invalid_backend_parameters():

@@ -1,0 +1,303 @@
+"""SharedMemoryBackend lifecycle: arenas, worker death, and leak guarantees.
+
+The byte-identity of shm fronts is locked in by the equivalence and
+golden determinism suites; this module covers everything specific to the
+shared-memory *transport* — arena growth/reuse/double-buffering, pool
+persistence, IPC accounting, serial fallback on a ``kill -9``-ed worker,
+and the hard guarantee that no ``/dev/shm`` segment outlives the backend
+(normal close, pool failure, worker death, or a crashed run).
+"""
+
+import gc
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import (
+    SHM_SEGMENT_PREFIX,
+    SerialBackend,
+    SharedMemoryBackend,
+)
+from repro.experiments.runner import Scale, resume_run, run_one
+from repro.problems.synthetic import ClusteredFeasibility
+from repro.utils.serialization import result_to_dict
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def shm_segments():
+    """Names of this module's shared-memory segments currently live."""
+    try:
+        entries = os.listdir("/dev/shm")
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return []
+    return sorted(name for name in entries if name.startswith(SHM_SEGMENT_PREFIX))
+
+
+@pytest.fixture(autouse=True)
+def assert_no_segment_leaks():
+    """Every test in this module must leave /dev/shm as it found it."""
+    before = shm_segments()
+    yield
+    assert shm_segments() == before, "test leaked shared-memory segments"
+
+
+def problem():
+    return ClusteredFeasibility(n_var=4)
+
+
+# ------------------------------------------------------------- arenas
+
+
+def test_arena_double_buffer_growth_and_reuse():
+    p = problem()
+    rng = np.random.default_rng(0)
+    with SharedMemoryBackend(n_workers=2) as backend:
+        backend.evaluate(p, p.sample(8, rng))
+        first_slot = set(backend._segment_names)
+        assert len(first_slot) == 2  # one arena: input + output segment
+        backend.evaluate(p, p.sample(8, rng))
+        both_slots = set(backend._segment_names)
+        assert len(both_slots) == 4  # double buffer fully materialized
+        assert first_slot < both_slots
+        # Steady state: same-size generations reuse the arenas verbatim.
+        executor = backend._executor
+        for _ in range(4):
+            backend.evaluate(p, p.sample(8, rng))
+        assert set(backend._segment_names) == both_slots
+        assert backend._executor is executor  # pool persisted too
+        # A much larger generation replaces segments instead of piling up,
+        # and capacities grow geometrically (powers of two).
+        backend.evaluate(p, p.sample(500, rng))
+        backend.evaluate(p, p.sample(500, rng))
+        assert len(backend._segment_names) == 4
+        assert set(backend._segment_names) != both_slots
+        for arena in backend._arenas:
+            for seg in arena.segments():
+                assert seg.size >= 8
+                assert seg.size & (seg.size - 1) == 0
+        # ... and a later small generation keeps the grown arenas.
+        grown = set(backend._segment_names)
+        backend.evaluate(p, p.sample(8, rng))
+        assert set(backend._segment_names) == grown
+    assert backend._segment_names == []  # close() unlinked everything
+
+
+def test_close_is_idempotent():
+    p = problem()
+    backend = SharedMemoryBackend(n_workers=1)
+    backend.evaluate(p, p.sample(6, np.random.default_rng(1)))
+    backend.close()
+    backend.close()
+    assert shm_segments() == []
+
+
+def test_results_survive_arena_reuse():
+    """A later generation overwrites the arena a previous Evaluation was
+    assembled from — the returned arrays must be private copies."""
+    p = problem()
+    rng = np.random.default_rng(2)
+    x1 = p.sample(10, rng)
+    x2 = p.sample(10, rng)
+    with SharedMemoryBackend(n_workers=2) as backend:
+        ev1 = backend.evaluate(p, x1)
+        snapshot = ev1.objectives.copy()
+        for _ in range(3):  # cycles both arena slots
+            backend.evaluate(p, x2)
+        np.testing.assert_array_equal(ev1.objectives, snapshot)
+
+
+def test_finalizer_unlinks_segments_without_close():
+    """A backend dropped without close() must not leak /dev/shm entries."""
+    p = problem()
+    backend = SharedMemoryBackend(n_workers=1)
+    backend.evaluate(p, p.sample(6, np.random.default_rng(3)))
+    names = list(backend._segment_names)
+    assert names and set(names) <= set(shm_segments())
+    backend._executor.shutdown(wait=True)  # release the pool, keep segments
+    backend._executor = None
+    del backend
+    gc.collect()
+    assert not (set(names) & set(shm_segments()))
+
+
+def test_crashed_run_leaks_nothing():
+    """An interpreter that dies with the backend still open exits with
+    clean /dev/shm — the weakref finalizer fires at interpreter exit."""
+    script = """
+import numpy as np
+from repro.core.evaluation import SharedMemoryBackend
+from repro.problems.synthetic import ClusteredFeasibility
+
+problem = ClusteredFeasibility(n_var=4)
+backend = SharedMemoryBackend(n_workers=1)
+backend.evaluate(problem, problem.sample(12, np.random.default_rng(0)))
+print("SEGMENTS:" + ",".join(backend._segment_names), flush=True)
+raise RuntimeError("simulated crash with live arenas")
+"""
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode != 0
+    assert "simulated crash" in proc.stderr
+    marker = [l for l in proc.stdout.splitlines() if l.startswith("SEGMENTS:")]
+    names = marker[0][len("SEGMENTS:"):].split(",")
+    assert names, "crash script never created segments"
+    assert not (set(names) & set(shm_segments()))
+
+
+# -------------------------------------------------------- worker death
+
+
+class KillWorkerProblem(ClusteredFeasibility):
+    """SIGKILLs the evaluating process whenever it is not the parent —
+    the worker dies mid-task exactly as an OOM-killed simulator would."""
+
+    def __init__(self, parent_pid):
+        super().__init__(n_var=4)
+        self.parent_pid = int(parent_pid)
+
+    def evaluate_batch(self, x):
+        if os.getpid() != self.parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().evaluate_batch(x)
+
+
+@pytest.mark.parametrize("backend_cls", [SharedMemoryBackend])
+def test_worker_kill9_falls_back_to_serial(backend_cls):
+    p = KillWorkerProblem(os.getpid())
+    x = p.sample(14, np.random.default_rng(4))
+    with backend_cls(n_workers=2) as backend:
+        ev = backend.evaluate(p, x)
+        assert backend.stats.fallbacks == 1
+        assert backend.stats.n_evaluations == 14
+        assert p.n_evaluations == 14  # no double count from the dead pool
+        reference = SerialBackend().evaluate(problem(), x)
+        np.testing.assert_array_equal(ev.objectives, reference.objectives)
+        np.testing.assert_array_equal(ev.violation, reference.violation)
+        # The broken pool is never retried; later batches stay serial.
+        backend.evaluate(p, x[:5])
+        assert backend.stats.fallbacks == 1
+        assert p.n_evaluations == 19
+    assert shm_segments() == []
+
+
+def test_full_run_survives_worker_kill9():
+    p = KillWorkerProblem(os.getpid())
+    from repro.core.nsga2 import NSGA2
+
+    with SharedMemoryBackend(n_workers=2) as backend:
+        result = NSGA2(p, population_size=16, seed=7, backend=backend).run(3)
+    serial = NSGA2(
+        ClusteredFeasibility(n_var=4), population_size=16, seed=7,
+        backend=SerialBackend(),
+    ).run(3)
+    np.testing.assert_array_equal(result.front_objectives, serial.front_objectives)
+    assert result.metadata["backend_stats"]["fallbacks"] == 1
+    assert result.n_evaluations == serial.n_evaluations
+    assert shm_segments() == []
+
+
+# -------------------------------------------------- accounting & resume
+
+
+def test_bytes_accounting_tracks_generations():
+    p = problem()
+    rng = np.random.default_rng(5)
+    with SharedMemoryBackend(n_workers=2) as backend:
+        n, gens = 20, 3
+        for _ in range(gens):
+            backend.evaluate(p, p.sample(n, rng))
+        per_gen = n * p.n_var * 8 + n * (p.n_obj + p.n_con + 1) * 8
+        assert backend.stats.bytes_shared == gens * per_gen
+        # Descriptors are tiny and per-generation; the problem blob is
+        # shipped once via the initializer and deliberately not counted.
+        assert 0 < backend.stats.bytes_pickled < gens * 1024
+        stats_dict = backend.stats.as_dict()
+        assert stats_dict["bytes_shared"] == backend.stats.bytes_shared
+        assert stats_dict["bytes_pickled"] == backend.stats.bytes_pickled
+
+
+def test_serial_stats_dict_shape_unchanged():
+    """Serial runs must keep the historical backend_stats dict shape —
+    the golden-front hashes serialize this dict."""
+    p = problem()
+    backend = SerialBackend()
+    backend.evaluate(p, p.sample(5, np.random.default_rng(6)))
+    assert "bytes_shared" not in backend.stats.as_dict()
+    assert "bytes_pickled" not in backend.stats.as_dict()
+
+
+def test_shm_metadata_exposes_ipc_accounting():
+    from repro.core.nsga2 import NSGA2
+
+    with SharedMemoryBackend(n_workers=2) as backend:
+        result = NSGA2(
+            problem(), population_size=16, seed=3, backend=backend
+        ).run(3)
+    stats = result.metadata["backend_stats"]
+    assert stats["bytes_shared"] > 0
+    assert stats["bytes_pickled"] > 0
+    assert stats["bytes_shared"] > stats["bytes_pickled"]  # transport won
+    assert result.metadata["backend"]["transport"] == "shared_memory"
+
+
+def test_telemetry_exports_ipc_byte_counters():
+    from repro.core.nsga2 import NSGA2
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.telemetry import TelemetryCallback
+
+    registry = MetricsRegistry()
+    with SharedMemoryBackend(n_workers=2) as backend:
+        algo = NSGA2(problem(), population_size=16, seed=3, backend=backend)
+        telemetry = TelemetryCallback(algo, registry)
+        algo.add_callback(telemetry)
+        result = algo.run(3)
+    shared_total = registry.get("repro_backend_bytes_shared_total").value
+    pickled_total = registry.get("repro_backend_bytes_pickled_total").value
+    assert shared_total == result.metadata["backend_stats"]["bytes_shared"]
+    assert pickled_total == result.metadata["backend_stats"]["bytes_pickled"]
+    assert telemetry.last_sample["backend_bytes_shared"] == shared_total
+
+
+def test_shm_checkpoint_resume_serializes_byte_identical(tmp_path):
+    """Kill an shm-backend run mid-flight and resume it: the final
+    serialized payload — including the IPC byte counters in
+    ``backend_stats`` — must match an uninterrupted run.  This is why
+    the one-time problem ship at pool creation is excluded from
+    ``bytes_pickled``: the resumed run creates a second pool."""
+    scale = Scale(population=16, generations=8, n_mc=2, n_seeds=1, label="t")
+
+    def serialized(result):
+        return json.dumps(
+            result_to_dict(result, include_timing=False), sort_keys=True
+        )
+
+    class KillAt:
+        def __call__(self, generation, population):
+            if generation == 4:
+                raise RuntimeError("simulated crash at generation 4")
+
+    baseline = run_one(
+        "tpg", "shm-resume", scale=scale, backend="shm", workers=2
+    )
+    ckpt = tmp_path / "shm.ckpt"
+    with pytest.raises(RuntimeError, match="generation 4"):
+        run_one(
+            "tpg", "shm-resume", scale=scale, backend="shm", workers=2,
+            checkpoint_path=str(ckpt), checkpoint_every=2,
+            callbacks=[KillAt()],
+        )
+    resumed = resume_run(str(ckpt))
+    assert serialized(resumed.result) == serialized(baseline.result)
+    stats = resumed.result.metadata["backend_stats"]
+    assert stats["bytes_shared"] > 0
+    assert shm_segments() == []

@@ -126,6 +126,26 @@ class TestValidation:
             with pytest.raises(ValueError, match="surface name"):
                 manager.submit({"algorithm": "sacga", "surface": "../escape"})
 
+    def test_rejects_unknown_backend_at_submit(self, tmp_path):
+        with JobManager(data_dir=tmp_path, workers=1) as manager:
+            with pytest.raises(ValueError, match="backend"):
+                manager.submit({"algorithm": "sacga", "backend": "gpu"})
+
+    def test_accepts_and_normalizes_known_backends(self, tmp_path):
+        from repro.core.evaluation import BACKEND_NAMES
+
+        def stub_runner(algorithm, experiment_id, **kwargs):
+            raise RuntimeError("stub: validation-only test")
+
+        with JobManager(
+            data_dir=tmp_path, workers=1, runner=stub_runner
+        ) as manager:
+            for name in BACKEND_NAMES:
+                job = manager.submit(
+                    {"algorithm": "sacga", "backend": name.upper()}
+                )
+                assert job.params["backend"] == name
+
     def test_unknown_job_id(self, tmp_path):
         with JobManager(data_dir=tmp_path, workers=1) as manager:
             with pytest.raises(UnknownJob):
