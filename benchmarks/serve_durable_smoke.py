@@ -1,0 +1,198 @@
+"""Durable-job-execution smoke: kill workers and the server, lose nothing.
+
+The CI `durable-jobs-smoke` job drives this script end-to-end against
+real subprocesses:
+
+1. start `repro serve --workers 0` (a pure accept/query frontend) plus
+   two external `repro workers` processes sharing its SQLite store;
+2. submit a batch of small optimization jobs;
+3. ``kill -9`` one worker mid-job — its lease expires, the surviving
+   worker requeues the job and resumes it from the checkpoint;
+4. wait for every job to finish, then ``kill -9`` the server itself;
+5. restart the server over the same data dir and verify the job table
+   is intact: every job exactly once, all done, surfaces registered.
+
+Exit code 0 means the durability story held; anything else leaves the
+data dir (store, ledgers, checkpoints) behind for the CI artifact
+upload to capture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.serve.client import ServeClient
+
+N_JOBS = 6
+LEASE_S = 5.0
+
+
+def log(message: str) -> None:
+    print(f"[durable-smoke] {message}", flush=True)
+
+
+def start_server(data_dir: Path, port_file: Path, log_path: Path):
+    with log_path.open("ab") as fh:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--port-file", str(port_file),
+                "--workers", "0", "--queue-size", str(N_JOBS + 2),
+                "--data-dir", str(data_dir), "--lease", str(LEASE_S),
+            ],
+            stdout=fh, stderr=fh,
+        )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            port = int(port_file.read_text().strip())
+            return proc, f"http://127.0.0.1:{port}"
+        if proc.poll() is not None:
+            raise RuntimeError(f"server died at startup (rc={proc.returncode})")
+        time.sleep(0.1)
+    raise RuntimeError("server never wrote its port file")
+
+
+def start_worker(data_dir: Path, log_path: Path):
+    with log_path.open("ab") as fh:
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "workers", "-n", "1",
+                "--data-dir", str(data_dir),
+                "--lease", str(LEASE_S), "--poll", "0.05",
+            ],
+            stdout=fh, stderr=fh,
+        )
+
+
+def wait_until(predicate, deadline_s: float, what: str):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.2)
+    raise TimeoutError(f"timed out waiting for {what}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--data-dir", default="durable-smoke-data")
+    parser.add_argument("--timeout", type=float, default=420.0)
+    args = parser.parse_args(argv)
+
+    data_dir = Path(args.data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    server_log = data_dir / "server.log"
+    procs = []
+    try:
+        server, url = start_server(data_dir, data_dir / "serve.port", server_log)
+        procs.append(server)
+        client = ServeClient(url)
+        workers = [
+            start_worker(data_dir, data_dir / f"worker-{i}.log")
+            for i in range(2)
+        ]
+        procs.extend(workers)
+        log(f"server on {url}, 2 external workers, store "
+            f"{data_dir / 'jobs.sqlite'}")
+
+        jobs = [
+            client.submit(
+                {
+                    "algorithm": "tpg",
+                    "generations": 30,
+                    "population": 16,
+                    "n_mc": 2,
+                    "checkpoint_every": 3,
+                    "experiment_id": f"smoke-{i}",
+                    "surface": f"smoke-{i}",
+                }
+            )
+            for i in range(N_JOBS)
+        ]
+        log(f"submitted {len(jobs)} jobs")
+
+        # Kill worker 0 the moment it is mid-job with a checkpoint on
+        # disk — the worst possible moment for an in-memory queue.
+        victim = workers[0]
+
+        def victim_mid_job():
+            for snapshot in client.jobs(state="running"):
+                worker_id = snapshot.get("worker") or ""
+                checkpoint = snapshot.get("checkpoint_path")
+                if (
+                    f":{victim.pid}:" in worker_id
+                    and checkpoint
+                    and Path(checkpoint).exists()
+                ):
+                    return snapshot
+            return None
+
+        doomed = wait_until(victim_mid_job, 120.0,
+                            "worker 0 mid-job with a checkpoint")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(30.0)
+        log(f"kill -9'd worker {victim.pid} while it ran {doomed['id']}")
+
+        # The survivor requeues the orphan after the lease expires and
+        # resumes it from the checkpoint; everything else just drains.
+        for job in jobs:
+            done = client.wait(job["id"], timeout=args.timeout, poll_s=0.3)
+            if done["state"] != "done":
+                log(f"job {done['id']} ended {done['state']}: {done.get('error')}")
+                return 1
+        orphan = client.job(doomed["id"])
+        if orphan["attempt"] < 2 or not orphan["result"].get("resumed"):
+            log(f"orphaned job was not resumed: attempt={orphan['attempt']} "
+                f"result={orphan['result']}")
+            return 1
+        log(f"all {N_JOBS} jobs done; {orphan['id']} resumed on attempt "
+            f"{orphan['attempt']} by {orphan['result'].get('worker')}")
+
+        # Now murder the server and restart it over the same store: the
+        # job table must come back byte-for-byte queryable.
+        server.send_signal(signal.SIGKILL)
+        server.wait(30.0)
+        server2, url2 = start_server(
+            data_dir, data_dir / "serve2.port", server_log
+        )
+        procs.append(server2)
+        client2 = ServeClient(url2)
+        survivors = client2.jobs()
+        ids = sorted(j["id"] for j in survivors)
+        expected = sorted(j["id"] for j in jobs)
+        if ids != expected:
+            log(f"job table diverged after restart: {ids} != {expected}")
+            return 1
+        if any(j["state"] != "done" for j in survivors):
+            log(f"non-done jobs after restart: {survivors}")
+            return 1
+        surfaces = {s["name"] for s in client2.surfaces()}
+        missing = {f"smoke-{i}" for i in range(N_JOBS)} - surfaces
+        if missing:
+            log(f"surfaces missing after restart: {sorted(missing)}")
+            return 1
+        health = client2.healthz()
+        log(f"restarted server lists all {len(survivors)} jobs done, "
+            f"{len(surfaces)} surfaces, store={health['job_store']['path']}")
+        log("durability smoke PASSED")
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(15.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

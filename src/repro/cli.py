@@ -282,16 +282,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # Imported lazily so `repro run` and friends never pay for the
     # service layer.
     from repro.obs.registry import MetricsRegistry
-    from repro.serve import JobManager, ReproServer, ServeApp, SurfaceStore
+    from repro.serve import JobManager, JobStore, ReproServer, ServeApp, SurfaceStore
 
     registry = MetricsRegistry()
     store = SurfaceStore(Path(args.data_dir) / "surfaces")
+    job_store = (
+        JobStore(args.store, metrics=registry) if args.store else None
+    )
     manager = JobManager(
         store=store,
         data_dir=args.data_dir,
         workers=args.workers,
         queue_size=args.queue_size,
         metrics=registry,
+        job_store=job_store,
+        lease_s=args.lease,
+        retain_terminal=args.retain,
     )
     server = ReproServer(
         ServeApp(manager, store, registry), host=args.host, port=args.port
@@ -302,7 +308,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"repro serve listening on {server.url} "
         f"(workers={args.workers}, queue={args.queue_size}, "
-        f"data={args.data_dir})"
+        f"data={args.data_dir}, store={manager.job_store.path})"
     )
 
     stop = {"flag": False}
@@ -325,6 +331,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.close(drain=not args.no_drain)
         print("repro serve stopped")
     return 0
+
+
+def cmd_workers(args: argparse.Namespace) -> int:
+    # Lazy import, same as cmd_serve: plain `repro run` stays light.
+    from repro.serve.worker import run_worker_pool
+
+    data_dir = Path(args.data_dir)
+    store_path = Path(args.store) if args.store else data_dir / "jobs.sqlite"
+    surfaces_root = data_dir / "surfaces"
+    print(
+        f"repro workers: {args.n} worker(s) on {store_path} "
+        f"(lease={args.lease:g}s, surfaces={surfaces_root})"
+    )
+    clean = run_worker_pool(
+        store_path,
+        surfaces_root=surfaces_root,
+        n_workers=args.n,
+        lease_s=args.lease,
+        poll_s=args.poll,
+        max_jobs=args.max_jobs,
+    )
+    return 0 if clean == args.n else 1
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -547,7 +575,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--workers", type=int, default=2,
-        help="optimization worker threads (default: 2)",
+        help="optimization worker threads; 0 = accept/query only and let "
+        "external `repro workers` processes execute (default: 2)",
     )
     p_serve.add_argument(
         "--queue-size", type=int, default=16,
@@ -565,7 +594,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-drain", action="store_true",
         help="on shutdown, cancel queued/running jobs instead of draining",
     )
+    p_serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="SQLite job store path (default: <data-dir>/jobs.sqlite)",
+    )
+    p_serve.add_argument(
+        "--lease", type=float, default=30.0,
+        help="worker lease seconds; a dead worker's job is requeued after "
+        "this long without a heartbeat (default: 30)",
+    )
+    p_serve.add_argument(
+        "--retain", type=int, default=10_000,
+        help="finished/failed/cancelled jobs kept before eviction "
+        "(default: 10000)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_workers = sub.add_parser(
+        "workers",
+        help="run crash-safe job worker processes against a shared store",
+    )
+    p_workers.add_argument(
+        "-n", type=int, default=1,
+        help="worker count; 1 runs in this process so a supervisor can "
+        "kill/restart it directly (default: 1)",
+    )
+    p_workers.add_argument(
+        "--data-dir", default="serve-data",
+        help="service data root holding the store, surfaces, ledgers and "
+        "checkpoints (default: serve-data)",
+    )
+    p_workers.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="SQLite job store path (default: <data-dir>/jobs.sqlite)",
+    )
+    p_workers.add_argument(
+        "--lease", type=float, default=30.0,
+        help="lease seconds; must match the server's --lease (default: 30)",
+    )
+    p_workers.add_argument(
+        "--poll", type=float, default=0.2,
+        help="idle poll interval in seconds (default: 0.2)",
+    )
+    p_workers.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="exit after this many jobs per worker (default: run forever)",
+    )
+    p_workers.set_defaults(func=cmd_workers)
 
     p_submit = sub.add_parser(
         "submit", help="submit an optimization job to a running `repro serve`"

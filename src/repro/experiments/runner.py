@@ -420,6 +420,7 @@ def resume_run(
     timeout_s: Optional[float] = None,
     metrics: Union[None, bool, MetricsRegistry] = None,
     metrics_out: Optional[str] = None,
+    callbacks: Sequence[ProgressCallback] = (),
 ) -> RunSummary:
     """Resume a crashed ``run_one`` from its checkpoint file.
 
@@ -427,7 +428,9 @@ def resume_run(
     ``context`` records how to rebuild the run); checkpoints written by a
     bare :class:`CheckpointCallback` lack that context and must be
     resumed through ``BaseOptimizer.run(resume_from=...)`` directly.
-    Checkpointing continues to the same file.
+    Checkpointing continues to the same file.  *callbacks* are appended
+    to the resumed run exactly as in :func:`run_one` — the service-layer
+    workers use this to keep cancellation cooperative across a resume.
     """
     payload = load_checkpoint(checkpoint_path)
     context = payload.get("context")
@@ -452,6 +455,7 @@ def resume_run(
         resume_from=payload,
         ledger=ledger,
         timeout_s=timeout_s,
+        callbacks=callbacks,
         metrics=metrics,
         metrics_out=metrics_out,
         **context.get("algo_kwargs", {}),

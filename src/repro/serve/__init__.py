@@ -37,7 +37,9 @@ from repro.serve.jobs import (
     JobQueueFull,
     UnknownJob,
 )
+from repro.serve.store import JobRecord, JobStore
 from repro.serve.surfaces import SurfaceStore, UnknownSurface
+from repro.serve.worker import WorkerLoop, run_worker_pool
 
 __all__ = [
     "CancellationToken",
@@ -45,6 +47,8 @@ __all__ = [
     "JobCancelled",
     "JobManager",
     "JobQueueFull",
+    "JobRecord",
+    "JobStore",
     "ReproServer",
     "ServeApp",
     "ServeClient",
@@ -52,4 +56,6 @@ __all__ = [
     "SurfaceStore",
     "UnknownJob",
     "UnknownSurface",
+    "WorkerLoop",
+    "run_worker_pool",
 ]

@@ -86,8 +86,9 @@ class ServeClient:
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{quote(job_id)}")
 
-    def jobs(self) -> List[Dict[str, Any]]:
-        return self._request("GET", "/jobs")["jobs"]
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/jobs" if state is None else f"/jobs?state={quote(state)}"
+        return self._request("GET", path)["jobs"]
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("DELETE", f"/jobs/{quote(job_id)}")
@@ -97,20 +98,33 @@ class ServeClient:
         job_id: str,
         timeout: float = 300.0,
         poll_s: float = 0.2,
+        retry_connect: bool = False,
     ) -> Dict[str, Any]:
         """Poll until the job reaches a terminal state; returns it.
 
         Raises :class:`TimeoutError` if the budget runs out first (the
         job keeps running server-side — cancel it if that matters).
+        With ``retry_connect=True`` connection failures are retried
+        until the deadline instead of propagating — jobs live in the
+        durable store, so a restarting server comes back with the same
+        job table and polling can simply resume.
         """
         deadline = time.monotonic() + timeout
+        state = "unknown"
         while True:
-            snapshot = self.job(job_id)
-            if snapshot["state"] in _TERMINAL_STATES:
-                return snapshot
+            try:
+                snapshot = self.job(job_id)
+            except OSError:
+                if not retry_connect:
+                    raise
+                snapshot = None
+            if snapshot is not None:
+                state = snapshot["state"]
+                if state in _TERMINAL_STATES:
+                    return snapshot
             if time.monotonic() >= deadline:
                 raise TimeoutError(
-                    f"job {job_id} still {snapshot['state']} after {timeout:.1f}s"
+                    f"job {job_id} still {state} after {timeout:.1f}s"
                 )
             time.sleep(poll_s)
 

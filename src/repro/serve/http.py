@@ -4,7 +4,7 @@ Endpoints (all JSON unless noted):
 
 =========================================  ====================================
 ``POST /jobs``                              submit a job (202; 429 when full)
-``GET /jobs``                               list all jobs
+``GET /jobs``                               list jobs (``?state=queued`` filters)
 ``GET /jobs/{id}``                          one job's status/result
 ``DELETE /jobs/{id}``                       cooperative cancel
 ``GET /surfaces``                           registered surface catalog
@@ -57,6 +57,7 @@ from urllib.parse import parse_qs, urlparse
 from repro.obs.exporters import to_prometheus
 from repro.obs.registry import MetricsRegistry
 from repro.serve.jobs import JobManager, JobQueueFull, UnknownJob
+from repro.serve.store import JOB_STATES
 from repro.serve.surfaces import SurfaceStore, UnknownSurface
 
 __all__ = ["ServeApp", "ReproServer", "MAX_BODY_BYTES"]
@@ -163,7 +164,7 @@ class ServeApp:
                 if method == "GET":
                     return "/jobs", lambda: (
                         200,
-                        {"jobs": self.manager.list_jobs()},
+                        {"jobs": self._list_jobs(query)},
                     )
             elif len(parts) == 2:
                 if method == "GET":
@@ -212,6 +213,16 @@ class ServeApp:
         job = self.manager.submit(payload, kind=kind)
         return job.snapshot()
 
+    def _list_jobs(self, query: Dict[str, str]):
+        state = query.get("state")
+        if state is None:
+            return self.manager.list_jobs()
+        if state not in JOB_STATES:
+            raise ValueError(
+                f"unknown state filter {state!r} (want one of {list(JOB_STATES)})"
+            )
+        return self.manager.list_jobs(states=(state,))
+
     def _query_surface(self, name: str, query: Dict[str, str]) -> Dict[str, Any]:
         if "c_load" not in query:
             raise ValueError("query needs c_load=<farads> (e.g. c_load=2.5e-12)")
@@ -242,13 +253,19 @@ class ServeApp:
         return out
 
     def _healthz(self) -> Dict[str, Any]:
+        self.manager.refresh_gauges()
         return {
             "status": "ok",
             "jobs": self.manager.counts(),
             "store": self.store.stats(),
+            "job_store": self.manager.job_store.stats(),
         }
 
     def _refresh_store_gauges(self) -> None:
+        # Queue transitions can happen in other processes (external
+        # `repro workers`); resync the pool gauges from the durable
+        # store so every scrape sees the true depth.
+        self.manager.refresh_gauges()
         stats = self.store.stats()
         self._m_store_hits.set(stats["query_hits"])
         self._m_store_misses.set(stats["query_misses"])

@@ -1,24 +1,35 @@
-"""JobManager: a bounded, fault-contained worker pool for optimization jobs.
+"""JobManager: durable, bounded job execution for the service layer.
 
 The service layer's compute half.  Jobs wrap the experiment runner's
 :func:`~repro.experiments.runner.run_one` / ``run_many`` — one seed or a
-fault-tolerant sweep — and run asynchronously on a small pool of worker
-threads behind a **bounded** queue:
+fault-tolerant sweep — and run asynchronously on worker threads that
+pull from a **durable SQLite-backed queue** (:class:`~repro.serve.store.
+JobStore`) rather than an in-memory one:
 
-* ``submit`` returns a job id immediately, or raises
-  :class:`JobQueueFull` when the queue is at capacity — the HTTP layer
-  turns that into a 429, which is the service's backpressure story.
+* ``submit`` validates, persists the job and returns it immediately, or
+  raises :class:`JobQueueFull` when the queue is at its bound — the HTTP
+  layer turns that into a 429, which is the service's backpressure
+  story.  The bound counts **queued** jobs only, and cancelling a queued
+  job frees its slot (the depth check and insert share one store
+  transaction).
+* Because the queue lives in SQLite (WAL mode), it is shared: external
+  ``repro workers`` processes claim from the same store the in-server
+  threads do, and a server restart loses nothing — queued jobs run,
+  finished jobs stay listable.
 * Each job gets its own ledger (JSONL trace) and checkpoint file under
-  the manager's data directory, so a crashed service can be forensically
-  inspected (``repro trace``) and long jobs resumed (``repro resume``).
-* Cancellation is **cooperative**, using the same generation-boundary
-  callback machinery as :class:`~repro.core.callbacks.WallClockTimeout`:
-  a :class:`CancellationToken` raises :class:`JobCancelled` at the next
-  generation end once the job's cancel event is set.
+  the manager's data directory; a worker killed mid-job stops
+  heartbeating its lease, the job is requeued, and the reclaiming
+  worker resumes from the last checkpoint (see
+  :mod:`repro.serve.worker`).
+* Cancellation is **cooperative**: queued jobs flip to ``cancelled``
+  immediately, running jobs get their cancel flag set (an in-process
+  event plus the store flag, so workers in other processes see it) and
+  stop at the next generation boundary.
 * A worker that sees a job raise — bad parameters, an optimizer crash,
   a timeout — records the failure on the job and **keeps serving**: one
-  failed job never kills the pool (locked in by
-  ``tests/serve/test_jobs.py``).
+  failed job never kills the pool.
+* Terminal jobs are retained up to ``retain_terminal`` entries; older
+  ones are evicted so a long-lived server's job table stays bounded.
 
 On success, the job's front is registered into the attached
 :class:`~repro.serve.surfaces.SurfaceStore` as a new version of the
@@ -28,21 +39,29 @@ surface named by the job (default: the job id), closing the loop from
 
 from __future__ import annotations
 
-import math
-import queue
 import threading
 import time
 import uuid
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
-from repro.core.callbacks import RunTimeoutError
 from repro.core.evaluation import BACKEND_NAMES
-from repro.experiments.runner import Scale, run_many, run_one
-from repro.experiments.tradeoff import DesignSurface
+from repro.experiments.runner import resume_run, run_many, run_one
 from repro.obs.registry import NULL_METRICS
+from repro.serve.store import (
+    JobQueueFull,
+    JobRecord,
+    JobStore,
+    UnknownJob,
+    _jsonable,
+)
 from repro.serve.surfaces import _check_name as _check_surface_name
+from repro.serve.worker import (
+    DEFAULT_LEASE_S,
+    CancellationToken,
+    JobCancelled,
+    WorkerLoop,
+)
 
 PathLike = Union[str, Path]
 
@@ -55,6 +74,9 @@ __all__ = [
     "UnknownJob",
     "JOB_PARAMS",
 ]
+
+#: Public alias: a job row in the durable store.
+Job = JobRecord
 
 #: Buckets for whole-job wall time (seconds) — jobs run for seconds to
 #: hours, unlike the sub-second request latencies of the default buckets.
@@ -87,92 +109,8 @@ JOB_PARAMS = frozenset(
 _ALGORITHMS = ("tpg", "sacga", "mesacga")
 
 
-class JobQueueFull(RuntimeError):
-    """The bounded job queue is at capacity (HTTP maps this to 429)."""
-
-
-class JobCancelled(RuntimeError):
-    """Raised inside a run when its job's cancel event is set."""
-
-
-class UnknownJob(KeyError):
-    """Raised for job ids the manager has never seen."""
-
-
-class CancellationToken:
-    """Generation-boundary cancellation check (WallClockTimeout-style).
-
-    Attached via ``run_one(..., callbacks=[token])``; being cooperative
-    it cannot interrupt a single evaluation batch, but a generation is
-    the natural preemption point for these workloads (same trade-off as
-    :class:`~repro.core.callbacks.WallClockTimeout`).
-    """
-
-    def __init__(self, event: threading.Event) -> None:
-        self.event = event
-
-    def __call__(self, generation: int, population) -> None:
-        if self.event.is_set():
-            raise JobCancelled(f"job cancelled at generation {generation}")
-
-
-def _jsonable(value: Any) -> Any:
-    """Strictly JSON-able copy (non-finite floats become ``None``)."""
-    if isinstance(value, float):
-        return value if math.isfinite(value) else None
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if hasattr(value, "item"):  # numpy scalars
-        return _jsonable(value.item())
-    return value
-
-
-@dataclass
-class Job:
-    """One submitted optimization job and everything known about it."""
-
-    id: str
-    kind: str
-    params: Dict[str, Any]
-    state: str = "queued"  # queued | running | done | failed | cancelled
-    submitted_at: float = field(default_factory=time.time)
-    started_at: Optional[float] = None
-    finished_at: Optional[float] = None
-    error: Optional[str] = None
-    result: Optional[Dict[str, Any]] = None
-    surface: Optional[Dict[str, Any]] = None
-    ledger_path: Optional[str] = None
-    checkpoint_path: Optional[str] = None
-    cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
-
-    @property
-    def finished(self) -> bool:
-        return self.state in ("done", "failed", "cancelled")
-
-    def snapshot(self) -> Dict[str, Any]:
-        """JSON-able public view (no events, no live objects)."""
-        return _jsonable(
-            {
-                "id": self.id,
-                "kind": self.kind,
-                "params": dict(self.params),
-                "state": self.state,
-                "submitted_at": self.submitted_at,
-                "started_at": self.started_at,
-                "finished_at": self.finished_at,
-                "error": self.error,
-                "result": self.result,
-                "surface": self.surface,
-                "ledger_path": self.ledger_path,
-                "checkpoint_path": self.checkpoint_path,
-            }
-        )
-
-
 class JobManager:
-    """Thread-safe bounded worker pool running optimization jobs.
+    """Durable bounded worker pool running optimization jobs.
 
     Parameters
     ----------
@@ -180,20 +118,29 @@ class JobManager:
         Optional :class:`~repro.serve.surfaces.SurfaceStore` that
         successful jobs register their fronts into.
     data_dir:
-        Directory for per-job ledgers and checkpoints.
+        Directory for the job store, per-job ledgers and checkpoints.
     workers:
-        Worker thread count (each runs at most one job at a time).
+        In-process worker thread count.  ``0`` is allowed: the manager
+        only accepts/queries jobs and external ``repro workers``
+        processes execute them.
     queue_size:
         Bound on *waiting* jobs; a full queue makes :meth:`submit` raise
         :class:`JobQueueFull`.
     metrics:
         A :class:`~repro.obs.registry.MetricsRegistry` (or the default
-        no-op) receiving the pool gauges and counters.  Handles are
-        resolved here, once.
-    runner / sweep_runner:
-        The callables that execute ``run_one``-shaped and
-        ``run_many``-shaped jobs.  Tests inject stubs here to exercise
-        fault paths deterministically.
+        no-op) receiving the pool gauges and counters.
+    runner / sweep_runner / resume_runner:
+        The callables that execute ``run_one``-shaped, ``run_many``-
+        shaped and checkpoint-resume jobs.  Tests inject stubs here to
+        exercise fault paths deterministically.
+    job_store:
+        An existing :class:`~repro.serve.store.JobStore` to share;
+        by default one is opened at ``<data_dir>/jobs.sqlite``.
+    lease_s / poll_s:
+        Worker lease duration and idle-poll interval.
+    retain_terminal:
+        How many finished/failed/cancelled jobs to keep before evicting
+        the oldest (bounds the job table in a long-lived server).
     """
 
     def __init__(
@@ -205,22 +152,40 @@ class JobManager:
         metrics=None,
         runner: Callable = run_one,
         sweep_runner: Callable = run_many,
+        resume_runner: Callable = resume_run,
+        job_store: Optional[JobStore] = None,
+        lease_s: float = DEFAULT_LEASE_S,
+        poll_s: float = 0.05,
+        retain_terminal: int = 10_000,
     ) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if retain_terminal < 1:
+            raise ValueError(
+                f"retain_terminal must be >= 1, got {retain_terminal}"
+            )
         self.store = store
-        self.data_dir = Path(data_dir)
+        # Absolute: job rows carry ledger/checkpoint paths that external
+        # `repro workers` processes resolve from *their* cwd.
+        self.data_dir = Path(data_dir).absolute()
         self.data_dir.mkdir(parents=True, exist_ok=True)
-        self._runner = runner
-        self._sweep_runner = sweep_runner
-        self._queue: "queue.Queue[Optional[str]]" = queue.Queue(maxsize=queue_size)
-        self._jobs: Dict[str, Job] = {}
+        self.queue_size = int(queue_size)
+        self.retain_terminal = int(retain_terminal)
+        metrics = NULL_METRICS if metrics is None else metrics
+        self.job_store = (
+            job_store
+            if job_store is not None
+            else JobStore(self.data_dir / "jobs.sqlite", metrics=metrics)
+        )
         self._lock = threading.RLock()
         self._closed = False
         self._joined = False
-        metrics = NULL_METRICS if metrics is None else metrics
+        self._cancel_events: Dict[str, threading.Event] = {}
+        self._cancel_lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
         self._m_submitted = metrics.counter(
             "repro_serve_jobs_submitted_total", "Jobs accepted into the queue"
         )
@@ -234,13 +199,13 @@ class JobManager:
             labels=("state",),
         )
         self._m_queue_depth = metrics.gauge(
-            "repro_serve_queue_depth", "Jobs waiting in the bounded queue"
+            "repro_serve_queue_depth", "Jobs waiting in the durable queue"
         )
         self._m_running = metrics.gauge(
             "repro_serve_jobs_running", "Jobs currently executing on a worker"
         )
         self._m_workers = metrics.gauge(
-            "repro_serve_workers", "Worker threads in the pool"
+            "repro_serve_workers", "In-process worker threads in the pool"
         )
         self._m_job_seconds = metrics.histogram(
             "repro_serve_job_seconds",
@@ -248,14 +213,34 @@ class JobManager:
             buckets=JOB_SECONDS_BUCKETS,
         )
         self._m_workers.set(workers)
-        self._threads = [
-            threading.Thread(
-                target=self._worker, name=f"repro-serve-worker-{i}", daemon=True
+        self._loops = [
+            WorkerLoop(
+                self.job_store,
+                surfaces=self.store,
+                worker_id=f"{self.job_store.path.stem}:thread-{i}",
+                lease_s=lease_s,
+                poll_s=poll_s,
+                runner=runner,
+                sweep_runner=sweep_runner,
+                resume_runner=resume_runner,
+                cancel_events=self._cancel_events,
+                cancel_events_lock=self._cancel_lock,
+                wake=self._wake,
+                stop=self._stop,
+                on_transition=self.refresh_gauges,
+                on_finished=self._record_finished,
             )
             for i in range(workers)
         ]
+        self._threads = [
+            threading.Thread(
+                target=loop.run, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            for i, loop in enumerate(self._loops)
+        ]
         for thread in self._threads:
             thread.start()
+        self.refresh_gauges()
 
     # ---------------------------------------------------------------- submit
 
@@ -263,7 +248,8 @@ class JobManager:
         """Validate and enqueue a job; returns it (state ``queued``).
 
         Raises :class:`ValueError` on malformed parameters and
-        :class:`JobQueueFull` when the queue is at capacity.
+        :class:`JobQueueFull` when the queue is at capacity (the
+        rejected submission persists nothing).
         """
         if kind not in ("run_one", "run_many"):
             raise ValueError(f"unknown job kind {kind!r} (want run_one/run_many)")
@@ -289,11 +275,11 @@ class JobManager:
                 )
             params["backend"] = backend
         surface_name = params.get("surface")
-        job_id = f"job-{uuid.uuid4().hex[:12]}"
         if surface_name is not None:
             # Fail a bad surface name at submit time, not in the worker.
             _check_surface_name(str(surface_name))
-        job = Job(
+        job_id = f"job-{uuid.uuid4().hex[:12]}"
+        record = JobRecord(
             id=job_id,
             kind=kind,
             params=params,
@@ -303,196 +289,75 @@ class JobManager:
         with self._lock:
             if self._closed:
                 raise RuntimeError("JobManager is shut down; no new jobs accepted")
-            self._jobs[job.id] = job
         try:
-            self._queue.put_nowait(job.id)
-        except queue.Full:
-            with self._lock:
-                del self._jobs[job.id]
+            self.job_store.submit(record, queue_bound=self.queue_size)
+        except JobQueueFull:
             self._m_rejected.inc()
-            raise JobQueueFull(
-                f"job queue is full ({self._queue.maxsize} waiting jobs); retry later"
-            ) from None
+            raise
         self._m_submitted.inc()
-        self._m_queue_depth.set(self._queue.qsize())
-        return job
+        self.job_store.evict_terminal(self.retain_terminal)
+        self.refresh_gauges()
+        self._wake.set()
+        return record
 
     # ---------------------------------------------------------------- lookup
 
-    def _get(self, job_id: str) -> Job:
-        with self._lock:
-            job = self._jobs.get(job_id)
-        if job is None:
-            raise UnknownJob(job_id)
-        return job
-
     def status(self, job_id: str) -> Dict[str, Any]:
-        with self._lock:
-            return self._get(job_id).snapshot()
+        return self.job_store.get(job_id).snapshot()
 
     def result(self, job_id: str) -> Optional[Dict[str, Any]]:
-        with self._lock:
-            return self._get(job_id).result
+        return self.job_store.get(job_id).result
 
-    def list_jobs(self) -> List[Dict[str, Any]]:
-        with self._lock:
-            jobs = sorted(self._jobs.values(), key=lambda j: j.submitted_at)
-            return [job.snapshot() for job in jobs]
+    def list_jobs(
+        self, states: Optional[Iterable[str]] = None
+    ) -> List[Dict[str, Any]]:
+        return [record.snapshot() for record in self.job_store.list_jobs(states)]
 
     def counts(self) -> Dict[str, int]:
-        with self._lock:
-            out = {s: 0 for s in ("queued", "running", "done", "failed", "cancelled")}
-            for job in self._jobs.values():
-                out[job.state] += 1
-            return out
+        return self.job_store.counts()
 
     # ---------------------------------------------------------------- cancel
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         """Cancel a queued or running job; finished jobs are left alone.
 
-        Queued jobs flip to ``cancelled`` immediately (the worker skips
-        them); running jobs get their cancel event set and flip once the
-        run hits its next generation boundary.
+        Queued jobs flip to ``cancelled`` immediately — releasing their
+        queue-bound slot — and running jobs flip once the run hits its
+        next generation boundary (in this process via the cancel event,
+        in worker processes via the store's cancel flag).
         """
-        with self._lock:
-            job = self._get(job_id)
-            if job.state == "queued":
-                self._finish(job, "cancelled", error="cancelled while queued")
-            elif job.state == "running":
-                job.cancel_event.set()
-        return self.status(job_id)
+        prior = self.job_store.get(job_id).state
+        record = self.job_store.cancel(job_id)
+        if prior == "queued" and record.state == "cancelled":
+            self._m_finished.labels(state="cancelled").inc()
+        with self._cancel_lock:
+            event = self._cancel_events.get(job_id)
+        if event is not None:
+            event.set()
+        self.refresh_gauges()
+        return record.snapshot()
 
-    # ---------------------------------------------------------------- worker
+    # ------------------------------------------------------------ bookkeeping
 
-    def _worker(self) -> None:
-        while True:
-            job_id = self._queue.get()
-            try:
-                if job_id is None:
-                    return
-                self._m_queue_depth.set(self._queue.qsize())
-                with self._lock:
-                    job = self._jobs[job_id]
-                    if job.state != "queued":  # cancelled while waiting
-                        continue
-                    job.state = "running"
-                    job.started_at = time.time()
-                self._m_running.inc()
-                try:
-                    self._execute(job)
-                except JobCancelled as exc:
-                    with self._lock:
-                        self._finish(job, "cancelled", error=str(exc))
-                except RunTimeoutError as exc:
-                    with self._lock:
-                        self._finish(job, "failed", error=f"timeout: {exc}")
-                except Exception as exc:  # crash containment: pool survives
-                    with self._lock:
-                        self._finish(
-                            job, "failed", error=f"{type(exc).__name__}: {exc}"
-                        )
-                finally:
-                    self._m_running.dec()
-            finally:
-                self._queue.task_done()
+    def refresh_gauges(self) -> None:
+        """Sync queue-depth/running gauges with the store's true state.
 
-    def _finish(self, job: Job, state: str, error: Optional[str] = None) -> None:
-        """Terminal bookkeeping (caller holds the lock)."""
-        job.state = state
-        job.error = error
-        job.finished_at = time.time()
-        started = job.started_at if job.started_at is not None else job.finished_at
+        Called after **every** queue transition (submit, claim, finish,
+        cancel, requeue) and from the HTTP metrics/health handlers, so
+        the gauges never go stale — not even when the transition happened
+        in another process.
+        """
+        counts = self.job_store.counts()
+        self._m_queue_depth.set(counts["queued"])
+        self._m_running.set(counts["running"])
+
+    def _record_finished(
+        self, record: JobRecord, state: str, started: float
+    ) -> None:
+        """Metric accounting for jobs finished by this process's workers."""
         self._m_finished.labels(state=state).inc()
-        self._m_job_seconds.observe(max(0.0, job.finished_at - started))
-
-    def _execute(self, job: Job) -> None:
-        params = job.params
-        base = Scale.from_env()
-        scale = Scale(
-            population=int(params.get("population", base.population)),
-            generations=int(params.get("generations", base.generations)),
-            n_mc=int(params.get("n_mc", base.n_mc)),
-            n_seeds=int(params.get("n_seeds", base.n_seeds)),
-            label="serve",
-        )
-        algo_kwargs: Dict[str, Any] = {}
-        if params["algorithm"] == "sacga" and "n_partitions" in params:
-            algo_kwargs["n_partitions"] = int(params["n_partitions"])
-        common = dict(
-            scale=scale,
-            generations=scale.generations,
-            backend=params.get("backend"),
-            workers=params.get("workers"),
-            cache_size=params.get("cache_size"),
-            kernel=params.get("kernel"),
-            ledger=job.ledger_path,
-            timeout_s=params.get("timeout_s"),
-            callbacks=[CancellationToken(job.cancel_event)],
-            **algo_kwargs,
-        )
-        experiment_id = str(params.get("experiment_id", "serve"))
-        if job.kind == "run_one":
-            summary = self._runner(
-                params["algorithm"],
-                experiment_id,
-                seed_index=int(params.get("seed_index", 0)),
-                checkpoint_path=job.checkpoint_path,
-                checkpoint_every=int(params.get("checkpoint_every", 10)),
-                **common,
-            )
-            summaries = [summary]
-        else:
-            summaries = self._sweep_runner(
-                params["algorithm"],
-                experiment_id,
-                retries=int(params.get("retries", 0)),
-                skip_failures=bool(params.get("skip_failures", True)),
-                **common,
-            )
-        if job.cancel_event.is_set():
-            # A cancelled sweep seed is swallowed by run_many's fault
-            # tolerance; surface the cancellation as the job outcome.
-            raise JobCancelled("job cancelled mid-run")
-        surface_info = self._register_surface(job, summaries)
-        runs = [
-            {
-                "algorithm": s.algorithm,
-                "seed": s.seed,
-                "front_size": s.front_size,
-                "hv_paper": s.hv_paper,
-                "coverage": s.coverage,
-                "n_evaluations": s.n_evaluations,
-                "wall_time": s.wall_time,
-            }
-            for s in summaries
-        ]
-        with self._lock:
-            job.result = _jsonable(
-                {
-                    "kind": job.kind,
-                    "n_runs": len(runs),
-                    "runs": runs,
-                    "surface": surface_info,
-                }
-            )
-            job.surface = surface_info
-            self._finish(job, "done")
-
-    def _register_surface(self, job: Job, summaries) -> Optional[Dict[str, Any]]:
-        if self.store is None or not summaries:
-            return None
-        results = [
-            s.result
-            for s in summaries
-            if s.result is not None and s.result.front_objectives.shape[0] > 0
-        ]
-        if not results:
-            return None
-        surface = DesignSurface.from_results(results)
-        name = str(job.params.get("surface") or job.id)
-        version = self.store.register(name, surface)
-        return {"name": name, "version": version, "size": surface.size}
+        self._m_job_seconds.observe(max(0.0, time.time() - started))
+        self.job_store.evict_terminal(self.retain_terminal)
 
     # -------------------------------------------------------------- shutdown
 
@@ -501,26 +366,31 @@ class JobManager:
         drain: bool = True,
         timeout: Optional[float] = None,
     ) -> None:
-        """Stop accepting jobs and bring the workers down.
+        """Stop accepting jobs and bring the in-process workers down.
 
         With ``drain=True`` (the default) queued and running jobs finish
         first; with ``drain=False`` queued jobs are cancelled outright
         and running jobs get their cancel events set, so the pool exits
-        at the next generation boundaries.  Idempotent.
+        at the next generation boundaries.  The job store itself stays
+        open for status queries — and on disk for the next server.
+        Idempotent.
         """
         with self._lock:
             if self._joined:
                 return
             self._closed = True
-            if not drain:
-                for job in self._jobs.values():
-                    if job.state == "queued":
-                        self._finish(job, "cancelled", error="cancelled at shutdown")
-                    elif job.state == "running":
-                        job.cancel_event.set()
-        # Sentinels queue behind any remaining work, one per worker.
-        for _ in self._threads:
-            self._queue.put(None)
+        if not drain:
+            for record in self.job_store.list_jobs(states=("queued",)):
+                self.job_store.cancel(record.id, error="cancelled at shutdown")
+                self._m_finished.labels(state="cancelled").inc()
+            for record in self.job_store.list_jobs(states=("running",)):
+                self.job_store.cancel(record.id)
+            with self._cancel_lock:
+                events = list(self._cancel_events.values())
+            for event in events:
+                event.set()
+        self._stop.set()
+        self._wake.set()
         deadline = None if timeout is None else time.monotonic() + timeout
         for thread in self._threads:
             remaining = (
@@ -529,7 +399,7 @@ class JobManager:
             thread.join(remaining)
         with self._lock:
             self._joined = all(not t.is_alive() for t in self._threads)
-        self._m_queue_depth.set(self._queue.qsize())
+        self.refresh_gauges()
 
     def __enter__(self) -> "JobManager":
         return self

@@ -153,24 +153,36 @@ class SurfaceStore:
     def register(self, name: str, surface: DesignSurface) -> int:
         """Persist *surface* as the next version of *name*; returns it.
 
-        The write is atomic (temp file + fsync + ``os.replace``): readers
-        — including other processes — only ever observe complete
-        artifacts, and a crash cannot damage earlier versions.
+        The write is atomic *and exclusive*: the payload is written to a
+        temp file, fsynced, then **hard-linked** to the version path —
+        ``os.link`` fails if the version already exists, so two
+        processes registering concurrently (multiple ``repro workers``
+        against one surface root) can never clobber each other's
+        version; the loser simply retries with the next number.  A
+        crash mid-write cannot damage earlier versions.
         """
         _check_name(name)
         payload = json.dumps(surface.to_dict(), indent=2)
         with self._lock:
             directory = self.root / name
             directory.mkdir(parents=True, exist_ok=True)
-            existing = self._versions_in(directory)
-            version = (existing[-1] + 1) if existing else 1
-            path = self.path_for(name, version)
-            tmp = path.with_name(path.name + ".tmp")
+            tmp = directory / f".tmp-{os.getpid()}"
             with tmp.open("w", encoding="utf-8") as fh:
                 fh.write(payload)
                 fh.flush()
                 os.fsync(fh.fileno())
-            os.replace(tmp, path)
+            try:
+                while True:
+                    existing = self._versions_in(directory)
+                    version = (existing[-1] + 1) if existing else 1
+                    path = self.path_for(name, version)
+                    try:
+                        os.link(tmp, path)
+                    except FileExistsError:
+                        continue  # another process claimed this version
+                    break
+            finally:
+                os.unlink(tmp)
             self._surfaces.put((name, version), surface)
             self.n_registered += 1
             return version

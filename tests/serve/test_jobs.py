@@ -261,6 +261,137 @@ class TestBackpressure:
         assert metric_value(registry, "repro_serve_jobs_rejected_total") == 1
 
 
+class TestQueueSlotRelease:
+    def test_cancelling_queued_jobs_frees_their_slots(self, tmp_path):
+        # Regression: the old in-memory queue never drained cancelled
+        # entries, so a cancel left its backpressure slot occupied and
+        # the queue could fill up with ghosts.
+        blocker = BlockingRunner()
+        manager = JobManager(
+            data_dir=tmp_path, workers=1, queue_size=3, runner=blocker
+        )
+        try:
+            running = manager.submit({"algorithm": "sacga"})
+            assert blocker.started.wait(DEADLINE_S)
+            queued = [manager.submit({"algorithm": "sacga"}) for _ in range(3)]
+            with pytest.raises(JobQueueFull):
+                manager.submit({"algorithm": "sacga"})
+            for job in queued:
+                assert manager.cancel(job.id)["state"] == "cancelled"
+            # Every cancelled slot is reusable immediately.
+            refilled = [manager.submit({"algorithm": "sacga"}) for _ in range(3)]
+            with pytest.raises(JobQueueFull):
+                manager.submit({"algorithm": "sacga"})
+        finally:
+            blocker.release.set()
+            manager.shutdown()
+        assert manager.status(running.id)["state"] == "done"
+        for job in refilled:
+            assert manager.status(job.id)["state"] == "done"
+
+
+class TestResultSerialization:
+    def test_jsonable_handles_multi_element_ndarrays(self):
+        # Regression: `hasattr(value, "item")` matched whole ndarrays and
+        # `.item()` on >1 element raises ValueError, failing the job at
+        # result-recording time after the optimization had succeeded.
+        from repro.serve.jobs import _jsonable
+
+        payload = {
+            "front": np.arange(6.0).reshape(3, 2),
+            "scalar": np.float64(1.5),
+            "nested": [np.array([1, 2, 3])],
+        }
+        assert _jsonable(payload) == {
+            "front": [[0.0, 1.0], [2.0, 3.0], [4.0, 5.0]],
+            "scalar": 1.5,
+            "nested": [[1, 2, 3]],
+        }
+
+    def test_job_result_with_ndarray_still_completes(self, tmp_path):
+        def array_runner(algorithm, experiment_id, **kwargs):
+            summary = build_summary(algorithm=algorithm.upper())
+            # Smuggle an ndarray into a field the result dict serializes.
+            summary.hv_paper = np.array([1.0, 2.0])  # type: ignore[assignment]
+            return summary
+
+        with JobManager(
+            data_dir=tmp_path, workers=1, runner=array_runner
+        ) as manager:
+            job = manager.submit({"algorithm": "sacga"})
+            done = wait_terminal(manager, job.id)
+        assert done["state"] == "done"
+        assert done["result"]["runs"][0]["hv_paper"] == [1.0, 2.0]
+
+
+class TestRetentionBound:
+    def test_job_table_stays_bounded_under_many_cycles(self, tmp_path):
+        # Regression: terminal jobs were retained forever, so a
+        # long-lived server's job table (and /jobs payload) grew without
+        # bound.  Drive 10k submit/finish cycles through the manager's
+        # store and check the table is capped near retain_terminal.
+        retain = 100
+        manager = JobManager(
+            data_dir=tmp_path,
+            workers=0,  # this test claims/finishes at the store layer
+            queue_size=8,
+            retain_terminal=retain,
+        )
+        try:
+            store = manager.job_store
+            for i in range(10_000):
+                job = manager.submit({"algorithm": "sacga"})
+                store.claim_next("w0", 30.0)
+                store.finish(job.id, "done", owner="w0")
+            assert len(manager.list_jobs()) <= retain + manager.queue_size
+            # +1: the last finish was recorded at the store layer, so the
+            # manager's finish-side evict hook has not run for it yet.
+            assert manager.counts()["done"] <= retain + 1
+            # The newest jobs are the survivors.
+            assert manager.status(job.id)["state"] == "done"
+        finally:
+            manager.shutdown()
+
+
+class TestGaugeSync:
+    def test_queue_depth_gauge_tracks_every_transition(self, tmp_path):
+        # Regression: the depth gauge was only touched on submit, so
+        # claims/cancels/finishes left it stale.  It must equal the
+        # store's true queued count at every transition.
+        registry = MetricsRegistry()
+        blocker = BlockingRunner()
+        manager = JobManager(
+            data_dir=tmp_path,
+            workers=1,
+            queue_size=8,
+            runner=blocker,
+            metrics=registry,
+        )
+
+        def gauge():
+            return metric_value(registry, "repro_serve_queue_depth")
+
+        def depth():
+            return manager.job_store.queued_depth()
+
+        try:
+            running = manager.submit({"algorithm": "sacga"})
+            assert blocker.started.wait(DEADLINE_S)
+            assert wait_for(lambda: gauge() == depth() == 0)
+            queued = [manager.submit({"algorithm": "sacga"}) for _ in range(3)]
+            assert gauge() == depth() == 3
+            manager.cancel(queued[0].id)
+            assert gauge() == depth() == 2
+            assert metric_value(registry, "repro_serve_jobs_running") == 1
+        finally:
+            blocker.release.set()
+            manager.shutdown()
+        for job in queued[1:] + [running]:
+            assert manager.status(job.id)["state"] == "done"
+        assert gauge() == depth() == 0
+        assert metric_value(registry, "repro_serve_jobs_running") == 0
+
+
 class TestConcurrency:
     def test_concurrent_submit_and_status_from_many_threads(self, tmp_path):
         manager = JobManager(
