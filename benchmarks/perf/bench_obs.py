@@ -9,6 +9,12 @@ writes ``BENCH_obs.json`` at the repo root:
   ``TelemetryCallback``; exercises the disabled path end to end.
 * ``on``   — a live ``MetricsRegistry``, ``SpanTracer``, and telemetry
   callback, the same wiring ``run_one(metrics=True)`` uses.
+* ``dist`` — ``on`` plus the distributed-observability stack a serve
+  worker carries: a :class:`TraceRecorder` span exported to disk, a
+  bound :class:`RunLedger` fed per generation, structured JSON logging
+  to a file, and a per-generation worker-metrics flush into a SQLite
+  :class:`JobStore` (a deliberately harsher cadence than the real
+  heartbeat-paced flush).
 
 Usage::
 
@@ -17,23 +23,26 @@ Usage::
         --sizes 64 --generations 6 --max-overhead 0.75
 
 For each (algorithm, size) the JSON records best-of-``--repeats`` wall
-times plus two ratios: ``overhead_on`` and ``overhead_null``, each the
-fractional slowdown over ``off`` (0.10 = 10% slower; negative values
-are timer noise).  With ``--max-overhead`` the run exits 1 when any
-``overhead_on`` exceeds the bound.  The default bound is deliberately
-generous — the point is to catch an accidental O(population) regression
-on the hot loop (e.g. a registry lookup per individual), not to police
-scheduler jitter on shared CI machines.
+times plus the ratios ``overhead_null``, ``overhead_on`` and
+``overhead_dist``, each the fractional slowdown over ``off`` (0.10 =
+10% slower; negative values are timer noise).  With ``--max-overhead``
+the run exits 1 when any ``overhead_on`` or ``overhead_dist`` exceeds
+the bound.  The default bound is deliberately generous — the point is
+to catch an accidental O(population) regression on the hot loop (e.g. a
+registry lookup per individual), not to police scheduler jitter on
+shared CI machines.
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.core.kernels import kernel_call_counts
 from repro.core.nsga2 import NSGA2
@@ -44,7 +53,7 @@ from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.obs.telemetry import TelemetryCallback
 from repro.problems.synthetic import ClusteredFeasibility
 
-MODES = ("off", "null", "on")
+MODES = ("off", "null", "on", "dist")
 DEFAULT_SIZES = (64, 256)
 SEED = 7
 
@@ -67,7 +76,58 @@ def build(algorithm: str, n: int, metrics=None, tracer=None):
     )
 
 
-def run_mode(algorithm: str, n: int, generations: int, mode: str) -> None:
+def run_dist(
+    algorithm: str, n: int, generations: int, workdir: Path, store
+) -> None:
+    """One run under the full serve-worker observability stack.
+
+    *store* is the shared :class:`JobStore` the metrics flushes land in —
+    opened once outside the timed region, the way a real worker opens it
+    once and then runs many jobs against it.
+    """
+    from repro.experiments.ledger import LedgerCallback, RunLedger
+    from repro.obs.exporters import to_prometheus
+    from repro.obs.logging import configure_logging, disable_logging, get_logger
+    from repro.obs.tracing import TraceRecorder, mint_trace_id
+
+    trace_id = mint_trace_id()
+    registry = MetricsRegistry()
+    algo = build(algorithm, n, metrics=registry, tracer=SpanTracer())
+    algo.add_callback(
+        TelemetryCallback(algo, registry, kernel_counts=kernel_call_counts)
+    )
+    ledger = RunLedger(
+        workdir / "ledger.jsonl",
+        bound={"trace_id": trace_id, "job_id": "bench", "worker": "bench-w",
+               "attempt": 1},
+    )
+    algo.add_callback(LedgerCallback(ledger, algo, run_id="bench"))
+    algo.add_callback(
+        lambda _gen, _pop: store.flush_worker_metrics(
+            "bench-w", to_prometheus(registry)
+        )
+    )
+    recorder = TraceRecorder.for_process(workdir / "traces", "bench-worker")
+    configure_logging(path=workdir / "log.jsonl", level="info")
+    log = get_logger("bench", trace_id=trace_id, job_id="bench")
+    try:
+        with recorder.span(
+            "worker:run", trace_id=trace_id, job_id="bench", attempt=1
+        ):
+            log.info("bench run started", algorithm=algorithm, n=n)
+            algo.run(generations)
+            log.info("bench run finished")
+    finally:
+        disable_logging()
+
+
+def run_mode(
+    algorithm: str, n: int, generations: int, mode: str,
+    workdir: Optional[Path] = None, store=None,
+) -> None:
+    if mode == "dist":
+        run_dist(algorithm, n, generations, workdir, store)
+        return
     if mode == "off":
         algo = build(algorithm, n)
     elif mode == "null":
@@ -103,9 +163,31 @@ def bench(sizes, generations: int, repeats: int) -> Dict[str, float]:
         for n in sizes:
             for mode in MODES:
                 key = f"{algorithm}/n={n}/{mode}"
-                times[key] = best_of(
-                    lambda: run_mode(algorithm, n, generations, mode), repeats
-                )
+                if mode == "dist":
+                    # Fresh workdir per timed run so no repeat appends to
+                    # a prior run's trace/ledger/log files; the job store
+                    # is opened once, like a long-lived worker's.
+                    with tempfile.TemporaryDirectory(prefix="benchobs-") as td:
+                        from repro.serve.store import JobStore
+
+                        store = JobStore(Path(td) / "jobs.sqlite")
+                        runs = itertools.count()
+                        try:
+                            times[key] = best_of(
+                                lambda: run_mode(
+                                    algorithm, n, generations, mode,
+                                    workdir=Path(td) / f"run{next(runs)}",
+                                    store=store,
+                                ),
+                                repeats,
+                            )
+                        finally:
+                            store.close()
+                else:
+                    times[key] = best_of(
+                        lambda: run_mode(algorithm, n, generations, mode),
+                        repeats,
+                    )
     return times
 
 
@@ -116,7 +198,7 @@ def overheads(times: Dict[str, float]) -> Dict[str, float]:
         if not key.endswith("/off") or t_off <= 0:
             continue
         base = key[: -len("/off")]
-        for mode in ("null", "on"):
+        for mode in ("null", "on", "dist"):
             t_mode = times.get(f"{base}/{mode}")
             if t_mode is not None:
                 out[f"{base}/overhead_{mode}"] = t_mode / t_off - 1.0
@@ -169,7 +251,8 @@ def main(argv=None) -> int:
         failures = [
             f"{key}: {value:+.1%} exceeds bound {args.max_overhead:.0%}"
             for key, value in sorted(ratios.items())
-            if key.endswith("/overhead_on") and value > args.max_overhead
+            if key.endswith(("/overhead_on", "/overhead_dist"))
+            and value > args.max_overhead
         ]
         if failures:
             print("OBS OVERHEAD REGRESSION:", file=sys.stderr)

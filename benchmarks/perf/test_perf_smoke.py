@@ -97,16 +97,19 @@ def run_obs_bench(tmp_path, *extra):
 
 
 def test_obs_bench_times_every_mode_and_bounds_overhead(tmp_path):
-    # A very generous bound: instrumentation must never *triple* the run
-    # time — that would mean per-individual registry traffic crept in.
-    proc, out = run_obs_bench(tmp_path, "--max-overhead", "2.0")
+    # A very generous bound — it exists to catch per-individual registry
+    # traffic creeping onto the hot loop, not to police jitter.  At this
+    # tiny size a generation takes low milliseconds, so the dist mode's
+    # fixed per-generation durability cost (ledger append + SQLite
+    # metrics flush) looms far larger than it does at real scale.
+    proc, out = run_obs_bench(tmp_path, "--max-overhead", "4.0")
     assert proc.returncode == 0, proc.stderr
     payload = json.loads(out.read_text())
     for algorithm in ("nsga2", "sacga"):
-        for mode in ("off", "null", "on"):
+        for mode in ("off", "null", "on", "dist"):
             key = f"{algorithm}/n=32/{mode}"
             assert payload["times_s"][key] > 0.0, key
-        for mode in ("null", "on"):
+        for mode in ("null", "on", "dist"):
             assert f"{algorithm}/n=32/overhead_{mode}" in payload["overhead_fraction"]
     assert "overhead bound check passed" in proc.stdout
 
@@ -120,10 +123,15 @@ def test_obs_bench_gate_trips_on_tiny_bound(tmp_path):
 
 def test_committed_obs_baseline_is_sane():
     payload = json.loads((REPO / "BENCH_obs.json").read_text())
-    # Enabled-path overhead stays far below the 2x alarm line.
+    # Enabled-path overhead stays far below the 2x alarm line — for the
+    # in-process instrumentation and for the full distributed stack
+    # (span export + ledger + structured log + SQLite metrics flush).
+    gated = 0
     for key, value in payload["overhead_fraction"].items():
-        if key.endswith("/overhead_on"):
+        if key.endswith(("/overhead_on", "/overhead_dist")):
+            gated += 1
             assert value < 2.0, f"{key}: {value:+.1%}"
+    assert gated >= 8  # both ratios present for every (algorithm, size)
 
 
 # ------------------------------------------------------------- eval bench

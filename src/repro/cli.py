@@ -23,7 +23,15 @@ Subcommands
 
 ``repro stats RUN``
     Print the metrics snapshot of an instrumented run (*RUN* is a
-    ``--metrics-out`` prefix or a ``.prom`` file).
+    ``--metrics-out`` prefix or a ``.prom`` file).  Pointing it at a
+    directory or glob of ``.prom`` files merges them into one view with
+    each file's stem as the ``worker`` label.
+
+``repro trace-view TRACE_ID``
+    Reconstruct one distributed trace from the span files the server
+    and workers export under ``<data-dir>/traces`` and print it as a
+    cross-process tree (unfinished spans — e.g. from a killed worker —
+    are marked).
 
 ``repro spec-ladder``
     Print the 20-step specification difficulty ladder.
@@ -48,8 +56,10 @@ missing, unreadable or corrupt.
 from __future__ import annotations
 
 import argparse
+import glob as globlib
 import json
 import math
+import os
 import pickle
 import signal
 import sys
@@ -69,7 +79,8 @@ from repro.experiments.ledger import (
 )
 from repro.experiments.reporting import format_table, front_rows
 from repro.experiments.runner import Scale, RunSummary, resume_run, run_one
-from repro.obs.exporters import parse_prometheus
+from repro.obs.exporters import merge_prometheus, parse_prometheus
+from repro.obs.logging import configure_logging
 from repro.obs.spans import format_profile
 
 
@@ -214,30 +225,82 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_view(args: argparse.Namespace) -> int:
+    from repro.obs.tracing import collect_trace, format_trace_tree, stitch_trace
+
+    root = Path(args.traces) if args.traces else Path(args.data_dir) / "traces"
+    if not root.exists() and not any(ch in str(root) for ch in "*?["):
+        print(f"no trace files under {str(root)!r}", file=sys.stderr)
+        return 2
+    try:
+        events = collect_trace(root, trace_id=args.trace_id)
+    except OSError as exc:
+        print(f"cannot read {str(root)!r}: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"trace {args.trace_id!r} not found under {root}", file=sys.stderr)
+        return 1
+    print(format_trace_tree(stitch_trace(events), trace_id=args.trace_id))
+    return 0
+
+
 def _format_label_set(labels: dict) -> str:
     if not labels:
         return ""
     return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
 
 
+def _prom_file_set(spec: str) -> Optional[List[Path]]:
+    """The ``.prom`` files *spec* names, or ``None`` for a single file.
+
+    A directory means every ``*.prom`` directly inside it; a glob
+    pattern (``*``/``?``/``[``) expands relative to the cwd.
+    """
+    path = Path(spec)
+    if path.is_dir():
+        return sorted(path.glob("*.prom"))
+    if any(ch in spec for ch in "*?["):
+        return sorted(Path(p) for p in globlib.glob(spec))
+    return None
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
-    path = Path(args.run)
-    if not path.exists() and not str(path).endswith(".prom"):
-        path = Path(f"{args.run}.prom")
-    if not path.exists():
-        print(
-            f"no metrics snapshot at {args.run!r} (expected a .prom file or "
-            f"a --metrics-out prefix)"
-        )
-        return 2
-    try:
-        metrics = parse_prometheus(path.read_text(encoding="utf-8"))
-    except OSError as exc:
-        print(f"cannot read {str(path)!r}: {exc}", file=sys.stderr)
-        return 2
-    except ValueError as exc:
-        print(f"{path}: invalid Prometheus snapshot: {exc}")
-        return 2
+    prom_set = _prom_file_set(args.run)
+    if prom_set is not None:
+        if not prom_set:
+            print(f"no .prom files under {args.run!r}")
+            return 2
+        snapshots = {}
+        for prom in prom_set:
+            try:
+                snapshots[prom.stem] = prom.read_text(encoding="utf-8")
+            except OSError as exc:
+                print(f"cannot read {str(prom)!r}: {exc}", file=sys.stderr)
+                return 2
+        try:
+            metrics = parse_prometheus(merge_prometheus(snapshots, label="worker"))
+        except ValueError as exc:
+            print(f"{args.run}: invalid Prometheus snapshot: {exc}")
+            return 2
+        path = Path(args.run)
+    else:
+        path = Path(args.run)
+        if not path.exists() and not str(path).endswith(".prom"):
+            path = Path(f"{args.run}.prom")
+        if not path.exists():
+            print(
+                f"no metrics snapshot at {args.run!r} (expected a .prom file, "
+                f"a --metrics-out prefix, or a directory/glob of .prom files)"
+            )
+            return 2
+        try:
+            metrics = parse_prometheus(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            print(f"cannot read {str(path)!r}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"{path}: invalid Prometheus snapshot: {exc}")
+            return 2
     names = sorted(metrics)
     if args.metric:
         names = [n for n in names if args.metric in n]
@@ -278,12 +341,29 @@ def cmd_spec_ladder(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_cli_logging(args: argparse.Namespace) -> None:
+    """Apply ``--log-file`` / ``--log-level`` and export them as
+    ``REPRO_LOG`` / ``REPRO_LOG_LEVEL`` so spawned worker processes
+    inherit the same sink."""
+    log_file = getattr(args, "log_file", None)
+    log_level = getattr(args, "log_level", None)
+    if log_file:
+        configure_logging(path=log_file, level=log_level or "info")
+        os.environ["REPRO_LOG"] = str(log_file)
+    elif log_level:
+        configure_logging(stream=sys.stderr, level=log_level)
+        os.environ["REPRO_LOG"] = "stderr"
+    if log_level:
+        os.environ["REPRO_LOG_LEVEL"] = log_level
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     # Imported lazily so `repro run` and friends never pay for the
     # service layer.
     from repro.obs.registry import MetricsRegistry
     from repro.serve import JobManager, JobStore, ReproServer, ServeApp, SurfaceStore
 
+    _configure_cli_logging(args)
     registry = MetricsRegistry()
     store = SurfaceStore(Path(args.data_dir) / "surfaces")
     job_store = (
@@ -298,6 +378,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         job_store=job_store,
         lease_s=args.lease,
         retain_terminal=args.retain,
+        snapshot_ttl_s=args.snapshot_ttl,
+        tracing=not args.no_tracing,
     )
     server = ReproServer(
         ServeApp(manager, store, registry), host=args.host, port=args.port
@@ -337,9 +419,11 @@ def cmd_workers(args: argparse.Namespace) -> int:
     # Lazy import, same as cmd_serve: plain `repro run` stays light.
     from repro.serve.worker import run_worker_pool
 
+    _configure_cli_logging(args)
     data_dir = Path(args.data_dir)
     store_path = Path(args.store) if args.store else data_dir / "jobs.sqlite"
     surfaces_root = data_dir / "surfaces"
+    traces_root = None if args.no_tracing else data_dir / "traces"
     print(
         f"repro workers: {args.n} worker(s) on {store_path} "
         f"(lease={args.lease:g}s, surfaces={surfaces_root})"
@@ -351,6 +435,7 @@ def cmd_workers(args: argparse.Namespace) -> int:
         lease_s=args.lease,
         poll_s=args.poll,
         max_jobs=args.max_jobs,
+        traces_root=traces_root,
     )
     return 0 if clean == args.n else 1
 
@@ -377,14 +462,15 @@ def cmd_submit(args: argparse.Namespace) -> int:
         params["surface"] = args.surface
     client = ServeClient(args.url)
     try:
-        job = client.submit(params, kind=args.kind)
+        job = client.submit(params, kind=args.kind, trace_id=args.trace_id)
     except ServeError as exc:
         print(f"submit failed: {exc}", file=sys.stderr)
         return 2 if exc.status != 429 else 3
     except OSError as exc:
         print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
         return 2
-    print(f"job {job['id']} {job['state']}")
+    trace_note = f" trace={job['trace_id']}" if job.get("trace_id") else ""
+    print(f"job {job['id']} {job['state']}{trace_note}")
     if not args.wait:
         return 0
     try:
@@ -553,13 +639,30 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="print the metrics snapshot of an instrumented run"
     )
     p_stats.add_argument(
-        "run", help="--metrics-out prefix or .prom file from `repro run`"
+        "run", help="--metrics-out prefix, .prom file, or a directory/glob "
+        "of .prom files to merge (file stems become worker labels)",
     )
     p_stats.add_argument(
         "--metric", default=None,
         help="only print metrics whose name contains this substring",
     )
     p_stats.set_defaults(func=cmd_stats)
+
+    p_tview = sub.add_parser(
+        "trace-view",
+        help="reconstruct a distributed trace from exported span files",
+    )
+    p_tview.add_argument("trace_id", help="trace id printed by `repro submit`")
+    p_tview.add_argument(
+        "--data-dir", default="serve-data",
+        help="service data root; spans are read from <data-dir>/traces "
+        "(default: serve-data)",
+    )
+    p_tview.add_argument(
+        "--traces", default=None, metavar="PATH",
+        help="explicit trace file, directory, or glob (overrides --data-dir)",
+    )
+    p_tview.set_defaults(func=cmd_trace_view)
 
     p_spec = sub.add_parser("spec-ladder", help="print the 20-spec difficulty ladder")
     p_spec.add_argument("-n", type=int, default=20)
@@ -608,6 +711,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="finished/failed/cancelled jobs kept before eviction "
         "(default: 10000)",
     )
+    p_serve.add_argument(
+        "--snapshot-ttl", type=float, default=None, metavar="SECONDS",
+        help="drop worker metrics snapshots older than this from /metrics "
+        "(default: 3 x --lease)",
+    )
+    p_serve.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable span export under <data-dir>/traces",
+    )
+    p_serve.add_argument(
+        "--log-file", default=None, metavar="FILE",
+        help="append structured JSON logs to FILE (default: logging off)",
+    )
+    p_serve.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="structured log threshold (to stderr unless --log-file is set)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_workers = sub.add_parser(
@@ -639,6 +760,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_workers.add_argument(
         "--max-jobs", type=int, default=None,
         help="exit after this many jobs per worker (default: run forever)",
+    )
+    p_workers.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable span export under <data-dir>/traces",
+    )
+    p_workers.add_argument(
+        "--log-file", default=None, metavar="FILE",
+        help="append structured JSON logs to FILE (worker processes "
+        "inherit the sink; default: logging off)",
+    )
+    p_workers.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="structured log threshold (to stderr unless --log-file is set)",
     )
     p_workers.set_defaults(func=cmd_workers)
 
@@ -674,6 +809,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument(
         "--kind", choices=["run_one", "run_many"], default="run_one",
         help="single run or a seed sweep (default: run_one)",
+    )
+    p_submit.add_argument(
+        "--trace-id", default=None,
+        help="propagate this trace id instead of letting the server mint "
+        "one (inspect later with `repro trace-view`)",
     )
     p_submit.add_argument(
         "--wait", action="store_true", help="poll the job to completion"

@@ -9,7 +9,9 @@ ground — one JSON object per line, appended (and flushed) per event, so
 * the trace is greppable/`jq`-able as-is, and
 * ``repro trace <ledger>`` can tail or summarize it after the fact.
 
-Event vocabulary (all carry ``event``, ``ts`` and ``elapsed_s``):
+Event vocabulary (all carry ``event``, ``ts`` — wall clock — plus
+``mono``, an absolute ``time.monotonic()`` reading immune to clock
+steps, and ``elapsed_s``, seconds since this ledger object was created):
 
 ==================  =====================================================
 ``sweep_started``    ``run_many`` begins (algorithm, seeds, scale label)
@@ -62,11 +64,24 @@ class RunLedger:
     closes — slower than keeping the handle open, but a generation of
     circuit evaluation dwarfs an open/close, and it guarantees every
     completed event is durable regardless of how the process dies.
+
+    *bound* fields are merged into **every** record this ledger writes —
+    the serve stack binds ``trace_id``/``job_id``/worker/attempt here so
+    a single grep stitches a job's events across worker attempts.  Bound
+    fields never overwrite an event's own fields of the same name.
+
+    Every record carries three timestamps: ``ts`` (wall clock, ISO),
+    ``elapsed_s`` (relative to ledger creation — resets across resumed
+    attempts), and ``mono`` (absolute ``time.monotonic()`` — immune to
+    wall-clock steps, comparable only within one process boot).
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(
+        self, path: PathLike, bound: Optional[Dict[str, Any]] = None
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.bound = _sanitize(dict(bound)) if bound else {}
         self._t0 = time.perf_counter()
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
@@ -74,7 +89,9 @@ class RunLedger:
             "event": str(event),
             "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
             "elapsed_s": round(time.perf_counter() - self._t0, 6),
+            "mono": round(time.monotonic(), 6),
         }
+        record.update(self.bound)
         record.update(_sanitize(fields))
         with self.path.open("a", encoding="utf-8") as fh:
             fh.write(json.dumps(record) + "\n")
@@ -214,6 +231,11 @@ def summarize_ledger(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             if "_first_elapsed" not in info:
                 info["_first_elapsed"] = float(elapsed)
             info["_last_elapsed"] = float(elapsed)
+        mono = e.get("mono")
+        if isinstance(mono, (int, float)) and math.isfinite(mono):
+            if "_first_mono" not in info:
+                info["_first_mono"] = float(mono)
+            info["_last_mono"] = float(mono)
         kind = e.get("event")
         if kind == "generation" or kind == "checkpoint":
             info["last_generation"] = e.get("generation")
@@ -233,10 +255,18 @@ def summarize_ledger(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         # Crash-torn ledgers never see a run_finished event; fall back to
         # the span of the run's own event timestamps so `repro trace`
         # still reports wall-clock (tagged so readers know the source).
+        # Absolute monotonic stamps are preferred over elapsed_s: they
+        # survive wall-clock steps AND ledger re-opens across resumed
+        # attempts (elapsed_s resets to 0 per RunLedger object).
         first = info.pop("_first_elapsed", None)
         last = info.pop("_last_elapsed", None)
+        first_mono = info.pop("_first_mono", None)
+        last_mono = info.pop("_last_mono", None)
         if info.get("wall_time") is not None:
             info["wall_time_source"] = "run_finished"
+        elif first_mono is not None and last_mono is not None:
+            info["wall_time"] = round(last_mono - first_mono, 6)
+            info["wall_time_source"] = "monotonic"
         elif first is not None and last is not None:
             info["wall_time"] = round(last - first, 6)
             info["wall_time_source"] = "events"
@@ -264,7 +294,7 @@ def format_event(event: Dict[str, Any]) -> str:
     rest = {
         k: v
         for k, v in event.items()
-        if k not in ("event", "ts", "elapsed_s") and v is not None
+        if k not in ("event", "ts", "elapsed_s", "mono") and v is not None
     }
     details = " ".join(f"{k}={v}" for k, v in rest.items())
     return f"{ts}  {kind:<14s} {details}".rstrip()
@@ -295,7 +325,11 @@ def format_summary(summary: Dict[str, Any]) -> str:
             if info.get("wall_time") is not None:
                 # "~" flags wall-clock reconstructed from event timestamps
                 # (torn ledger) rather than reported by run_finished.
-                approx = "~" if info.get("wall_time_source") == "events" else ""
+                approx = (
+                    "~"
+                    if info.get("wall_time_source") in ("events", "monotonic")
+                    else ""
+                )
                 bits.append(f"wall={approx}{info['wall_time']:.2f}s")
             if info.get("failures"):
                 bits.append(f"failures={info['failures']}")

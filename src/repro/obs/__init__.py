@@ -19,15 +19,24 @@ trajectory: instrumented runs are byte-identical to uninstrumented ones.
 """
 
 from repro.obs.exporters import (
+    merge_prometheus,
     metrics_to_csv_rows,
     parse_prometheus,
     read_metrics_csv,
     read_telemetry_csv,
+    render_parsed,
     save_metrics_csv,
     save_profile,
     save_prometheus,
     save_telemetry_csv,
     to_prometheus,
+)
+from repro.obs.logging import (
+    StructuredLogger,
+    configure_logging,
+    disable_logging,
+    get_logger,
+    read_log,
 )
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -52,6 +61,17 @@ from repro.obs.telemetry import (
     TelemetrySample,
     gate_probability_curves,
 )
+from repro.obs.tracing import (
+    NULL_TRACE_RECORDER,
+    NullTraceRecorder,
+    TraceRecorder,
+    check_trace_id,
+    collect_trace,
+    format_trace_tree,
+    mint_trace_id,
+    read_trace_events,
+    stitch_trace,
+)
 
 __all__ = [
     "Counter",
@@ -74,6 +94,22 @@ __all__ = [
     "to_prometheus",
     "save_prometheus",
     "parse_prometheus",
+    "merge_prometheus",
+    "render_parsed",
+    "TraceRecorder",
+    "NullTraceRecorder",
+    "NULL_TRACE_RECORDER",
+    "mint_trace_id",
+    "check_trace_id",
+    "collect_trace",
+    "read_trace_events",
+    "stitch_trace",
+    "format_trace_tree",
+    "StructuredLogger",
+    "configure_logging",
+    "disable_logging",
+    "get_logger",
+    "read_log",
     "metrics_to_csv_rows",
     "save_metrics_csv",
     "read_metrics_csv",

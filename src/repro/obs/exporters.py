@@ -37,6 +37,8 @@ __all__ = [
     "to_prometheus",
     "save_prometheus",
     "parse_prometheus",
+    "merge_prometheus",
+    "render_parsed",
     "metrics_to_csv_rows",
     "save_metrics_csv",
     "read_metrics_csv",
@@ -114,6 +116,28 @@ _SAMPLE_RE = re.compile(
 _LABEL_PAIR_RE = re.compile(
     r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
 )
+_ESCAPE_SEQ_RE = re.compile(r"\\(.)")
+
+
+def _unescape_label(value: str) -> str:
+    """Decode exposition-format label escapes in a single pass.
+
+    Sequential ``str.replace`` chains mis-decode values like a literal
+    backslash followed by ``n`` (on the wire: ``\\\\n``), turning them
+    into backslash-newline.  Only ``\\\\``, ``\\"`` and ``\\n`` are
+    defined by the format; any other escaped char is kept verbatim
+    (lenient, with the backslash preserved).
+    """
+
+    def sub(match: "re.Match[str]") -> str:
+        c = match.group(1)
+        if c == "n":
+            return "\n"
+        if c in ('"', "\\"):
+            return c
+        return "\\" + c
+
+    return _ESCAPE_SEQ_RE.sub(sub, value)
 
 
 def _parse_value(text: str) -> float:
@@ -181,12 +205,7 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
         if raw_labels:
             consumed = 0
             for pair in _LABEL_PAIR_RE.finditer(raw_labels):
-                labels[pair.group(1)] = (
-                    pair.group(2)
-                    .replace('\\"', '"')
-                    .replace("\\n", "\n")
-                    .replace("\\\\", "\\")
-                )
+                labels[pair.group(1)] = _unescape_label(pair.group(2))
                 consumed += len(pair.group(0))
             stripped = re.sub(r"[,\s]", "", raw_labels)
             matched = re.sub(
@@ -211,6 +230,68 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
         if info["kind"] is None:
             raise ValueError(f"metric {name!r} has HELP but no TYPE")
     return metrics
+
+
+def render_parsed(metrics: Dict[str, Dict[str, Any]]) -> str:
+    """Re-render :func:`parse_prometheus` output as exposition text.
+
+    Inverse of the parser (modulo float formatting): used to re-emit
+    worker snapshots with injected labels.  Metrics appear in dict
+    order; samples keep their recorded order.
+    """
+    lines: List[str] = []
+    for name, info in metrics.items():
+        if info.get("help"):
+            lines.append(f"# HELP {name} {info['help']}".replace("\n", " "))
+        lines.append(f"# TYPE {name} {info.get('kind') or 'untyped'}")
+        for sample in info["samples"]:
+            labels = sample.get("labels") or {}
+            label_str = _label_str(labels) if labels else ""
+            lines.append(f"{sample['name']}{label_str} {_fmt_value(sample['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_prometheus(
+    snapshots: Dict[str, str],
+    label: str = "worker",
+    base: Optional[str] = None,
+) -> str:
+    """Merge exposition-format snapshots under a distinguishing label.
+
+    ``snapshots`` maps a label value (worker id, file stem, ...) to that
+    source's exposition text; every sample from a snapshot gets
+    ``label="<key>"`` injected.  ``base`` — the server's own live
+    snapshot — is included unlabeled and first.  Families present in
+    several sources are emitted once (first-seen ``HELP``/``TYPE`` win);
+    a family whose declared kind conflicts with the first-seen kind is
+    skipped rather than corrupting the stream.  Raises
+    :class:`ValueError` if any input fails to parse — callers that want
+    per-snapshot leniency should parse each snapshot first.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+
+    def fold(parsed: Dict[str, Dict[str, Any]], tag: Optional[str]) -> None:
+        for name, info in parsed.items():
+            target = merged.setdefault(
+                name, {"kind": info["kind"], "help": info["help"], "samples": []}
+            )
+            if target["kind"] != info["kind"]:
+                continue  # kind conflict: keep the first-seen family intact
+            if not target["help"] and info["help"]:
+                target["help"] = info["help"]
+            for sample in info["samples"]:
+                labels = dict(sample.get("labels") or {})
+                if tag is not None:
+                    labels[label] = tag
+                target["samples"].append(
+                    {"name": sample["name"], "labels": labels, "value": sample["value"]}
+                )
+
+    if base is not None:
+        fold(parse_prometheus(base), None)
+    for key in sorted(snapshots):
+        fold(parse_prometheus(snapshots[key]), key)
+    return render_parsed(merged)
 
 
 # -------------------------------------------------------------- tidy CSV

@@ -1,0 +1,239 @@
+"""Structured JSON-lines logging for the serve/worker stack.
+
+The serve stack spans multiple processes (server, external ``repro
+workers``); free-form prints cannot be correlated after the fact.  This
+module emits one JSON object per line, each carrying whatever context
+was bound onto the logger — ``trace_id``, ``job_id``, worker id — so a
+single ``grep trace_id`` reconstructs a job's path through the fleet.
+
+Design points:
+
+* **Silent by default.**  Library code logs unconditionally; nothing is
+  written until :func:`configure_logging` is called (or the
+  ``REPRO_LOG`` / ``REPRO_LOG_LEVEL`` environment variables are set),
+  so unit tests and CLI output stay clean.
+* **Crash-safe appends.**  File sinks open/append/close per record,
+  like the run ledger, so a ``kill -9`` tears at most one line.
+* **Context binding.**  ``log = get_logger("serve.worker").bind(
+  worker=..., trace_id=...)`` returns a child logger whose records all
+  carry those fields; rebinding layers additively.
+
+Stdlib only; no handler/formatter machinery — a logger is a name, a
+bound field dict, and a shared sink.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Union
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "LEVELS",
+    "StructuredLogger",
+    "LogSink",
+    "configure_logging",
+    "disable_logging",
+    "logging_configured",
+    "get_logger",
+    "read_log",
+]
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _check_level(level: str) -> str:
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {sorted(LEVELS)}")
+    return level
+
+
+class LogSink:
+    """Destination + threshold shared by every logger.
+
+    Writes either to an open stream (kept open) or to a path
+    (open/append/close per record for crash safety and so multiple
+    sinks — or a log shipper — can read the file live).
+    """
+
+    def __init__(
+        self,
+        path: Optional[PathLike] = None,
+        stream: Optional[TextIO] = None,
+        level: str = "info",
+    ):
+        if path is not None and stream is not None:
+            raise ValueError("LogSink takes a path or a stream, not both")
+        self.path = Path(path) if path is not None else None
+        self.stream = stream
+        self.threshold = LEVELS[_check_level(level)]
+        self._lock = threading.Lock()
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def write(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self.path is not None:
+                with self.path.open("a", encoding="utf-8") as fh:
+                    fh.write(line + "\n")
+                    fh.flush()
+            elif self.stream is not None:
+                self.stream.write(line + "\n")
+                self.stream.flush()
+
+
+_state_lock = threading.Lock()
+_sink: Optional[LogSink] = None
+_env_checked = False
+
+
+def configure_logging(
+    path: Optional[PathLike] = None,
+    stream: Optional[TextIO] = None,
+    level: str = "info",
+) -> LogSink:
+    """Route all structured logs to ``path`` or ``stream`` at ``level``.
+
+    Returns the installed sink.  Calling again replaces the previous
+    sink (last writer wins — one sink per process).
+    """
+    global _sink, _env_checked
+    sink = LogSink(path=path, stream=stream, level=level)
+    with _state_lock:
+        _sink = sink
+        _env_checked = True
+    return sink
+
+
+def disable_logging() -> None:
+    """Drop the active sink; logging reverts to silent."""
+    global _sink, _env_checked
+    with _state_lock:
+        _sink = None
+        _env_checked = True
+
+
+def logging_configured() -> bool:
+    return _active_sink() is not None
+
+
+def _active_sink() -> Optional[LogSink]:
+    """Current sink, honoring ``REPRO_LOG`` on first touch.
+
+    ``REPRO_LOG=stderr`` (or a file path) enables logging without code
+    changes — useful for debugging external worker processes; optional
+    ``REPRO_LOG_LEVEL`` picks the threshold (default ``info``).
+    """
+    global _sink, _env_checked
+    with _state_lock:
+        if not _env_checked:
+            _env_checked = True
+            target = os.environ.get("REPRO_LOG", "").strip()
+            if target:
+                level = os.environ.get("REPRO_LOG_LEVEL", "info").strip() or "info"
+                if level in LEVELS:
+                    if target == "stderr":
+                        _sink = LogSink(stream=sys.stderr, level=level)
+                    elif target == "stdout":
+                        _sink = LogSink(stream=sys.stdout, level=level)
+                    else:
+                        _sink = LogSink(path=target, level=level)
+        return _sink
+
+
+class StructuredLogger:
+    """Named logger with bound context fields.
+
+    Cheap to construct; loggers share the process-wide sink installed by
+    :func:`configure_logging` and are no-ops when none is installed.
+    """
+
+    __slots__ = ("component", "_bound")
+
+    def __init__(self, component: str, bound: Optional[Dict[str, Any]] = None):
+        self.component = component
+        self._bound = dict(bound or {})
+
+    def bind(self, **fields: Any) -> "StructuredLogger":
+        """Child logger whose records also carry ``fields``."""
+        merged = dict(self._bound)
+        merged.update(_sanitize(fields))
+        return StructuredLogger(self.component, merged)
+
+    @property
+    def bound(self) -> Dict[str, Any]:
+        return dict(self._bound)
+
+    def log(self, level: str, message: str, **fields: Any) -> None:
+        sink = _active_sink()
+        if sink is None:
+            return
+        numeric = LEVELS[_check_level(level)]
+        if numeric < sink.threshold:
+            return
+        record: Dict[str, Any] = {
+            "ts": datetime.now(timezone.utc).isoformat(),
+            "mono": time.monotonic(),
+            "level": level,
+            "component": self.component,
+            "message": message,
+            "pid": os.getpid(),
+        }
+        record.update(self._bound)
+        record.update(_sanitize(fields))
+        sink.write(record)
+
+    def debug(self, message: str, **fields: Any) -> None:
+        self.log("debug", message, **fields)
+
+    def info(self, message: str, **fields: Any) -> None:
+        self.log("info", message, **fields)
+
+    def warning(self, message: str, **fields: Any) -> None:
+        self.log("warning", message, **fields)
+
+    def error(self, message: str, **fields: Any) -> None:
+        self.log("error", message, **fields)
+
+
+def get_logger(component: str, **bound: Any) -> StructuredLogger:
+    """The way serve modules obtain their logger."""
+    return StructuredLogger(component, _sanitize(bound))
+
+
+def _sanitize(fields: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in fields.items():
+        if value is None or isinstance(value, (str, int, float, bool)):
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+def read_log(path: PathLike) -> list:
+    """Read a JSONL log file, tolerating a torn final line."""
+    path = Path(path)
+    records = []
+    try:
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+    except FileNotFoundError:
+        return records
+    for i, raw in enumerate(raw_lines):
+        if not raw.strip():
+            continue
+        try:
+            records.append(json.loads(raw))
+        except json.JSONDecodeError:
+            if i == len(raw_lines) - 1:
+                break
+            raise ValueError(f"{path}: corrupt log record at line {i + 1}")
+    return records

@@ -1,0 +1,384 @@
+"""Distributed tracing: span export, collection, and cross-process stitching.
+
+:class:`~repro.obs.spans.SpanTracer` aggregates timings *within* one
+process and throws the individual events away; it cannot reconstruct a
+job's path through the serve stack (HTTP submit on the server, one or
+more worker attempts, possibly on different machines with different
+clocks).  This module adds the distributed half:
+
+* :func:`mint_trace_id` / :func:`check_trace_id` — trace identifiers
+  minted at ``POST /jobs`` (or accepted from an ``X-Trace-Id`` header)
+  and threaded through the JobStore, worker loop, ledger, and surface
+  registration.
+* :class:`TraceRecorder` — a per-process appender of span records as
+  JSON lines.  Every span writes a ``start`` record on entry and an
+  ``end`` record (with duration) on exit, so a ``kill -9``-ed process
+  still leaves evidence of the attempt it was executing.  Records carry
+  *both* a wall-clock timestamp (comparable across processes, subject
+  to skew) and a monotonic timestamp (skew-proof within one process).
+* :func:`read_trace_events` / :func:`collect_trace` — torn-tail
+  tolerant readers over one file or a directory of trace files, like
+  the ledger reader.
+* :func:`stitch_trace` / :func:`format_trace_tree` — reconstruct and
+  render the cross-process call tree for ``repro trace-view``: parent
+  links bind spans within a process, wall-clock ordering arranges the
+  per-process roots, and durations always come from monotonic clocks.
+
+Like the rest of ``repro.obs`` this depends only on the standard
+library, and recording is strictly read-only with respect to the
+optimization trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "mint_trace_id",
+    "check_trace_id",
+    "TraceRecorder",
+    "NullTraceRecorder",
+    "NULL_TRACE_RECORDER",
+    "TRACE_FILE_SUFFIX",
+    "read_trace_events",
+    "collect_trace",
+    "stitch_trace",
+    "format_trace_tree",
+]
+
+TRACE_FILE_SUFFIX = ".trace.jsonl"
+
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._:-]{0,127}$")
+_UNSAFE_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def mint_trace_id() -> str:
+    """Return a fresh 32-hex-char trace identifier."""
+    return uuid.uuid4().hex
+
+
+def check_trace_id(trace_id: str) -> str:
+    """Validate an externally supplied trace id (e.g. ``X-Trace-Id``).
+
+    Accepts 1-128 chars of ``[A-Za-z0-9._:-]`` starting alphanumeric —
+    wide enough for W3C-style ids, narrow enough to embed safely in
+    filenames, SQL, and log lines.  Raises :class:`ValueError` otherwise.
+    """
+    if not isinstance(trace_id, str) or not _TRACE_ID_RE.match(trace_id):
+        raise ValueError(f"invalid trace id: {trace_id!r}")
+    return trace_id
+
+
+def safe_process_name(process: str) -> str:
+    """Collapse a process/worker id into a filesystem-safe token."""
+    return _UNSAFE_RE.sub("-", process).strip("-") or "process"
+
+
+class _Span:
+    """Context manager for one recorded span (internal)."""
+
+    __slots__ = ("recorder", "record", "mono_start")
+
+    def __init__(self, recorder: "TraceRecorder", record: Dict[str, Any]):
+        self.recorder = recorder
+        self.record = record
+        self.mono_start = record["mono"]
+
+    @property
+    def span_id(self) -> str:
+        return self.record["span_id"]
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.record.get("trace_id")
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach extra fields to the eventual ``end`` record."""
+        self.record.update(_sanitize(fields))
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.recorder._finish(self, error=exc)
+        return False
+
+
+class TraceRecorder:
+    """Append completed spans for one process as JSON lines.
+
+    One recorder per process; thread-safe (the serve stack records from
+    HTTP handler threads and in-server worker threads concurrently).
+    Each span appends two records sharing a ``span_id``::
+
+        {"phase": "start", "trace_id": ..., "span_id": ..., "parent_id": ...,
+         "name": ..., "process": ..., "pid": ..., "wall": <time.time()>,
+         "mono": <time.monotonic()>, ...}
+        {"phase": "end", ..., "duration_s": <monotonic delta>, "status": "ok"|"error"}
+
+    Files are opened, appended, and closed per record (same crash-safety
+    posture as :class:`~repro.experiments.ledger.RunLedger`), so a
+    ``kill -9`` can tear at most the final line — which the readers
+    tolerate — and never corrupts earlier records.
+    """
+
+    def __init__(self, path: PathLike, process: str = "", enabled: bool = True):
+        self.path = Path(path)
+        self.process = process or f"pid-{os.getpid()}"
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._stack = threading.local()
+        if self.enabled:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def for_process(
+        cls, traces_dir: PathLike, process: str, enabled: bool = True
+    ) -> "TraceRecorder":
+        """Build a recorder writing ``<traces_dir>/<process>-<pid>.trace.jsonl``."""
+        name = f"{safe_process_name(process)}-{os.getpid()}{TRACE_FILE_SUFFIX}"
+        return cls(Path(traces_dir) / name, process=process, enabled=enabled)
+
+    # -- recording -------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        **fields: Any,
+    ) -> _Span:
+        """Open a span; use as ``with recorder.span("execute", trace_id=t):``.
+
+        ``parent_id`` defaults to the innermost open span on this thread,
+        and ``trace_id`` is likewise inherited when omitted, so nested
+        spans stitch automatically.
+        """
+        stack = self._thread_stack()
+        if parent_id is None and stack:
+            parent_id = stack[-1].span_id
+        if trace_id is None and stack:
+            trace_id = stack[-1].trace_id
+        record: Dict[str, Any] = {
+            "phase": "start",
+            "trace_id": trace_id,
+            "span_id": uuid.uuid4().hex[:16],
+            "parent_id": parent_id,
+            "name": name,
+            "process": self.process,
+            "pid": os.getpid(),
+            "wall": time.time(),
+            "mono": time.monotonic(),
+        }
+        record.update(_sanitize(fields))
+        span = _Span(self, record)
+        self._append(record)
+        stack.append(span)
+        return span
+
+    def _finish(self, span: _Span, error: Optional[BaseException] = None) -> None:
+        stack = self._thread_stack()
+        if span in stack:
+            stack.remove(span)
+        end = dict(span.record)
+        end["phase"] = "end"
+        end["duration_s"] = max(0.0, time.monotonic() - span.mono_start)
+        end["status"] = "error" if error is not None else "ok"
+        if error is not None:
+            end["error"] = f"{type(error).__name__}: {error}"
+        self._append(end)
+
+    def _thread_stack(self) -> List[_Span]:
+        stack = getattr(self._stack, "spans", None)
+        if stack is None:
+            stack = []
+            self._stack.spans = stack
+        return stack
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+
+
+class NullTraceRecorder(TraceRecorder):
+    """Recorder that records nothing; safe default everywhere."""
+
+    def __init__(self):  # noqa: D107 - trivially disabled
+        super().__init__(Path(os.devnull), process="null", enabled=False)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        pass
+
+
+NULL_TRACE_RECORDER = NullTraceRecorder()
+
+
+def _sanitize(fields: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in fields.items():
+        if value is None or isinstance(value, (str, int, float, bool)):
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+# ---------------------------------------------------------------- reading
+
+def read_trace_events(path: PathLike) -> List[Dict[str, Any]]:
+    """Read one trace file, tolerating a torn final line.
+
+    A worker killed mid-append leaves a partial last line; like
+    ``read_ledger`` we drop it silently.  A malformed line *before* the
+    tail raises — that indicates real corruption, not a crash artifact.
+    """
+    path = Path(path)
+    events: List[Dict[str, Any]] = []
+    try:
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+    except FileNotFoundError:
+        return events
+    for i, raw in enumerate(raw_lines):
+        if not raw.strip():
+            continue
+        try:
+            events.append(json.loads(raw))
+        except json.JSONDecodeError:
+            if i == len(raw_lines) - 1:
+                break  # torn tail from a crash mid-append
+            raise ValueError(f"{path}: corrupt trace record at line {i + 1}")
+    return events
+
+
+def trace_files(root: PathLike) -> List[Path]:
+    """All trace files under ``root`` (a directory, file, or glob)."""
+    root = Path(root)
+    if root.is_file():
+        return [root]
+    if root.is_dir():
+        return sorted(root.rglob(f"*{TRACE_FILE_SUFFIX}"))
+    parent = root.parent if root.parent != Path("") else Path(".")
+    return sorted(parent.glob(root.name))
+
+
+def collect_trace(
+    root: PathLike, trace_id: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Gather span events from every trace file under ``root``.
+
+    With ``trace_id`` given, only that trace's events are returned.
+    """
+    events: List[Dict[str, Any]] = []
+    for path in trace_files(root):
+        for event in read_trace_events(path):
+            if trace_id is None or event.get("trace_id") == trace_id:
+                events.append(event)
+    return events
+
+
+# --------------------------------------------------------------- stitching
+
+def stitch_trace(events: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Merge start/end records and rebuild the cross-process span tree.
+
+    Returns the list of root span nodes.  Each node is the merged span
+    record plus ``children`` (list of nodes) and ``in_progress`` (True
+    when only the ``start`` record survived — e.g. the process was
+    ``kill -9``-ed mid-span).
+
+    Ordering is wall-clock-skew tolerant: children of one span belong to
+    a single process, so they sort by the monotonic timestamp; only the
+    relative placement of *roots* from different processes relies on
+    wall clocks, and then only for display order.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for event in events:
+        span_id = event.get("span_id")
+        if not span_id:
+            continue
+        if span_id not in merged:
+            merged[span_id] = dict(event)
+            merged[span_id]["in_progress"] = event.get("phase") != "end"
+            order.append(span_id)
+        elif event.get("phase") == "end":
+            merged[span_id].update(event)
+            merged[span_id]["in_progress"] = False
+
+    for span_id in order:
+        merged[span_id]["children"] = []
+    roots: List[Dict[str, Any]] = []
+    for span_id in order:
+        node = merged[span_id]
+        parent_id = node.get("parent_id")
+        if parent_id and parent_id in merged:
+            merged[parent_id]["children"].append(node)
+        else:
+            roots.append(node)
+
+    def sort_children(node: Dict[str, Any]) -> None:
+        node["children"].sort(key=lambda n: n.get("mono", 0.0))
+        for child in node["children"]:
+            sort_children(child)
+
+    for root in roots:
+        sort_children(root)
+    roots.sort(key=lambda n: (n.get("wall", 0.0), n.get("mono", 0.0)))
+    return roots
+
+
+_DETAIL_KEYS = ("job_id", "attempt", "worker", "resumed", "status", "error")
+
+
+def _format_node(node: Dict[str, Any], indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if node.get("in_progress"):
+        duration = "(unfinished)"
+    else:
+        duration = f"{float(node.get('duration_s', 0.0)) * 1000.0:.1f}ms"
+    details = []
+    for key in _DETAIL_KEYS:
+        value = node.get(key)
+        if value is not None and value != "" and not (key == "status" and value == "ok"):
+            details.append(f"{key}={value}")
+    detail = f"  [{' '.join(details)}]" if details else ""
+    process = node.get("process", "?")
+    lines.append(f"{pad}{node.get('name', '?')}  ({process})  {duration}{detail}")
+    for child in node.get("children", ()):
+        _format_node(child, indent + 1, lines)
+
+
+def format_trace_tree(
+    roots: Iterable[Dict[str, Any]], trace_id: Optional[str] = None
+) -> str:
+    """Render a stitched trace as an indented, human-readable tree."""
+    lines: List[str] = []
+    if trace_id:
+        lines.append(f"trace {trace_id}")
+    for root in roots:
+        _format_node(root, 1 if trace_id else 0, lines)
+    processes = sorted({r.get("process", "?") for r in _walk(roots)})
+    if processes:
+        lines.append(f"processes: {', '.join(processes)}")
+    return "\n".join(lines)
+
+
+def _walk(nodes: Iterable[Dict[str, Any]]) -> Iterable[Dict[str, Any]]:
+    for node in nodes:
+        yield node
+        for sub in _walk(node.get("children", ())):
+            yield sub

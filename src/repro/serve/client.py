@@ -47,9 +47,12 @@ class ServeClient:
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Any:
         data = None
         headers = {"Accept": "application/json"}
+        if extra_headers:
+            headers.update(extra_headers)
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -73,15 +76,24 @@ class ServeClient:
 
     # ----------------------------------------------------------------- jobs
 
-    def submit(self, params: Dict[str, Any], kind: str = "run_one") -> Dict[str, Any]:
+    def submit(
+        self,
+        params: Dict[str, Any],
+        kind: str = "run_one",
+        trace_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Submit a job; returns its snapshot (``state == "queued"``).
 
+        *trace_id* propagates the caller's trace context via the
+        ``X-Trace-Id`` header; the snapshot's ``trace_id`` field carries
+        whichever id (supplied or server-minted) the job now follows.
         Raises :class:`ServeError` with ``status == 429`` when the
         service is applying backpressure — back off and retry.
         """
         body = dict(params)
         body["kind"] = kind
-        return self._request("POST", "/jobs", payload=body)
+        extra = {"X-Trace-Id": trace_id} if trace_id else None
+        return self._request("POST", "/jobs", payload=body, extra_headers=extra)
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{quote(job_id)}")

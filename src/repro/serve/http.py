@@ -54,7 +54,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro.obs.exporters import to_prometheus
+from repro.obs.exporters import merge_prometheus, parse_prometheus, to_prometheus
+from repro.obs.logging import get_logger
 from repro.obs.registry import MetricsRegistry
 from repro.serve.jobs import JobManager, JobQueueFull, UnknownJob
 from repro.serve.store import JOB_STATES
@@ -99,6 +100,7 @@ class ServeApp:
         self._m_surfaces = self.registry.gauge(
             "repro_serve_surfaces", "Registered surface names"
         )
+        self._log = get_logger("serve.http")
 
     # -------------------------------------------------------------- dispatch
 
@@ -107,17 +109,21 @@ class ServeApp:
         method: str,
         target: str,
         body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, str, bytes]:
         """Route one request; returns ``(status, content_type, body)``.
 
+        *headers* (lower-cased keys) carries the bits of the request the
+        router honours — currently just ``x-trace-id`` on ``POST /jobs``.
         Never raises: anything unexpected becomes a 500 JSON error, so a
         broken handler cannot take down the serving thread.
         """
         started = time.perf_counter()
+        headers = headers or {}
         parsed = urlparse(target)
         path = parsed.path.rstrip("/") or "/"
         query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
-        route, thunk = self._match(method.upper(), path, query, body)
+        route, thunk = self._match(method.upper(), path, query, body, headers)
         try:
             status, payload = thunk()
         except JobQueueFull as exc:
@@ -133,6 +139,18 @@ class ServeApp:
             method=method.upper(), route=route, status=str(status)
         ).inc()
         self._m_latency.labels(route=route).observe(elapsed)
+        if status >= 500:
+            self._log.error(
+                "request failed", method=method.upper(), route=route, status=status
+            )
+        else:
+            self._log.debug(
+                "request served",
+                method=method.upper(),
+                route=route,
+                status=status,
+                elapsed_s=round(elapsed, 6),
+            )
         if isinstance(payload, str):
             return status, _PROMETHEUS_CONTENT_TYPE, payload.encode("utf-8")
         body_out = (json.dumps(payload) + "\n").encode("utf-8")
@@ -144,6 +162,7 @@ class ServeApp:
         path: str,
         query: Dict[str, str],
         body: bytes,
+        headers: Dict[str, str],
     ):
         """Resolve ``(route_label, thunk)`` — the label is known *before*
         the handler runs, so error responses are attributed correctly."""
@@ -151,16 +170,11 @@ class ServeApp:
         if path == "/healthz" and method == "GET":
             return "/healthz", lambda: (200, self._healthz())
         if path == "/metrics" and method == "GET":
-
-            def metrics():
-                self._refresh_store_gauges()
-                return 200, to_prometheus(self.registry)
-
-            return "/metrics", metrics
+            return "/metrics", lambda: (200, self._metrics())
         if parts[:1] == ["jobs"]:
             if len(parts) == 1:
                 if method == "POST":
-                    return "/jobs", lambda: (202, self._submit(body))
+                    return "/jobs", lambda: (202, self._submit(body, headers))
                 if method == "GET":
                     return "/jobs", lambda: (
                         200,
@@ -200,7 +214,7 @@ class ServeApp:
 
     # --------------------------------------------------------------- routes
 
-    def _submit(self, body: bytes) -> Dict[str, Any]:
+    def _submit(self, body: bytes, headers: Dict[str, str]) -> Dict[str, Any]:
         if len(body) > MAX_BODY_BYTES:
             raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
         try:
@@ -210,8 +224,35 @@ class ServeApp:
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")
         kind = str(payload.pop("kind", "run_one"))
-        job = self.manager.submit(payload, kind=kind)
+        # Callers propagate their own trace context via X-Trace-Id;
+        # without one the manager mints a fresh id.  Either way the id
+        # comes back in the snapshot for the client to follow.
+        trace_id = headers.get("x-trace-id")
+        job = self.manager.submit(payload, kind=kind, trace_id=trace_id)
         return job.snapshot()
+
+    def _metrics(self) -> str:
+        """Local live series merged with fresh worker snapshots.
+
+        External workers flush their registries into the job store on
+        the heartbeat cadence; their samples appear here under a
+        ``worker="<id>"`` label.  A snapshot that fails to parse is
+        skipped (one corrupt worker must not take down the scrape), and
+        snapshots past the TTL were already dropped by the manager.
+        """
+        self._refresh_store_gauges()
+        local = to_prometheus(self.registry)
+        snapshots: Dict[str, str] = {}
+        for worker, payload in self.manager.worker_snapshots().items():
+            try:
+                parse_prometheus(payload)
+            except ValueError:
+                self._log.warning("skipping unparseable snapshot", worker=worker)
+                continue
+            snapshots[worker] = payload
+        if not snapshots:
+            return local
+        return merge_prometheus(snapshots, label="worker", base=local)
 
     def _list_jobs(self, query: Dict[str, str]):
         state = query.get("state")
@@ -259,6 +300,7 @@ class ServeApp:
             "jobs": self.manager.counts(),
             "store": self.store.stats(),
             "job_store": self.manager.job_store.stats(),
+            "workers": self.manager.worker_flush_ages(),
         }
 
     def _refresh_store_gauges(self) -> None:
@@ -289,7 +331,10 @@ class _Handler(BaseHTTPRequestHandler):
             if length:
                 body = self.rfile.read(length)
         app: ServeApp = self.server.app  # type: ignore[attr-defined]
-        status, content_type, payload = app.handle(method, self.path, body)
+        headers = {k.lower(): v for k, v in self.headers.items()}
+        status, content_type, payload = app.handle(
+            method, self.path, body, headers=headers
+        )
         self._reply(status, content_type, payload)
 
     def _reply(self, status: int, content_type: str, payload: bytes) -> None:

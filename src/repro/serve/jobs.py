@@ -47,7 +47,14 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from repro.core.evaluation import BACKEND_NAMES
 from repro.experiments.runner import resume_run, run_many, run_one
+from repro.obs.logging import get_logger
 from repro.obs.registry import NULL_METRICS
+from repro.obs.tracing import (
+    NULL_TRACE_RECORDER,
+    TraceRecorder,
+    check_trace_id,
+    mint_trace_id,
+)
 from repro.serve.store import (
     JobQueueFull,
     JobRecord,
@@ -141,6 +148,15 @@ class JobManager:
     retain_terminal:
         How many finished/failed/cancelled jobs to keep before evicting
         the oldest (bounds the job table in a long-lived server).
+    snapshot_ttl_s:
+        Worker metrics snapshots older than this are dropped from
+        ``/metrics`` (and eventually evicted from the store) — a crashed
+        or drained worker ages out instead of reporting frozen counters
+        forever.  Defaults to three lease periods.
+    tracing:
+        When true (the default), the manager records server-side spans
+        (``server:submit``) into ``<data_dir>/traces/`` and in-server
+        worker loops export their attempt spans there too.
     """
 
     def __init__(
@@ -157,6 +173,8 @@ class JobManager:
         lease_s: float = DEFAULT_LEASE_S,
         poll_s: float = 0.05,
         retain_terminal: int = 10_000,
+        snapshot_ttl_s: Optional[float] = None,
+        tracing: bool = True,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -173,6 +191,20 @@ class JobManager:
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.queue_size = int(queue_size)
         self.retain_terminal = int(retain_terminal)
+        self.snapshot_ttl_s = (
+            float(snapshot_ttl_s) if snapshot_ttl_s is not None else 3.0 * lease_s
+        )
+        if self.snapshot_ttl_s <= 0:
+            raise ValueError(
+                f"snapshot_ttl_s must be > 0, got {self.snapshot_ttl_s}"
+            )
+        self.traces_dir = self.data_dir / "traces"
+        self.recorder = (
+            TraceRecorder.for_process(self.traces_dir, "server")
+            if tracing
+            else NULL_TRACE_RECORDER
+        )
+        self._log = get_logger("serve.jobs")
         metrics = NULL_METRICS if metrics is None else metrics
         self.job_store = (
             job_store
@@ -229,6 +261,7 @@ class JobManager:
                 stop=self._stop,
                 on_transition=self.refresh_gauges,
                 on_finished=self._record_finished,
+                recorder=self.recorder,
             )
             for i in range(workers)
         ]
@@ -244,8 +277,18 @@ class JobManager:
 
     # ---------------------------------------------------------------- submit
 
-    def submit(self, params: Dict[str, Any], kind: str = "run_one") -> Job:
+    def submit(
+        self,
+        params: Dict[str, Any],
+        kind: str = "run_one",
+        trace_id: Optional[str] = None,
+    ) -> Job:
         """Validate and enqueue a job; returns it (state ``queued``).
+
+        *trace_id* is the distributed trace context: callers may supply
+        one (the HTTP layer forwards ``X-Trace-Id``), otherwise a fresh
+        id is minted here — either way it is persisted on the job row
+        and follows the job through every worker attempt.
 
         Raises :class:`ValueError` on malformed parameters and
         :class:`JobQueueFull` when the queue is at capacity (the
@@ -253,6 +296,7 @@ class JobManager:
         """
         if kind not in ("run_one", "run_many"):
             raise ValueError(f"unknown job kind {kind!r} (want run_one/run_many)")
+        trace_id = mint_trace_id() if trace_id is None else check_trace_id(trace_id)
         params = dict(params or {})
         unknown = sorted(set(params) - JOB_PARAMS)
         if unknown:
@@ -285,16 +329,28 @@ class JobManager:
             params=params,
             ledger_path=str(self.data_dir / "jobs" / f"{job_id}.ledger.jsonl"),
             checkpoint_path=str(self.data_dir / "jobs" / f"{job_id}.ckpt"),
+            trace_id=trace_id,
         )
         with self._lock:
             if self._closed:
                 raise RuntimeError("JobManager is shut down; no new jobs accepted")
-        try:
-            self.job_store.submit(record, queue_bound=self.queue_size)
-        except JobQueueFull:
-            self._m_rejected.inc()
-            raise
+        with self.recorder.span(
+            "server:submit", trace_id=trace_id, job_id=job_id, kind=kind
+        ):
+            try:
+                self.job_store.submit(record, queue_bound=self.queue_size)
+            except JobQueueFull:
+                self._m_rejected.inc()
+                self._log.warning(
+                    "submission rejected: queue full",
+                    trace_id=trace_id,
+                    queue_size=self.queue_size,
+                )
+                raise
         self._m_submitted.inc()
+        self._log.info(
+            "job submitted", job_id=job_id, trace_id=trace_id, kind=kind
+        )
         self.job_store.evict_terminal(self.retain_terminal)
         self.refresh_gauges()
         self._wake.set()
@@ -316,6 +372,33 @@ class JobManager:
     def counts(self) -> Dict[str, int]:
         return self.job_store.counts()
 
+    # ------------------------------------------------------- worker metrics
+
+    def worker_snapshots(self) -> Dict[str, str]:
+        """Fresh worker metrics snapshots: ``{worker: prometheus_text}``.
+
+        Applies the snapshot TTL and opportunistically evicts anything
+        stale from the store (called from ``/metrics``, so eviction
+        needs no background thread).
+        """
+        self.job_store.evict_stale_worker_metrics(self.snapshot_ttl_s)
+        return {
+            worker: payload
+            for worker, (_age, payload) in self.job_store.worker_snapshots(
+                ttl_s=self.snapshot_ttl_s
+            ).items()
+        }
+
+    def worker_flush_ages(self) -> Dict[str, Dict[str, Any]]:
+        """Per-worker last-flush age for ``/healthz``."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for worker, (age, _payload) in self.job_store.worker_snapshots().items():
+            out[worker] = {
+                "last_flush_age_s": round(age, 3),
+                "fresh": age <= self.snapshot_ttl_s,
+            }
+        return out
+
     # ---------------------------------------------------------------- cancel
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
@@ -328,6 +411,12 @@ class JobManager:
         """
         prior = self.job_store.get(job_id).state
         record = self.job_store.cancel(job_id)
+        self._log.info(
+            "cancel requested",
+            job_id=job_id,
+            trace_id=record.trace_id,
+            prior_state=prior,
+        )
         if prior == "queued" and record.state == "cancelled":
             self._m_finished.labels(state="cancelled").inc()
         with self._cancel_lock:

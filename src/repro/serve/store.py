@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.logging import get_logger
 from repro.obs.registry import NULL_METRICS
 
 PathLike = Union[str, Path]
@@ -84,15 +85,28 @@ CREATE TABLE IF NOT EXISTS jobs (
     lease_expires_at REAL,
     heartbeat_at     REAL,
     attempt          INTEGER NOT NULL DEFAULT 0,
-    cancel_requested INTEGER NOT NULL DEFAULT 0
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    trace_id         TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs(state);
+CREATE TABLE IF NOT EXISTS worker_metrics (
+    worker     TEXT PRIMARY KEY,
+    updated_at REAL NOT NULL,
+    payload    TEXT NOT NULL
+);
 """
 
 _COLUMNS = (
     "id, kind, params, state, submitted_at, started_at, finished_at, error, "
     "result, surface, ledger_path, checkpoint_path, lease_owner, "
-    "lease_expires_at, heartbeat_at, attempt, cancel_requested"
+    "lease_expires_at, heartbeat_at, attempt, cancel_requested, trace_id"
+)
+
+#: Columns added after the v1 schema shipped; existing store files are
+#: upgraded in place via ``ALTER TABLE`` (SQLite appends new columns at
+#: the end, which is why ``trace_id`` is last in ``_COLUMNS``).
+_JOBS_MIGRATIONS = (
+    ("trace_id", "ALTER TABLE jobs ADD COLUMN trace_id TEXT"),
 )
 
 
@@ -147,6 +161,7 @@ class JobRecord:
     heartbeat_at: Optional[float] = None
     attempt: int = 0
     cancel_requested: bool = False
+    trace_id: Optional[str] = None
 
     @property
     def finished(self) -> bool:
@@ -171,6 +186,7 @@ class JobRecord:
                 "worker": self.lease_owner,
                 "attempt": self.attempt,
                 "cancel_requested": self.cancel_requested,
+                "trace_id": self.trace_id,
             }
         )
 
@@ -194,6 +210,7 @@ class JobRecord:
             heartbeat_at=row[14],
             attempt=row[15],
             cancel_requested=bool(row[16]),
+            trace_id=row[17],
         )
 
 
@@ -247,9 +264,27 @@ class JobStore:
             "repro_serve_jobs_evicted_total",
             "Terminal jobs evicted by the retention bound",
         )
+        self._m_flushes = metrics.counter(
+            "repro_serve_metrics_flushes_total",
+            "Worker metrics snapshots flushed into the store",
+        )
+        self._m_snapshots_evicted = metrics.counter(
+            "repro_serve_metrics_snapshots_evicted_total",
+            "Stale worker metrics snapshots evicted past the TTL",
+        )
+        self._log = get_logger("serve.store", store=str(self.path))
         with self._op("init"):
             conn = self._conn()
             conn.executescript(_SCHEMA)
+            self._migrate(conn)
+
+    def _migrate(self, conn: sqlite3.Connection) -> None:
+        """Upgrade a pre-existing store file to the current jobs schema."""
+        present = {row[1] for row in conn.execute("PRAGMA table_info(jobs)")}
+        for column, ddl in _JOBS_MIGRATIONS:
+            if column not in present:
+                conn.execute(ddl)
+                self._log.info("migrated jobs table", added_column=column)
 
     # ------------------------------------------------------------- plumbing
 
@@ -329,7 +364,7 @@ class JobStore:
                         )
                 conn.execute(
                     f"INSERT INTO jobs ({_COLUMNS}) "
-                    "VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                    "VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
                     (
                         record.id,
                         record.kind,
@@ -348,6 +383,7 @@ class JobStore:
                         record.heartbeat_at,
                         record.attempt,
                         int(record.cancel_requested),
+                        record.trace_id,
                     ),
                 )
 
@@ -605,7 +641,68 @@ class JobStore:
                         )
                         self._m_requeued.inc()
                     transitioned.append(job_id)
+        for job_id in transitioned:
+            self._log.warning("lease expired; job transitioned", job_id=job_id)
         return [self.get(job_id) for job_id in transitioned]
+
+    # ------------------------------------------------------ worker metrics
+
+    def flush_worker_metrics(
+        self, worker: str, payload: str, now: Optional[float] = None
+    ) -> None:
+        """Upsert one worker's metrics snapshot (Prometheus text).
+
+        Workers call this on the heartbeat cadence; the server's
+        ``/metrics`` merges the stored snapshots under a ``worker``
+        label.  Last write wins per worker id.
+        """
+        now = time.time() if now is None else now
+        with self._op("metrics_flush"):
+            self._conn().execute(
+                "INSERT INTO worker_metrics (worker, updated_at, payload) "
+                "VALUES (?,?,?) ON CONFLICT(worker) DO UPDATE SET "
+                "updated_at=excluded.updated_at, payload=excluded.payload",
+                (worker, now, payload),
+            )
+        self._m_flushes.inc()
+
+    def worker_snapshots(
+        self, ttl_s: Optional[float] = None, now: Optional[float] = None
+    ) -> Dict[str, Tuple[float, str]]:
+        """Worker snapshots as ``{worker: (age_s, payload)}``.
+
+        With ``ttl_s`` given, snapshots older than the TTL are omitted —
+        a worker that stopped flushing (crashed, drained) ages out of
+        ``/metrics`` instead of reporting frozen counters forever.
+        """
+        now = time.time() if now is None else now
+        with self._op("metrics_read"):
+            rows = self._conn().execute(
+                "SELECT worker, updated_at, payload FROM worker_metrics"
+            ).fetchall()
+        out: Dict[str, Tuple[float, str]] = {}
+        for worker, updated_at, payload in rows:
+            age = max(0.0, now - updated_at)
+            if ttl_s is not None and age > ttl_s:
+                continue
+            out[worker] = (age, payload)
+        return out
+
+    def evict_stale_worker_metrics(
+        self, ttl_s: float, now: Optional[float] = None
+    ) -> int:
+        """Delete snapshots older than ``ttl_s``; returns rows removed."""
+        now = time.time() if now is None else now
+        with self._op("metrics_evict"):
+            cursor = self._conn().execute(
+                "DELETE FROM worker_metrics WHERE updated_at < ?",
+                (now - ttl_s,),
+            )
+        evicted = cursor.rowcount
+        if evicted > 0:
+            self._m_snapshots_evicted.inc(evicted)
+            self._log.info("evicted stale worker metrics", count=evicted)
+        return evicted
 
     # ------------------------------------------------------------ retention
 

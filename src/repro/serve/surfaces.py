@@ -150,7 +150,12 @@ class SurfaceStore:
 
     # ------------------------------------------------------------- register
 
-    def register(self, name: str, surface: DesignSurface) -> int:
+    def register(
+        self,
+        name: str,
+        surface: DesignSurface,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> int:
         """Persist *surface* as the next version of *name*; returns it.
 
         The write is atomic *and exclusive*: the payload is written to a
@@ -160,6 +165,11 @@ class SurfaceStore:
         against one surface root) can never clobber each other's
         version; the loser simply retries with the next number.  A
         crash mid-write cannot damage earlier versions.
+
+        *metadata* (provenance: ``trace_id``, ``job_id``, worker,
+        attempt) is written to a ``v%04d.meta.json`` sidecar — kept out
+        of the surface payload itself so surface bytes stay a pure
+        function of the optimization results.
         """
         _check_name(name)
         payload = json.dumps(surface.to_dict(), indent=2)
@@ -183,9 +193,30 @@ class SurfaceStore:
                     break
             finally:
                 os.unlink(tmp)
+            if metadata is not None:
+                self.meta_path_for(name, version).write_text(
+                    json.dumps(metadata, indent=2, default=str) + "\n",
+                    encoding="utf-8",
+                )
             self._surfaces.put((name, version), surface)
             self.n_registered += 1
             return version
+
+    def meta_path_for(self, name: str, version: int) -> Path:
+        _check_name(name)
+        return self.root / name / f"v{int(version):04d}.meta.json"
+
+    def metadata(
+        self, name: str, version: Optional[int] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Provenance sidecar for one surface version (``None`` if absent)."""
+        with self._lock:
+            v = self.latest_version(name) if version is None else int(version)
+            path = self.meta_path_for(name, v)
+            try:
+                return json.loads(path.read_text(encoding="utf-8"))
+            except (FileNotFoundError, json.JSONDecodeError):
+                return None
 
     # ---------------------------------------------------------------- load
 
@@ -213,7 +244,7 @@ class SurfaceStore:
         """JSON-able summary of one surface version."""
         surface, v = self._load_versioned(name, version)
         lo, hi = surface.load_range
-        return {
+        out = {
             "name": name,
             "version": v,
             "versions": self.versions(name),
@@ -225,6 +256,10 @@ class SurfaceStore:
             "power_max": float(surface.power.max()),
             "path": str(self.path_for(name, v)),
         }
+        metadata = self.metadata(name, v)
+        if metadata is not None:
+            out["metadata"] = metadata
+        return out
 
     # -------------------------------------------------------------- queries
 

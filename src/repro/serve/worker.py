@@ -38,8 +38,12 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.callbacks import RunTimeoutError
+from repro.experiments.ledger import RunLedger
 from repro.experiments.runner import Scale, resume_run, run_many, run_one
 from repro.experiments.tradeoff import DesignSurface
+from repro.obs.exporters import to_prometheus
+from repro.obs.logging import get_logger
+from repro.obs.tracing import NULL_TRACE_RECORDER, TraceRecorder
 from repro.serve.store import JobRecord, JobStore, _jsonable
 
 PathLike = Union[str, Path]
@@ -122,6 +126,7 @@ class _Heartbeat(threading.Thread):
         owner: str,
         lease_s: float,
         lease_lost: threading.Event,
+        on_beat: Optional[Callable[[], None]] = None,
     ) -> None:
         super().__init__(name=f"repro-heartbeat-{job_id}", daemon=True)
         self.store = store
@@ -129,6 +134,7 @@ class _Heartbeat(threading.Thread):
         self.owner = owner
         self.lease_s = float(lease_s)
         self.lease_lost = lease_lost
+        self.on_beat = on_beat
         self._stop = threading.Event()
 
     def run(self) -> None:
@@ -137,6 +143,8 @@ class _Heartbeat(threading.Thread):
             if not self.store.heartbeat(self.job_id, self.owner, self.lease_s):
                 self.lease_lost.set()
                 return
+            if self.on_beat is not None:
+                self.on_beat()
 
     def stop(self) -> None:
         self._stop.set()
@@ -169,6 +177,17 @@ class WorkerLoop:
     on_transition / on_finished:
         Manager hooks: gauge refresh after any state transition, and
         metric accounting when this worker finishes a job locally.
+    recorder:
+        Optional :class:`~repro.obs.tracing.TraceRecorder`; each attempt
+        exports spans tagged with the job's ``trace_id`` so
+        ``repro trace-view`` can stitch the cross-process lifecycle.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` owned by
+        this worker's **process**; its Prometheus snapshot is flushed
+        into the store on the heartbeat cadence so the server's
+        ``/metrics`` can serve it under a ``worker`` label.  In-server
+        loops leave this ``None`` (their metrics are already local to
+        the server).
     """
 
     def __init__(
@@ -187,6 +206,8 @@ class WorkerLoop:
         stop: Optional[threading.Event] = None,
         on_transition: Optional[Callable[[], None]] = None,
         on_finished: Optional[Callable[[JobRecord, str, float], None]] = None,
+        recorder: Optional[TraceRecorder] = None,
+        registry=None,
     ) -> None:
         if lease_s <= 0:
             raise ValueError(f"lease_s must be > 0, got {lease_s}")
@@ -206,7 +227,34 @@ class WorkerLoop:
         self._stop = stop or threading.Event()
         self._on_transition = on_transition or (lambda: None)
         self._on_finished = on_finished or (lambda record, state, started: None)
+        self.recorder = recorder if recorder is not None else NULL_TRACE_RECORDER
+        self.registry = registry
+        self._flush_interval = max(0.05, self.lease_s / 3.0)
+        self._last_flush = 0.0
+        self._log = get_logger("serve.worker", worker=self.worker_id)
         self.n_served = 0
+
+    def flush_metrics(self) -> None:
+        """Flush this process's registry snapshot into the store.
+
+        Best-effort: a flush must never take the worker down (the store
+        may be mid-checkpoint or the loop may be draining).
+        """
+        if self.registry is None:
+            return
+        self._last_flush = time.monotonic()
+        try:
+            self.jobs.flush_worker_metrics(
+                self.worker_id, to_prometheus(self.registry)
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            self._log.warning("metrics flush failed", error=str(exc))
+
+    def _maybe_flush_metrics(self) -> None:
+        if self.registry is None:
+            return
+        if time.monotonic() - self._last_flush >= self._flush_interval:
+            self.flush_metrics()
 
     def stop(self) -> None:
         self._stop.set()
@@ -221,9 +269,11 @@ class WorkerLoop:
             reclaimed = self.jobs.requeue_expired()
             if reclaimed:
                 self._on_transition()
+            self._maybe_flush_metrics()
             record = self.jobs.claim_next(self.worker_id, self.lease_s)
             if record is None:
                 if self._stop.is_set():
+                    self.flush_metrics()
                     return self.n_served
                 self._wake.wait(self.poll_s)
                 self._wake.clear()
@@ -232,6 +282,7 @@ class WorkerLoop:
             self.run_job(record)
             self.n_served += 1
             if max_jobs is not None and self.n_served >= max_jobs:
+                self.flush_metrics()
                 return self.n_served
 
     def run_job(self, record: JobRecord) -> None:
@@ -251,15 +302,32 @@ class WorkerLoop:
             lease_lost=lease_lost,
         )
         heartbeat = _Heartbeat(
-            self.jobs, record.id, self.worker_id, self.lease_s, lease_lost
+            self.jobs,
+            record.id,
+            self.worker_id,
+            self.lease_s,
+            lease_lost,
+            on_beat=self.flush_metrics if self.registry is not None else None,
         )
         heartbeat.start()
+        log = self._log.bind(
+            job_id=record.id, trace_id=record.trace_id, attempt=record.attempt
+        )
+        log.info("job claimed", kind=record.kind)
+        attempt_span = self.recorder.span(
+            "worker:attempt",
+            trace_id=record.trace_id,
+            job_id=record.id,
+            attempt=record.attempt,
+            worker=self.worker_id,
+        )
         state: Optional[str] = None
         error: Optional[str] = None
         result: Optional[Dict[str, Any]] = None
         surface: Optional[Dict[str, Any]] = None
         try:
-            result, surface = self._execute(record, token, cancel_event)
+            with attempt_span:
+                result, surface = self._execute(record, token, cancel_event)
             state = "done"
         except JobCancelled as exc:
             state, error = "cancelled", str(exc)
@@ -267,6 +335,7 @@ class WorkerLoop:
             # The store already requeued this job for another worker;
             # recording anything here would clobber the new owner.
             state = None
+            log.warning("lease lost; abandoning run")
         except RunTimeoutError as exc:
             state, error = "failed", f"timeout: {exc}"
         except Exception as exc:  # crash containment: the worker survives
@@ -276,16 +345,30 @@ class WorkerLoop:
             with self._cancel_lock:
                 self._cancel_events.pop(record.id, None)
         if state is not None:
-            applied = self.jobs.finish(
-                record.id,
-                state,
-                error=error,
-                result=result,
-                surface=surface,
-                owner=self.worker_id,
-            )
+            with self.recorder.span(
+                "worker:finish",
+                trace_id=record.trace_id,
+                parent_id=attempt_span.span_id,
+                job_id=record.id,
+                attempt=record.attempt,
+                worker=self.worker_id,
+                state=state,
+            ):
+                applied = self.jobs.finish(
+                    record.id,
+                    state,
+                    error=error,
+                    result=result,
+                    surface=surface,
+                    owner=self.worker_id,
+                )
             if applied:
                 self._on_finished(record, state, started)
+            if error is not None:
+                log.warning("job finished", state=state, error=error)
+            else:
+                log.info("job finished", state=state)
+        self.flush_metrics()
         self._on_transition()
 
     # -------------------------------------------------------------- execute
@@ -303,6 +386,20 @@ class WorkerLoop:
         algo_kwargs: Dict[str, Any] = {}
         if params.get("algorithm") == "sacga" and "n_partitions" in params:
             algo_kwargs["n_partitions"] = int(params["n_partitions"])
+        # Bind the trace context onto the job's ledger so every event it
+        # ever emits — including checkpoint and resume events from later
+        # attempts — carries the submit-time trace_id.
+        ledger: Union[None, str, RunLedger] = record.ledger_path
+        if ledger is not None:
+            ledger = RunLedger(
+                ledger,
+                bound={
+                    "trace_id": record.trace_id,
+                    "job_id": record.id,
+                    "worker": self.worker_id,
+                    "attempt": record.attempt,
+                },
+            )
         common = dict(
             scale=scale,
             generations=scale.generations,
@@ -310,7 +407,7 @@ class WorkerLoop:
             workers=params.get("workers"),
             cache_size=params.get("cache_size"),
             kernel=params.get("kernel"),
-            ledger=record.ledger_path,
+            ledger=ledger,
             timeout_s=params.get("timeout_s"),
             callbacks=[token],
             **algo_kwargs,
@@ -328,38 +425,41 @@ class WorkerLoop:
                 # checkpoint instead of restarting (PR 3's resume is
                 # byte-identical to an uninterrupted run).
                 try:
-                    summary = self._resume_runner(
-                        record.checkpoint_path,
-                        ledger=record.ledger_path,
-                        timeout_s=params.get("timeout_s"),
-                        callbacks=[token],
-                    )
+                    with self.recorder.span("worker:resume"):
+                        summary = self._resume_runner(
+                            record.checkpoint_path,
+                            ledger=ledger,
+                            timeout_s=params.get("timeout_s"),
+                            callbacks=[token],
+                        )
                     resumed = True
                 except (OSError, ValueError, EOFError, pickle.UnpicklingError):
                     summary = None  # corrupt/alien checkpoint: run fresh
             if summary is None:
-                summary = self._runner(
-                    params["algorithm"],
-                    experiment_id,
-                    seed_index=int(params.get("seed_index", 0)),
-                    checkpoint_path=record.checkpoint_path,
-                    checkpoint_every=int(params.get("checkpoint_every", 10)),
-                    **common,
-                )
+                with self.recorder.span("worker:run"):
+                    summary = self._runner(
+                        params["algorithm"],
+                        experiment_id,
+                        seed_index=int(params.get("seed_index", 0)),
+                        checkpoint_path=record.checkpoint_path,
+                        checkpoint_every=int(params.get("checkpoint_every", 10)),
+                        **common,
+                    )
             summaries = [summary]
         else:
-            summaries = self._sweep_runner(
-                params["algorithm"],
-                experiment_id,
-                retries=int(params.get("retries", 0)),
-                skip_failures=bool(params.get("skip_failures", True)),
-                **common,
-            )
+            with self.recorder.span("worker:sweep"):
+                summaries = self._sweep_runner(
+                    params["algorithm"],
+                    experiment_id,
+                    retries=int(params.get("retries", 0)),
+                    skip_failures=bool(params.get("skip_failures", True)),
+                    **common,
+                )
         if cancel_event.is_set():
             # A cancelled sweep seed is swallowed by run_many's fault
             # tolerance; surface the cancellation as the job outcome.
             raise JobCancelled("job cancelled mid-run")
-        surface_info = self._register_surface(record, summaries)
+        surface_info = self._register_surface(record, summaries, resumed=resumed)
         runs = [
             {
                 "algorithm": s.algorithm,
@@ -385,7 +485,7 @@ class WorkerLoop:
         )
         return result, surface_info
 
-    def _register_surface(self, record: JobRecord, summaries):
+    def _register_surface(self, record: JobRecord, summaries, resumed: bool = False):
         if self.surfaces is None or not summaries:
             return None
         results = [
@@ -397,9 +497,26 @@ class WorkerLoop:
             return None
         surface = DesignSurface.from_results(results)
         name = str(record.params.get("surface") or record.id)
-        version = self.surfaces.register(name, surface)
+        with self.recorder.span("worker:register_surface", surface=name) as span:
+            version = self.surfaces.register(
+                name,
+                surface,
+                metadata={
+                    "trace_id": record.trace_id,
+                    "job_id": record.id,
+                    "worker": self.worker_id,
+                    "attempt": record.attempt,
+                    "resumed": resumed,
+                },
+            )
+            span.annotate(version=version)
         return _jsonable(
-            {"name": name, "version": version, "size": surface.size}
+            {
+                "name": name,
+                "version": version,
+                "size": surface.size,
+                "trace_id": record.trace_id,
+            }
         )
 
 
@@ -413,20 +530,37 @@ def _process_worker_main(
     lease_s: float,
     poll_s: float,
     max_jobs: Optional[int],
+    traces_root: Optional[str] = None,
 ) -> None:
-    """Entry point of one ``repro workers`` process."""
+    """Entry point of one ``repro workers`` process.
+
+    Owns this process's observability: a private
+    :class:`~repro.obs.registry.MetricsRegistry` whose snapshots are
+    flushed into the shared store (the server's ``/metrics`` merges them
+    under ``worker="<id>"``), and a :class:`TraceRecorder` appending
+    spans under ``<traces_root>``.
+    """
     import signal
 
+    from repro.obs.registry import MetricsRegistry
     from repro.serve.surfaces import SurfaceStore
 
-    jobs = JobStore(store_path)
+    registry = MetricsRegistry()
+    jobs = JobStore(store_path, metrics=registry)
     surfaces = SurfaceStore(surfaces_root) if surfaces_root else None
+    recorder = (
+        TraceRecorder.for_process(traces_root, worker_id)
+        if traces_root
+        else NULL_TRACE_RECORDER
+    )
     loop = WorkerLoop(
         jobs,
         surfaces,
         worker_id=worker_id,
         lease_s=lease_s,
         poll_s=poll_s,
+        recorder=recorder,
+        registry=registry,
     )
 
     def _graceful(signum, frame):  # pragma: no cover - signal path
@@ -446,6 +580,7 @@ def run_worker_pool(
     poll_s: float = 0.2,
     max_jobs: Optional[int] = None,
     worker_prefix: Optional[str] = None,
+    traces_root: Optional[PathLike] = None,
 ) -> int:
     """Run *n_workers* job workers against *store_path* until stopped.
 
@@ -465,6 +600,7 @@ def run_worker_pool(
             lease_s,
             poll_s,
             max_jobs,
+            None if traces_root is None else str(traces_root),
         )
         return 1
     import multiprocessing
@@ -480,6 +616,7 @@ def run_worker_pool(
                 lease_s,
                 poll_s,
                 max_jobs,
+                None if traces_root is None else str(traces_root),
             ),
             name=f"repro-worker-{i}",
         )

@@ -109,6 +109,39 @@ def test_instrumented_run_serializes_byte_identical(algo):
     assert "repro_backend_batches_total" in collected
 
 
+@pytest.mark.parametrize("algo", ["nsga2", "sacga"])
+def test_distributed_observability_is_byte_invisible(algo, tmp_path):
+    """The serve-stack observability — span export, structured logging,
+    and a trace-bound run ledger — must not perturb the trajectory: a run
+    wrapped the way a traced worker wraps it serializes byte-identically
+    to a bare run."""
+    from repro.experiments.ledger import LedgerCallback, RunLedger, read_ledger
+    from repro.obs.logging import configure_logging, disable_logging, get_logger
+    from repro.obs.tracing import TraceRecorder, read_trace_events
+
+    plain = serialized(build(algo).run(GENS))
+    recorder = TraceRecorder(tmp_path / "run.trace.jsonl", process="test-worker")
+    ledger = RunLedger(
+        tmp_path / "run.jsonl",
+        bound={"trace_id": "det-trace", "job_id": "job-det", "attempt": 1},
+    )
+    try:
+        configure_logging(path=tmp_path / "run.log", level="debug")
+        algorithm = build(algo)
+        algorithm.add_callback(LedgerCallback(ledger, algorithm, run_id="det"))
+        with recorder.span("worker:run", trace_id="det-trace"):
+            get_logger("test").info("instrumented run")
+            result = algorithm.run(GENS)
+    finally:
+        disable_logging()
+    assert serialized(result) == plain
+    # Guard against the instrumented leg silently not instrumenting.
+    assert read_trace_events(recorder.path)
+    events = read_ledger(ledger.path)
+    assert events
+    assert all(e["trace_id"] == "det-trace" for e in events)
+
+
 @pytest.mark.parametrize("algo", ["nsga2", "sacga", "mesacga"])
 def test_serial_and_thread_backends_serialize_byte_identical(algo):
     serial_blob = serialized(build(algo, SerialBackend()).run(GENS))

@@ -536,3 +536,84 @@ class TestResumeRun:
         algo.run(4)
         with pytest.raises(ValueError, match="no runner context"):
             resume_run(str(ckpt))
+
+
+class TestMonotonicTimestamps:
+    def test_emit_records_carry_mono(self, tmp_path):
+        ledger = RunLedger(tmp_path / "t.jsonl")
+        record = ledger.emit("run_started", run="r")
+        assert isinstance(record["mono"], float)
+        (read,) = read_ledger(ledger.path)
+        assert read["mono"] == record["mono"]
+
+    def test_bound_fields_on_every_event(self, tmp_path):
+        ledger = RunLedger(
+            tmp_path / "t.jsonl",
+            bound={"trace_id": "t1", "job_id": "j1", "worker": "w0", "attempt": 1},
+        )
+        ledger.emit("run_started", run="r")
+        ledger.emit("generation", run="r", generation=0)
+        for event in read_ledger(ledger.path):
+            assert event["trace_id"] == "t1"
+            assert event["job_id"] == "j1"
+            assert event["worker"] == "w0"
+            assert event["attempt"] == 1
+
+    def test_event_fields_win_over_bound(self, tmp_path):
+        ledger = RunLedger(tmp_path / "t.jsonl", bound={"attempt": 1})
+        ledger.emit("retry", run="r", attempt=2)
+        (event,) = read_ledger(ledger.path)
+        assert event["attempt"] == 2
+
+    def test_monotonic_preferred_over_elapsed_across_attempts(self):
+        # elapsed_s resets when a resumed attempt creates a fresh
+        # RunLedger; absolute monotonic stamps span both attempts.
+        events = [
+            {"event": "run_started", "run": "r", "elapsed_s": 0.0, "mono": 100.0},
+            {"event": "generation", "run": "r", "generation": 1,
+             "elapsed_s": 5.0, "mono": 105.0},
+            {"event": "resumed", "run": "r", "elapsed_s": 0.0, "mono": 106.0},
+            {"event": "generation", "run": "r", "generation": 2,
+             "elapsed_s": 1.0, "mono": 107.0},
+        ]
+        info = summarize_ledger(events)["runs"]["r"]
+        assert info["wall_time"] == pytest.approx(7.0)
+        assert info["wall_time_source"] == "monotonic"
+        assert "_first_mono" not in info and "_last_mono" not in info
+
+    def test_wall_clock_step_does_not_corrupt_duration(self):
+        # The wall clock ("ts") stepping backwards mid-run must not
+        # matter: durations come from mono, never from parsing ts.
+        events = [
+            {"event": "run_started", "run": "r",
+             "ts": "2026-08-08T12:00:00+00:00", "elapsed_s": 0.0, "mono": 50.0},
+            {"event": "generation", "run": "r", "generation": 1,
+             "ts": "2026-08-08T11:00:00+00:00",  # NTP stepped us back an hour
+             "elapsed_s": 2.0, "mono": 53.0},
+        ]
+        info = summarize_ledger(events)["runs"]["r"]
+        assert info["wall_time"] == pytest.approx(3.0)
+        assert info["wall_time_source"] == "monotonic"
+
+    def test_legacy_events_without_mono_still_summarize(self):
+        events = [
+            {"event": "run_started", "run": "r", "elapsed_s": 1.0},
+            {"event": "generation", "run": "r", "generation": 1, "elapsed_s": 4.0},
+        ]
+        info = summarize_ledger(events)["runs"]["r"]
+        assert info["wall_time"] == pytest.approx(3.0)
+        assert info["wall_time_source"] == "events"
+
+    def test_format_summary_tildes_monotonic_reconstruction(self):
+        events = [
+            {"event": "run_started", "run": "r", "mono": 10.0},
+            {"event": "generation", "run": "r", "generation": 1, "mono": 12.5},
+        ]
+        assert "wall=~2.50s" in format_summary(summarize_ledger(events))
+
+    def test_format_event_hides_mono_detail(self, tmp_path):
+        ledger = RunLedger(tmp_path / "t.jsonl")
+        record = ledger.emit("generation", run="r", generation=3)
+        line = format_event(record)
+        assert "mono=" not in line
+        assert "generation" in line

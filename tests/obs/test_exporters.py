@@ -5,10 +5,12 @@ import json
 import pytest
 
 from repro.obs.exporters import (
+    merge_prometheus,
     metrics_to_csv_rows,
     parse_prometheus,
     read_metrics_csv,
     read_telemetry_csv,
+    render_parsed,
     save_metrics_csv,
     save_profile,
     save_prometheus,
@@ -92,6 +94,101 @@ class TestPrometheus:
         path = save_prometheus(populated_registry(), tmp_path / "snap.prom")
         metrics = parse_prometheus(path.read_text(encoding="utf-8"))
         assert "repro_evaluations_total" in metrics
+
+
+class TestLabelEscaping:
+    # The exposition format defines exactly three label escapes: \\ \" \n.
+
+    TRICKY = [
+        'quote"inside',
+        "back\\slash",
+        "new\nline",
+        "a\\nb",          # literal backslash then the letter n — NOT a newline
+        "trailing\\",
+        '\\"mixed\\n"',
+    ]
+
+    def test_escaped_label_values_round_trip(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("repro_weird", "odd labels", labels=("val",))
+        for i, value in enumerate(self.TRICKY):
+            fam.labels(val=value).set(i)
+        metrics = parse_prometheus(to_prometheus(reg))
+        seen = {
+            s["labels"]["val"]: s["value"]
+            for s in metrics["repro_weird"]["samples"]
+        }
+        assert seen == {v: float(i) for i, v in enumerate(self.TRICKY)}
+
+    def test_backslash_n_is_not_a_newline(self):
+        # Regression: a sequential .replace() chain decoded the wire form
+        # \\n (escaped backslash, then n) as backslash-newline.
+        text = '# TYPE x gauge\nx{v="a\\\\nb"} 1\n'
+        (sample,) = parse_prometheus(text)["x"]["samples"]
+        assert sample["labels"]["v"] == "a\\nb"
+        assert "\n" not in sample["labels"]["v"]
+
+    def test_unknown_escape_keeps_backslash(self):
+        text = '# TYPE x gauge\nx{v="a\\tb"} 1\n'
+        (sample,) = parse_prometheus(text)["x"]["samples"]
+        assert sample["labels"]["v"] == "a\\tb"
+
+    def test_render_parsed_round_trips(self):
+        original = to_prometheus(populated_registry())
+        assert parse_prometheus(render_parsed(parse_prometheus(original))) == (
+            parse_prometheus(original)
+        )
+
+
+class TestMergePrometheus:
+    def _snapshot(self, jobs: int) -> str:
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_total", "Jobs executed").inc(jobs)
+        return to_prometheus(reg)
+
+    def test_injects_worker_label(self):
+        merged = parse_prometheus(
+            merge_prometheus({"w1": self._snapshot(3), "w2": self._snapshot(5)})
+        )
+        by_worker = {
+            s["labels"]["worker"]: s["value"]
+            for s in merged["repro_jobs_total"]["samples"]
+        }
+        assert by_worker == {"w1": 3.0, "w2": 5.0}
+        assert merged["repro_jobs_total"]["kind"] == "counter"
+
+    def test_base_stays_unlabeled_and_first(self):
+        base_reg = MetricsRegistry()
+        base_reg.gauge("repro_up", "Service liveness").set(1)
+        merged_text = merge_prometheus(
+            {"w1": self._snapshot(2)}, base=to_prometheus(base_reg)
+        )
+        merged = parse_prometheus(merged_text)
+        (up,) = merged["repro_up"]["samples"]
+        assert up["labels"] == {}
+        assert merged_text.index("repro_up") < merged_text.index("repro_jobs_total")
+
+    def test_label_values_with_escapes_survive(self):
+        merged = parse_prometheus(
+            merge_prometheus({'w"1\\n': self._snapshot(1)})
+        )
+        (sample,) = merged["repro_jobs_total"]["samples"]
+        assert sample["labels"]["worker"] == 'w"1\\n'
+
+    def test_kind_conflict_skips_samples(self):
+        gauge_reg = MetricsRegistry()
+        gauge_reg.gauge("repro_jobs_total", "Misdeclared").set(9)
+        merged = parse_prometheus(
+            merge_prometheus(
+                {"a": self._snapshot(1), "b": to_prometheus(gauge_reg)}
+            )
+        )
+        samples = merged["repro_jobs_total"]["samples"]
+        assert [s["labels"]["worker"] for s in samples] == ["a"]
+
+    def test_unparseable_snapshot_raises(self):
+        with pytest.raises(ValueError):
+            merge_prometheus({"w1": "orphan 1\n"})
 
 
 class TestMetricsCsv:

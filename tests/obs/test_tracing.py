@@ -1,0 +1,236 @@
+"""Distributed tracing: recorders, torn-tail reads, cross-process stitching."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACE_RECORDER,
+    NullTraceRecorder,
+    TRACE_FILE_SUFFIX,
+    TraceRecorder,
+    check_trace_id,
+    collect_trace,
+    format_trace_tree,
+    mint_trace_id,
+    read_trace_events,
+    safe_process_name,
+    stitch_trace,
+)
+
+
+class TestTraceIds:
+    def test_mint_is_unique_and_valid(self):
+        ids = {mint_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert check_trace_id(trace_id) == trace_id
+
+    def test_check_accepts_w3c_style(self):
+        assert check_trace_id("0af7651916cd43dd8448eb211c80319c") is not None
+        assert check_trace_id("job-42.attempt:1") is not None
+
+    @pytest.mark.parametrize(
+        "bad", ["", ".hidden", "has space", "a" * 129, 'quo"te', "new\nline", None, 7]
+    )
+    def test_check_rejects(self, bad):
+        with pytest.raises(ValueError, match="invalid trace id"):
+            check_trace_id(bad)
+
+    def test_safe_process_name(self):
+        assert safe_process_name("worker/3:a b") == "worker-3-a-b"
+        assert safe_process_name("///") == "process"
+
+
+class TestTraceRecorder:
+    def test_span_writes_start_and_end(self, tmp_path):
+        rec = TraceRecorder(tmp_path / "t.trace.jsonl", process="server")
+        with rec.span("submit", trace_id="t1", job_id="j1"):
+            pass
+        start, end = read_trace_events(rec.path)
+        assert start["phase"] == "start" and end["phase"] == "end"
+        assert start["span_id"] == end["span_id"]
+        assert start["trace_id"] == end["trace_id"] == "t1"
+        assert start["job_id"] == "j1"
+        assert end["status"] == "ok"
+        assert end["duration_s"] >= 0.0
+        assert {"wall", "mono", "pid", "process"} <= set(start)
+
+    def test_nested_spans_inherit_trace_and_parent(self, tmp_path):
+        rec = TraceRecorder(tmp_path / "t.trace.jsonl", process="w")
+        with rec.span("outer", trace_id="t1") as outer:
+            with rec.span("inner") as inner:
+                assert inner.trace_id == "t1"
+        events = read_trace_events(rec.path)
+        inner_start = [e for e in events if e["name"] == "inner"][0]
+        assert inner_start["parent_id"] == outer.span_id
+        assert inner_start["trace_id"] == "t1"
+
+    def test_exception_marks_error_status(self, tmp_path):
+        rec = TraceRecorder(tmp_path / "t.trace.jsonl", process="w")
+        with pytest.raises(RuntimeError):
+            with rec.span("boom", trace_id="t1"):
+                raise RuntimeError("kaput")
+        end = read_trace_events(rec.path)[-1]
+        assert end["status"] == "error"
+        assert "RuntimeError: kaput" in end["error"]
+
+    def test_annotate_lands_on_end_record(self, tmp_path):
+        rec = TraceRecorder(tmp_path / "t.trace.jsonl", process="w")
+        with rec.span("register", trace_id="t1") as span:
+            span.annotate(version=3)
+        end = read_trace_events(rec.path)[-1]
+        assert end["version"] == 3
+
+    def test_thread_local_stacks_do_not_cross(self, tmp_path):
+        rec = TraceRecorder(tmp_path / "t.trace.jsonl", process="w")
+        seen = {}
+
+        def other():
+            with rec.span("b", trace_id="tb") as span:
+                seen["parent"] = span.record["parent_id"]
+
+        with rec.span("a", trace_id="ta"):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert seen["parent"] is None  # thread B never saw thread A's span
+
+    def test_for_process_names_file_by_process_and_pid(self, tmp_path):
+        rec = TraceRecorder.for_process(tmp_path, "worker/1")
+        assert rec.path.parent == tmp_path
+        assert rec.path.name.startswith("worker-1-")
+        assert rec.path.name.endswith(TRACE_FILE_SUFFIX)
+
+    def test_null_recorder_writes_nothing(self, tmp_path):
+        rec = NullTraceRecorder()
+        with rec.span("anything", trace_id="t1") as span:
+            span.annotate(x=1)
+        assert isinstance(NULL_TRACE_RECORDER, TraceRecorder)
+        assert read_trace_events(rec.path) == []
+
+
+class TestReaders:
+    def test_torn_tail_is_dropped(self, tmp_path):
+        rec = TraceRecorder(tmp_path / "t.trace.jsonl", process="w")
+        with rec.span("ok", trace_id="t1"):
+            pass
+        with rec.path.open("a", encoding="utf-8") as fh:
+            fh.write('{"phase": "start", "span_id": "torn')  # kill -9 artifact
+        events = read_trace_events(rec.path)
+        assert len(events) == 2
+        assert all(e["name"] == "ok" for e in events)
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        path.write_text('not json\n{"phase": "start"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt trace record at line 1"):
+            read_trace_events(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_trace_events(tmp_path / "absent.trace.jsonl") == []
+
+    def test_collect_filters_by_trace_id_across_files(self, tmp_path):
+        a = TraceRecorder.for_process(tmp_path, "server")
+        b = TraceRecorder(tmp_path / f"worker-99{TRACE_FILE_SUFFIX}", process="worker")
+        with a.span("submit", trace_id="t1"):
+            pass
+        with b.span("attempt", trace_id="t1"):
+            pass
+        with b.span("attempt", trace_id="other"):
+            pass
+        events = collect_trace(tmp_path, trace_id="t1")
+        assert {e["name"] for e in events} == {"submit", "attempt"}
+        assert all(e["trace_id"] == "t1" for e in events)
+        assert len(collect_trace(tmp_path)) == 6
+
+
+class TestStitching:
+    def _make_events(self):
+        # Server submits; worker attempt 1 dies mid-span (start only, clock
+        # skewed ahead); worker attempt 2 completes.
+        return [
+            {"phase": "start", "span_id": "s1", "parent_id": None, "name": "server:submit",
+             "process": "server", "trace_id": "t1", "wall": 100.0, "mono": 5.0},
+            {"phase": "end", "span_id": "s1", "parent_id": None, "name": "server:submit",
+             "process": "server", "trace_id": "t1", "wall": 100.0, "mono": 5.0,
+             "duration_s": 0.01, "status": "ok"},
+            {"phase": "start", "span_id": "w1", "parent_id": None, "name": "worker:attempt",
+             "process": "worker-a", "trace_id": "t1", "wall": 900.0, "mono": 1.0,
+             "attempt": 1},
+            {"phase": "start", "span_id": "w2", "parent_id": None, "name": "worker:attempt",
+             "process": "worker-b", "trace_id": "t1", "wall": 101.0, "mono": 2.0,
+             "attempt": 2},
+            {"phase": "start", "span_id": "w2f", "parent_id": "w2", "name": "worker:finish",
+             "process": "worker-b", "trace_id": "t1", "wall": 101.5, "mono": 2.5},
+            {"phase": "end", "span_id": "w2f", "parent_id": "w2", "name": "worker:finish",
+             "process": "worker-b", "trace_id": "t1", "wall": 101.5, "mono": 2.5,
+             "duration_s": 0.001, "status": "ok"},
+            {"phase": "end", "span_id": "w2", "parent_id": None, "name": "worker:attempt",
+             "process": "worker-b", "trace_id": "t1", "wall": 101.0, "mono": 2.0,
+             "duration_s": 1.0, "status": "ok", "attempt": 2},
+        ]
+
+    def test_stitch_merges_and_flags_in_progress(self):
+        roots = stitch_trace(self._make_events())
+        by_id = {r["span_id"]: r for r in roots}
+        assert set(by_id) == {"s1", "w1", "w2"}
+        assert by_id["w1"]["in_progress"] is True  # killed attempt
+        assert by_id["w2"]["in_progress"] is False
+        assert by_id["w2"]["children"][0]["span_id"] == "w2f"
+
+    def test_roots_order_by_wall_clock(self):
+        roots = stitch_trace(self._make_events())
+        assert [r["span_id"] for r in roots] == ["s1", "w2", "w1"]
+
+    def test_format_tree_shows_both_attempts_and_processes(self):
+        text = format_trace_tree(stitch_trace(self._make_events()), trace_id="t1")
+        assert text.splitlines()[0] == "trace t1"
+        assert "(unfinished)" in text
+        assert "attempt=1" in text and "attempt=2" in text
+        assert "processes: server, worker-a, worker-b" in text
+
+    def test_orphan_parent_becomes_root(self):
+        events = [
+            {"phase": "start", "span_id": "x", "parent_id": "gone", "name": "n",
+             "process": "p", "trace_id": "t", "wall": 1.0, "mono": 1.0},
+        ]
+        roots = stitch_trace(events)
+        assert [r["span_id"] for r in roots] == ["x"]
+
+
+class TestEndToEndFiles:
+    def test_two_recorders_stitch_into_one_tree(self, tmp_path):
+        trace_id = mint_trace_id()
+        server = TraceRecorder.for_process(tmp_path, "server")
+        worker = TraceRecorder(
+            tmp_path / f"worker-1-777{TRACE_FILE_SUFFIX}", process="worker-1"
+        )
+        with server.span("server:submit", trace_id=trace_id, job_id="j1"):
+            pass
+        with worker.span(
+            "worker:attempt", trace_id=trace_id, job_id="j1", attempt=1
+        ) as attempt:
+            with worker.span("worker:run"):
+                pass
+            with worker.span("worker:finish", parent_id=attempt.span_id):
+                pass
+        roots = stitch_trace(collect_trace(tmp_path, trace_id=trace_id))
+        names = {r["name"] for r in roots}
+        assert names == {"server:submit", "worker:attempt"}
+        attempt_node = [r for r in roots if r["name"] == "worker:attempt"][0]
+        assert [c["name"] for c in attempt_node["children"]] == [
+            "worker:run",
+            "worker:finish",
+        ]
+        text = format_trace_tree(roots, trace_id=trace_id)
+        assert "job_id=j1" in text
+
+    def test_records_are_compact_sorted_json(self, tmp_path):
+        rec = TraceRecorder(tmp_path / "t.trace.jsonl", process="w")
+        with rec.span("s", trace_id="t1"):
+            pass
+        first = rec.path.read_text(encoding="utf-8").splitlines()[0]
+        assert first == json.dumps(json.loads(first), sort_keys=True,
+                                   separators=(",", ":"))

@@ -291,3 +291,131 @@ class TestEndToEnd:
                 assert done["state"] == "cancelled"
         finally:
             release.set()
+
+
+class TestTracePropagation:
+    def test_submit_mints_trace_id(self, tmp_path):
+        app = make_app(tmp_path)
+        try:
+            status, payload = body_json(
+                app.handle("POST", "/jobs", json.dumps({"algorithm": "tpg"}).encode())
+            )
+            assert status == 202
+            assert payload["trace_id"]
+        finally:
+            app.manager.shutdown()
+
+    def test_x_trace_id_header_propagates(self, tmp_path):
+        app = make_app(tmp_path)
+        try:
+            status, payload = body_json(
+                app.handle(
+                    "POST",
+                    "/jobs",
+                    json.dumps({"algorithm": "tpg"}).encode(),
+                    headers={"x-trace-id": "caller-trace-1"},
+                )
+            )
+            assert status == 202
+            assert payload["trace_id"] == "caller-trace-1"
+            # And the id sticks to the stored job.
+            _, fetched = body_json(app.handle("GET", f"/jobs/{payload['id']}"))
+            assert fetched["trace_id"] == "caller-trace-1"
+        finally:
+            app.manager.shutdown()
+
+    def test_invalid_trace_id_is_400(self, tmp_path):
+        app = make_app(tmp_path)
+        try:
+            status, payload = body_json(
+                app.handle(
+                    "POST",
+                    "/jobs",
+                    json.dumps({"algorithm": "tpg"}).encode(),
+                    headers={"x-trace-id": "has spaces!"},
+                )
+            )
+            assert status == 400
+            assert "invalid trace id" in payload["error"]
+        finally:
+            app.manager.shutdown()
+
+    def test_server_exports_submit_span(self, tmp_path):
+        from repro.obs.tracing import collect_trace
+
+        app = make_app(tmp_path)
+        try:
+            _, payload = body_json(
+                app.handle(
+                    "POST",
+                    "/jobs",
+                    json.dumps({"algorithm": "tpg"}).encode(),
+                    headers={"x-trace-id": "traced-submit"},
+                )
+            )
+            events = collect_trace(tmp_path / "traces", trace_id="traced-submit")
+            names = {e["name"] for e in events}
+            assert "server:submit" in names
+            assert all(e["trace_id"] == "traced-submit" for e in events)
+        finally:
+            app.manager.shutdown()
+
+
+class TestWorkerMetricsMerge:
+    SNAPSHOT = (
+        "# TYPE repro_worker_jobs_total counter\n"
+        "repro_worker_jobs_total 4\n"
+    )
+
+    def test_metrics_include_worker_labeled_series(self, tmp_path):
+        app = make_app(tmp_path)
+        try:
+            app.manager.job_store.flush_worker_metrics("w-ext", self.SNAPSHOT)
+            status, content_type, body = app.handle("GET", "/metrics")
+            assert status == 200
+            metrics = parse_prometheus(body.decode("utf-8"))
+            (sample,) = metrics["repro_worker_jobs_total"]["samples"]
+            assert sample["labels"] == {"worker": "w-ext"}
+            assert sample["value"] == 4.0
+            # The server's own families are still there, unlabeled by worker.
+            assert "repro_http_requests_total" in metrics
+        finally:
+            app.manager.shutdown()
+
+    def test_stale_snapshot_is_dropped_from_scrape(self, tmp_path):
+        app = make_app(tmp_path)
+        try:
+            long_ago = time.time() - 100_000.0
+            app.manager.job_store.flush_worker_metrics(
+                "w-dead", self.SNAPSHOT, now=long_ago
+            )
+            _, _, body = app.handle("GET", "/metrics")
+            assert "repro_worker_jobs_total" not in parse_prometheus(
+                body.decode("utf-8")
+            )
+        finally:
+            app.manager.shutdown()
+
+    def test_unparseable_snapshot_is_skipped(self, tmp_path):
+        app = make_app(tmp_path)
+        try:
+            app.manager.job_store.flush_worker_metrics("w-bad", "orphan 1\n")
+            app.manager.job_store.flush_worker_metrics("w-good", self.SNAPSHOT)
+            status, _, body = app.handle("GET", "/metrics")
+            assert status == 200
+            metrics = parse_prometheus(body.decode("utf-8"))
+            (sample,) = metrics["repro_worker_jobs_total"]["samples"]
+            assert sample["labels"]["worker"] == "w-good"
+        finally:
+            app.manager.shutdown()
+
+    def test_healthz_reports_worker_flush_ages(self, tmp_path):
+        app = make_app(tmp_path)
+        try:
+            app.manager.job_store.flush_worker_metrics("w-ext", self.SNAPSHOT)
+            _, payload = body_json(app.handle("GET", "/healthz"))
+            ages = payload["workers"]
+            assert ages["w-ext"]["fresh"] is True
+            assert ages["w-ext"]["last_flush_age_s"] >= 0.0
+        finally:
+            app.manager.shutdown()

@@ -482,3 +482,111 @@ class TestShutdown:
         manager = JobManager(data_dir=tmp_path, workers=1, runner=fast_runner)
         manager.shutdown()
         manager.shutdown()
+
+
+class TestTraceIds:
+    def test_submit_mints_unique_trace_ids(self, tmp_path):
+        with JobManager(data_dir=tmp_path, workers=1, runner=fast_runner) as manager:
+            a = manager.submit({"algorithm": "sacga"})
+            b = manager.submit({"algorithm": "sacga"})
+            assert a.trace_id and b.trace_id
+            assert a.trace_id != b.trace_id
+
+    def test_submit_accepts_caller_trace_id(self, tmp_path):
+        with JobManager(data_dir=tmp_path, workers=1, runner=fast_runner) as manager:
+            job = manager.submit({"algorithm": "sacga"}, trace_id="ext-trace-1")
+            assert job.trace_id == "ext-trace-1"
+            assert manager.status(job.id)["trace_id"] == "ext-trace-1"
+
+    def test_submit_rejects_invalid_trace_id(self, tmp_path):
+        with JobManager(data_dir=tmp_path, workers=1, runner=fast_runner) as manager:
+            with pytest.raises(ValueError, match="invalid trace id"):
+                manager.submit({"algorithm": "sacga"}, trace_id="bad id")
+
+    def test_trace_id_reaches_ledger_and_surface_metadata(self, tmp_path):
+        def ledger_runner(algorithm, experiment_id, ledger=None, **kwargs):
+            # The worker binds trace context onto the ledger it hands us;
+            # a single event is enough to prove every record carries it.
+            assert ledger is not None
+            ledger.emit("stub_generation", generation=0)
+            return build_summary(algorithm.upper())
+
+        store = SurfaceStore(tmp_path / "surfaces")
+        with JobManager(
+            store=store, data_dir=tmp_path, workers=1, runner=ledger_runner
+        ) as manager:
+            job = manager.submit(
+                {"algorithm": "sacga", "surface": "traced"},
+                trace_id="prov-trace",
+            )
+            done = wait_terminal(manager, job.id)
+            assert done["state"] == "done"
+            from repro.experiments.ledger import read_ledger
+
+            events = read_ledger(done["ledger_path"])
+            assert events
+            assert all(e.get("trace_id") == "prov-trace" for e in events)
+            meta = store.metadata("traced")
+            assert meta["trace_id"] == "prov-trace"
+            assert meta["job_id"] == job.id
+
+    def test_worker_attempt_spans_are_exported(self, tmp_path):
+        from repro.obs.tracing import collect_trace, stitch_trace
+
+        with JobManager(data_dir=tmp_path, workers=1, runner=fast_runner) as manager:
+            job = manager.submit({"algorithm": "sacga"}, trace_id="span-trace")
+            assert wait_terminal(manager, job.id)["state"] == "done"
+        events = collect_trace(tmp_path / "traces", trace_id="span-trace")
+        names = {e["name"] for e in events}
+        assert {"server:submit", "worker:attempt", "worker:run", "worker:finish"} <= names
+        roots = stitch_trace(events)
+        attempt = [r for r in roots if r["name"] == "worker:attempt"][0]
+        assert not attempt["in_progress"]
+        assert {c["name"] for c in attempt["children"]} == {
+            "worker:run", "worker:finish",
+        }
+
+    def test_tracing_flag_disables_span_export(self, tmp_path):
+        with JobManager(
+            data_dir=tmp_path, workers=1, runner=fast_runner, tracing=False
+        ) as manager:
+            job = manager.submit({"algorithm": "sacga"})
+            assert wait_terminal(manager, job.id)["state"] == "done"
+        assert not (tmp_path / "traces").exists() or not list(
+            (tmp_path / "traces").iterdir()
+        )
+
+
+class TestSnapshotTtl:
+    def test_default_ttl_is_three_leases(self, tmp_path):
+        with JobManager(
+            data_dir=tmp_path, workers=1, runner=fast_runner, lease_s=10.0
+        ) as manager:
+            assert manager.snapshot_ttl_s == pytest.approx(30.0)
+
+    def test_worker_snapshots_evicts_stale_rows(self, tmp_path):
+        with JobManager(
+            data_dir=tmp_path, workers=1, runner=fast_runner, snapshot_ttl_s=5.0
+        ) as manager:
+            manager.job_store.flush_worker_metrics("dead", "x 1\n", now=1.0)
+            manager.job_store.flush_worker_metrics("live", "x 1\n")
+            snaps = manager.worker_snapshots()
+            assert set(snaps) == {"live"}
+            # The stale row is gone from the store, not just filtered.
+            assert set(manager.job_store.worker_snapshots()) == {"live"}
+
+    def test_worker_flush_ages_reports_staleness(self, tmp_path):
+        with JobManager(
+            data_dir=tmp_path, workers=1, runner=fast_runner, snapshot_ttl_s=5.0
+        ) as manager:
+            manager.job_store.flush_worker_metrics("w0", "x 1\n")
+            ages = manager.worker_flush_ages()
+            assert ages["w0"]["fresh"] is True
+            assert ages["w0"]["last_flush_age_s"] < 5.0
+
+    def test_rejects_nonpositive_ttl(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_ttl_s"):
+            JobManager(
+                data_dir=tmp_path, workers=0, runner=fast_runner,
+                snapshot_ttl_s=0.0,
+            )

@@ -290,3 +290,119 @@ class TestJsonable:
 
     def test_nonfinite_inside_ndarray(self):
         assert _jsonable(np.array([1.0, float("inf")])) == [1.0, None]
+
+
+class TestTraceId:
+    def test_trace_id_round_trips(self, store):
+        record = make_record("job-a")
+        record.trace_id = "trace-123"
+        store.submit(record)
+        assert store.get("job-a").trace_id == "trace-123"
+        assert store.get("job-a").snapshot()["trace_id"] == "trace-123"
+
+    def test_trace_id_survives_claim_and_requeue(self, store):
+        record = make_record("job-a")
+        record.trace_id = "trace-123"
+        store.submit(record)
+        claimed = store.claim_next("w0", lease_s=0.05)
+        assert claimed.trace_id == "trace-123"
+        import time as _time
+
+        _time.sleep(0.08)
+        assert [r.id for r in store.requeue_expired()] == ["job-a"]
+        retry = store.claim_next("w1", lease_s=30.0)
+        assert retry.trace_id == "trace-123"
+        assert retry.attempt == 2
+
+    def test_pre_tracing_schema_migrates_on_open(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        # A jobs table as PR 8 created it — no trace_id column.
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE jobs (
+                id               TEXT PRIMARY KEY,
+                kind             TEXT NOT NULL,
+                params           TEXT NOT NULL,
+                state            TEXT NOT NULL,
+                submitted_at     REAL NOT NULL,
+                started_at       REAL,
+                finished_at      REAL,
+                error            TEXT,
+                result           TEXT,
+                surface          TEXT,
+                ledger_path      TEXT,
+                checkpoint_path  TEXT,
+                lease_owner      TEXT,
+                lease_expires_at REAL,
+                heartbeat_at     REAL,
+                attempt          INTEGER NOT NULL DEFAULT 0,
+                cancel_requested INTEGER NOT NULL DEFAULT 0
+            );
+            """
+        )
+        conn.execute(
+            "INSERT INTO jobs (id, kind, params, state, submitted_at) "
+            "VALUES ('job-old', 'run_one', '{}', 'queued', 1.0)"
+        )
+        conn.commit()
+        conn.close()
+
+        store = JobStore(path)
+        try:
+            assert store.get("job-old").trace_id is None
+            fresh = make_record("job-new")
+            fresh.trace_id = "trace-new"
+            store.submit(fresh)
+            assert store.get("job-new").trace_id == "trace-new"
+        finally:
+            store.close()
+
+
+class TestWorkerMetrics:
+    PAYLOAD = "# TYPE repro_jobs_total counter\nrepro_jobs_total 3\n"
+
+    def test_flush_and_snapshot(self, store):
+        store.flush_worker_metrics("w0", self.PAYLOAD, now=100.0)
+        snaps = store.worker_snapshots(ttl_s=10.0, now=105.0)
+        age, payload = snaps["w0"]
+        assert payload == self.PAYLOAD
+        assert age == pytest.approx(5.0)
+
+    def test_flush_upserts_latest_payload(self, store):
+        store.flush_worker_metrics("w0", "old", now=100.0)
+        store.flush_worker_metrics("w0", "new", now=101.0)
+        snaps = store.worker_snapshots(now=101.0)
+        assert snaps["w0"][1] == "new"
+
+    def test_ttl_filters_stale_snapshots(self, store):
+        store.flush_worker_metrics("fresh", self.PAYLOAD, now=100.0)
+        store.flush_worker_metrics("stale", self.PAYLOAD, now=10.0)
+        snaps = store.worker_snapshots(ttl_s=30.0, now=105.0)
+        assert set(snaps) == {"fresh"}
+        # Without a TTL everything is visible.
+        assert set(store.worker_snapshots(now=105.0)) == {"fresh", "stale"}
+
+    def test_evict_stale_deletes_rows(self, store):
+        store.flush_worker_metrics("fresh", self.PAYLOAD, now=100.0)
+        store.flush_worker_metrics("stale", self.PAYLOAD, now=10.0)
+        assert store.evict_stale_worker_metrics(ttl_s=30.0, now=105.0) == 1
+        assert set(store.worker_snapshots(now=105.0)) == {"fresh"}
+        assert store.evict_stale_worker_metrics(ttl_s=30.0, now=105.0) == 0
+
+    def test_flush_counter_increments(self, tmp_path):
+        registry = MetricsRegistry()
+        store = JobStore(tmp_path / "jobs.sqlite", metrics=registry)
+        try:
+            store.flush_worker_metrics("w0", self.PAYLOAD)
+            store.flush_worker_metrics("w0", self.PAYLOAD)
+            value = None
+            for name, _kind, _help, samples in registry.collect():
+                if name == "repro_serve_metrics_flushes_total":
+                    ((_labels, instrument),) = samples
+                    value = instrument.value
+            assert value == 2
+        finally:
+            store.close()

@@ -164,3 +164,60 @@ class TestQueries:
             t.join()
         assert errors == []
         assert store.latest_version("amp") == 6
+
+
+class TestMetadataSidecar:
+    META = {"trace_id": "t1", "job_id": "j1", "worker": "w0", "attempt": 1}
+
+    def test_register_with_metadata_writes_sidecar(self, tmp_path):
+        store = SurfaceStore(tmp_path)
+        version = store.register("amp", make_surface([1, 2], [1, 2]),
+                                 metadata=self.META)
+        assert store.metadata("amp", version) == self.META
+        assert store.meta_path_for("amp", version).exists()
+
+    def test_metadata_defaults_to_latest_version(self, tmp_path):
+        store = SurfaceStore(tmp_path)
+        store.register("amp", make_surface([1, 2], [1, 2]),
+                       metadata={"trace_id": "old"})
+        store.register("amp", make_surface([1, 2, 3], [1, 2, 3]),
+                       metadata={"trace_id": "new"})
+        assert store.metadata("amp")["trace_id"] == "new"
+        assert store.metadata("amp", 1)["trace_id"] == "old"
+
+    def test_register_without_metadata_writes_no_sidecar(self, tmp_path):
+        store = SurfaceStore(tmp_path)
+        version = store.register("amp", make_surface([1, 2], [1, 2]))
+        assert store.metadata("amp", version) is None
+        assert not store.meta_path_for("amp", version).exists()
+
+    def test_sidecar_is_invisible_to_version_scans(self, tmp_path):
+        store = SurfaceStore(tmp_path)
+        store.register("amp", make_surface([1, 2], [1, 2]), metadata=self.META)
+        assert store.versions("amp") == [1]
+
+    def test_surface_payload_bytes_unchanged_by_metadata(self, tmp_path):
+        # Provenance must not leak into the surface artifact itself.
+        surface = make_surface([1, 2, 3], [1, 2, 3])
+        plain = SurfaceStore(tmp_path / "plain")
+        tagged = SurfaceStore(tmp_path / "tagged")
+        v1 = plain.register("amp", surface)
+        v2 = tagged.register("amp", surface, metadata=self.META)
+        assert (
+            plain.path_for("amp", v1).read_bytes()
+            == tagged.path_for("amp", v2).read_bytes()
+        )
+
+    def test_describe_includes_metadata_when_present(self, tmp_path):
+        store = SurfaceStore(tmp_path)
+        store.register("amp", make_surface([1, 2], [1, 2]), metadata=self.META)
+        assert store.describe("amp")["metadata"] == self.META
+        store.register("bare", make_surface([1, 2], [1, 2]))
+        assert "metadata" not in store.describe("bare")
+
+    def test_corrupt_sidecar_reads_as_none(self, tmp_path):
+        store = SurfaceStore(tmp_path)
+        version = store.register("amp", make_surface([1, 2], [1, 2]),
+                                 metadata=self.META)
+        store.meta_path_for("amp", version).write_text("{broken", encoding="utf-8")
+        assert store.metadata("amp", version) is None

@@ -142,9 +142,10 @@ class TestWorkerLoopProtocol:
 
 class TestKillDashNine:
     @pytest.mark.slow
-    def test_killed_worker_job_resumes_byte_identical(self, tmp_path):
+    def test_killed_worker_job_resumes_byte_identical(self, tmp_path, capsys):
         """kill -9 a real worker mid-optimization; the reclaimed job's
-        resumed result must be byte-identical to an uninterrupted run."""
+        resumed result must be byte-identical to an uninterrupted run —
+        and the job's single trace id must stitch both attempts."""
         data_dir = tmp_path / "serve-data"
         jobs_dir = data_dir / "jobs"
         jobs_dir.mkdir(parents=True)
@@ -167,6 +168,7 @@ class TestKillDashNine:
                 params=params,
                 ledger_path=str(jobs_dir / "job-kill9.ledger.jsonl"),
                 checkpoint_path=str(checkpoint),
+                trace_id="kill9-trace",
             )
         )
 
@@ -200,9 +202,17 @@ class TestKillDashNine:
         assert store.get("job-kill9").state == "queued"
         assert store.get("job-kill9").attempt == 1
 
+        # The requeued row still carries the trace the submitter minted.
+        assert store.get("job-kill9").trace_id == "kill9-trace"
+
         # A fresh worker claims it and resumes from the checkpoint.
+        from repro.obs.tracing import TraceRecorder
+
         surfaces = SurfaceStore(data_dir / "surfaces")
-        loop = WorkerLoop(surfaces=surfaces, jobs=store, worker_id="w-new")
+        loop = WorkerLoop(
+            surfaces=surfaces, jobs=store, worker_id="w-new",
+            recorder=TraceRecorder.for_process(data_dir / "traces", "w-new"),
+        )
         loop.stop()
         assert loop.run() == 1
         record = store.get("job-kill9")
@@ -226,6 +236,60 @@ class TestKillDashNine:
             surfaces.path_for("amp", record.surface["version"]).read_text()
         )
         assert registered == json.loads(json.dumps(expected))
+
+        # --- trace continuity across the kill -----------------------------
+        # Both attempts exported spans under the one trace id: the killed
+        # worker left a dangling start record (no end — that is the
+        # evidence of the kill), the resuming worker a completed span.
+        from repro.obs.tracing import collect_trace, stitch_trace
+
+        events = collect_trace(data_dir / "traces", trace_id="kill9-trace")
+        roots = stitch_trace(events)
+        by_attempt = {
+            n.get("attempt"): n for n in roots if n["name"] == "worker:attempt"
+        }
+        assert set(by_attempt) == {1, 2}
+        assert by_attempt[1]["in_progress"] is True
+        assert by_attempt[2]["in_progress"] is False
+        assert {c["name"] for c in by_attempt[2]["children"]} >= {
+            "worker:resume", "worker:finish",
+        }
+
+        # The killed worker's torn trace file reads cleanly (at most the
+        # final line is dropped) and left no stray temp files behind.
+        assert not list((data_dir / "traces").glob(".tmp*"))
+
+        # Every ledger event of either attempt carries the trace id, and
+        # both attempts are represented.
+        ledger_lines = (
+            (jobs_dir / "job-kill9.ledger.jsonl").read_text().splitlines()
+        )
+        ledger_events = []
+        for line in ledger_lines:
+            try:
+                ledger_events.append(json.loads(line))
+            except json.JSONDecodeError:
+                pass  # a line the kill tore mid-append
+        assert ledger_events
+        assert all(e["trace_id"] == "kill9-trace" for e in ledger_events)
+        assert {e["attempt"] for e in ledger_events} == {1, 2}
+
+        # Surface provenance names the trace and the attempt that won.
+        meta = surfaces.metadata("amp", record.surface["version"])
+        assert meta["trace_id"] == "kill9-trace"
+        assert meta["attempt"] == 2
+        assert meta["resumed"] is True
+
+        # `repro trace-view` renders the stitched two-attempt tree.
+        from repro.cli import main as cli_main
+
+        assert cli_main(
+            ["trace-view", "kill9-trace", "--data-dir", str(data_dir)]
+        ) == 0
+        rendered = capsys.readouterr().out
+        assert "trace kill9-trace" in rendered
+        assert "(unfinished)" in rendered
+        assert "attempt=1" in rendered and "attempt=2" in rendered
         store.close()
 
 

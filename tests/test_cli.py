@@ -380,3 +380,108 @@ class TestRunSacgaInProcess:
         code = main(["run", "mesacga", "--generations", "4"])
         assert code == 0
         assert "MESACGA" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_serve_observability_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.snapshot_ttl is None
+        assert not args.no_tracing
+        assert args.log_file is None and args.log_level is None
+
+    def test_workers_observability_flags(self):
+        args = build_parser().parse_args(
+            ["workers", "-n", "3", "--no-tracing",
+             "--log-file", "w.log", "--log-level", "debug"]
+        )
+        assert args.n == 3
+        assert args.no_tracing
+        assert args.log_file == "w.log" and args.log_level == "debug"
+
+    def test_submit_trace_id_flag(self):
+        args = build_parser().parse_args(
+            ["submit", "sacga", "--trace-id", "req-1234"]
+        )
+        assert args.trace_id == "req-1234"
+        assert build_parser().parse_args(["submit", "sacga"]).trace_id is None
+
+    def test_trace_view_defaults(self):
+        args = build_parser().parse_args(["trace-view", "t1"])
+        assert args.trace_id == "t1"
+        assert args.data_dir == "serve-data"
+        assert args.traces is None
+
+
+class TestTraceViewCommand:
+    def _record(self, root, process, name, trace_id):
+        from repro.obs.tracing import TraceRecorder
+
+        recorder = TraceRecorder.for_process(root, process)
+        with recorder.span(name, trace_id=trace_id):
+            pass
+
+    def test_renders_cross_process_tree(self, capsys, tmp_path):
+        self._record(tmp_path / "traces", "server", "server:submit", "t-cli")
+        self._record(tmp_path / "traces", "worker-1", "worker:run", "t-cli")
+        assert main(["trace-view", "t-cli", "--data-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace t-cli" in out
+        assert "server:submit" in out and "worker:run" in out
+        assert "server" in out and "worker-1" in out
+
+    def test_traces_override_beats_data_dir(self, capsys, tmp_path):
+        self._record(tmp_path / "elsewhere", "w", "worker:run", "t-ovr")
+        code = main(
+            ["trace-view", "t-ovr", "--traces", str(tmp_path / "elsewhere")]
+        )
+        assert code == 0
+        assert "worker:run" in capsys.readouterr().out
+
+    def test_missing_traces_dir_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["trace-view", "t1", "--data-dir", str(tmp_path / "ghost")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no trace files" in err and "Traceback" not in err
+
+    def test_unknown_trace_id_exits_1(self, capsys, tmp_path):
+        self._record(tmp_path / "traces", "server", "server:submit", "here")
+        assert main(["trace-view", "absent", "--data-dir", str(tmp_path)]) == 1
+        assert "not found" in capsys.readouterr().err
+
+
+class TestStatsDirectoryMerge:
+    def _write_prom(self, path, jobs):
+        from repro.obs.exporters import save_prometheus
+        from repro.obs.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_total", "Jobs executed").inc(jobs)
+        save_prometheus(reg, path)
+
+    def test_directory_merges_with_worker_labels(self, capsys, tmp_path):
+        self._write_prom(tmp_path / "worker-1.prom", 3)
+        self._write_prom(tmp_path / "worker-2.prom", 5)
+        assert main(["stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_jobs_total" in out
+        assert "worker=worker-1" in out and "worker=worker-2" in out
+        assert " 3" in out and " 5" in out
+
+    def test_glob_merges_matching_files(self, capsys, tmp_path):
+        self._write_prom(tmp_path / "worker-1.prom", 1)
+        self._write_prom(tmp_path / "ignored.txt.prom", 9)
+        assert main(["stats", str(tmp_path / "worker-*.prom")]) == 0
+        out = capsys.readouterr().out
+        assert "worker=worker-1" in out
+        assert "ignored" not in out
+
+    def test_empty_directory_exits_2(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path)]) == 2
+        assert "no .prom files" in capsys.readouterr().out
+
+    def test_invalid_snapshot_in_directory_exits_2(self, capsys, tmp_path):
+        (tmp_path / "bad.prom").write_text("orphan 1\n", encoding="utf-8")
+        assert main(["stats", str(tmp_path)]) == 2
+        assert "invalid Prometheus snapshot" in capsys.readouterr().out
