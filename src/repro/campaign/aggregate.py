@@ -1,0 +1,192 @@
+"""Reduce shard results into the campaign's decision-support report.
+
+Aggregation semantics (locked in by ``tests/campaign``):
+
+* The **pass tensor** is the concatenation of all shard pass matrices in
+  scenario-grid order: shape ``(n_scenarios, n_mc, n_designs)``.
+* A design's **yield** is the fraction of Monte-Carlo samples that pass
+  spec in *every* scenario — an AND across the scenario axis *per
+  sample*, which the common-random-number contract makes meaningful
+  (sample *j* is the same process draw in every scenario, shard and
+  worker process).
+* Yield confidence bounds are **Wilson score intervals** (z = 1.96).
+* The **derated power** of a design is the maximum over scenarios of its
+  worst-sample power, floored at its nominal power — derating never
+  reports a better figure than the nominal surface.
+* The **derated surface** keeps the designs with yield >= target, priced
+  at derated power; it may be empty (all designs fail the target), in
+  which case no surface is registered and the report says so.
+
+Everything here is pure float/bool arithmetic on JSON round-trip-exact
+values: pass bits are integers and Python's ``repr``-based JSON float
+serialization is lossless, so the aggregated report is byte-identical
+whether the shards ran serially in-process or across durable workers
+with kills and resumes in between.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.campaign.shards import ShardResult
+from repro.experiments.tradeoff import DesignSurface
+
+__all__ = ["aggregate_report", "build_derated_surface", "wilson_interval"]
+
+#: z-score of the 95 % two-sided normal interval.
+WILSON_Z = 1.96
+
+
+def wilson_interval(
+    successes, trials: int, z: float = WILSON_Z
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Wilson score interval for a binomial proportion (vectorized).
+
+    Returns ``(lower, upper)`` arrays clipped to [0, 1].  Unlike the
+    normal approximation, the Wilson interval stays sane at p = 0 / 1
+    and small n — exactly the regime of an 8-sample yield estimate.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    k = np.asarray(successes, dtype=float)
+    n = float(trials)
+    p = k / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    centre = (p + z2 / (2.0 * n)) / denom
+    half = (z / denom) * np.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    return np.clip(centre - half, 0.0, 1.0), np.clip(centre + half, 0.0, 1.0)
+
+
+def _assemble(
+    shard_results: Sequence[ShardResult],
+    scenario_keys: Sequence[str],
+    n_designs: int,
+    n_mc: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stitch shard results into full (power, passes) tensors.
+
+    Validates that the shards jointly cover the scenario grid exactly
+    once and agree on the design count and MC depth — a mismatch means
+    the shard files belong to a different manifest.
+    """
+    seen: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for result in shard_results:
+        if result.n_mc != n_mc:
+            raise ValueError(
+                f"shard {result.shard_index} has n_mc={result.n_mc}, "
+                f"campaign expects {n_mc}"
+            )
+        if result.n_designs != n_designs:
+            raise ValueError(
+                f"shard {result.shard_index} evaluated {result.n_designs} "
+                f"designs, campaign expects {n_designs}"
+            )
+        for i, key in enumerate(result.scenario_keys):
+            if key in seen:
+                raise ValueError(f"scenario {key!r} appears in two shards")
+            seen[key] = (result.power[i], result.passes[i])
+    missing = [k for k in scenario_keys if k not in seen]
+    if missing:
+        raise ValueError(f"missing scenarios {missing} — campaign incomplete")
+    extra = sorted(set(seen) - set(scenario_keys))
+    if extra:
+        raise ValueError(f"unexpected scenarios {extra} in shard results")
+    power = np.stack([seen[k][0] for k in scenario_keys])
+    passes = np.stack([seen[k][1] for k in scenario_keys])
+    return power, passes
+
+
+def build_derated_surface(
+    x: np.ndarray,
+    c_load: np.ndarray,
+    derated_power: np.ndarray,
+    keep: np.ndarray,
+) -> Optional[DesignSurface]:
+    """The derated surface, or ``None`` when no design survives.
+
+    ``DesignSurface`` itself (correctly) refuses an empty design set, so
+    the all-fail case is handled here and reported instead of raised.
+    """
+    if not np.any(keep):
+        return None
+    return DesignSurface(
+        np.atleast_2d(x)[keep], c_load[keep], derated_power[keep]
+    )
+
+
+def aggregate_report(
+    shard_results: Sequence[ShardResult],
+    scenario_keys: Sequence[str],
+    c_load: np.ndarray,
+    nominal_power: np.ndarray,
+    n_mc: int,
+    yield_target: float,
+) -> Dict[str, Any]:
+    """The campaign report: yields, Wilson bounds, derating, pass rates.
+
+    Deterministic given the shard results (no timestamps, no float
+    operations whose result depends on shard arrival order — scenarios
+    are reduced in grid order regardless of which worker produced them).
+    """
+    c_load = np.asarray(c_load, dtype=float).ravel()
+    nominal_power = np.asarray(nominal_power, dtype=float).ravel()
+    n_designs = c_load.size
+    power, passes = _assemble(shard_results, scenario_keys, n_designs, n_mc)
+
+    # Yield: per MC sample, a design must pass in EVERY scenario.
+    all_pass = passes.all(axis=0)  # (n_mc, n_designs)
+    successes = all_pass.sum(axis=0)  # (n_designs,)
+    yields = successes / float(n_mc)
+    lo, hi = wilson_interval(successes, n_mc)
+
+    # Derating: worst scenario power, never better than nominal.
+    worst_power = np.maximum(power.max(axis=0), nominal_power)
+    worst_scenario = [
+        scenario_keys[int(i)] for i in np.argmax(power, axis=0)
+    ]
+    keep = yields >= float(yield_target)
+
+    scenario_pass_rate = {
+        key: passes[s].mean(axis=0).tolist()
+        for s, key in enumerate(scenario_keys)
+    }
+    designs: List[Dict[str, Any]] = []
+    for i in range(n_designs):
+        designs.append(
+            {
+                "index": i,
+                "c_load": float(c_load[i]),
+                "nominal_power": float(nominal_power[i]),
+                "derated_power": float(worst_power[i]),
+                "worst_scenario": worst_scenario[i],
+                "yield": float(yields[i]),
+                "yield_lo": float(lo[i]),
+                "yield_hi": float(hi[i]),
+                "passes_target": bool(keep[i]),
+            }
+        )
+    n_evaluations = int(sum(r.n_evaluations for r in shard_results))
+    return {
+        "n_designs": int(n_designs),
+        "n_scenarios": len(scenario_keys),
+        "n_mc": int(n_mc),
+        "n_shards": len(shard_results),
+        "n_evaluations": n_evaluations,
+        "yield_target": float(yield_target),
+        "n_yielding": int(keep.sum()),
+        "min_yield": float(yields.min()) if n_designs else 0.0,
+        "median_yield": float(np.median(yields)) if n_designs else 0.0,
+        "scenario_pass_rate": scenario_pass_rate,
+        "designs": designs,
+    }
+
+
+def yield_histogram_counts(
+    yields: Sequence[float], edges: Sequence[float]
+) -> List[int]:
+    """Cumulative counts of yields <= each edge (Prometheus-style)."""
+    arr = np.asarray(list(yields), dtype=float)
+    return [int(np.sum(arr <= e)) for e in edges]

@@ -99,6 +99,36 @@ CONSTRAINT_NAMES = (
 MIN_OVERDRIVE = 0.10
 
 
+def spec_pass_matrix(
+    spec: IntegratorSpec,
+    perf: IntegratorPerformance,
+    offset_extra: Optional[np.ndarray] = None,
+    min_overdrive: float = MIN_OVERDRIVE,
+) -> np.ndarray:
+    """Boolean pass/fail of the process-dependent spec subset.
+
+    Shared by the sizing problem's robustness constraint and the
+    campaign engine's scenario sweeps, so "does this design meet spec
+    under that disturbance" means exactly the same thing in both.
+    *offset_extra* (e.g. Pelgrom input-pair mismatch) adds to the
+    systematic offset before the offset check; broadcasting against the
+    performance arrays gives the usual ``(n_samples, n_designs)`` shape.
+    """
+    offset = perf.offset_systematic
+    if offset_extra is not None:
+        offset = offset + offset_extra
+    return (
+        (perf.dynamic_range_db >= spec.dr_min_db)
+        & (perf.output_range >= spec.or_min)
+        & (perf.settling_time <= spec.st_max)
+        & (perf.settling_error <= spec.se_max)
+        & (perf.phase_margin_deg >= spec.pm_min_deg)
+        & (np.abs(offset) <= spec.offset_max)
+        & (perf.min_saturation_margin >= spec.sat_margin_min)
+        & (perf.min_overdrive >= min_overdrive)
+    )
+
+
 class IntegratorSizingProblem(Problem):
     """Constrained two-objective sizing of the CDS SC integrator.
 
@@ -204,20 +234,7 @@ class IntegratorSizingProblem(Problem):
         offset_extra: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Boolean pass/fail of the process-dependent spec subset."""
-        s = self.spec
-        offset = perf.offset_systematic
-        if offset_extra is not None:
-            offset = offset + offset_extra
-        return (
-            (perf.dynamic_range_db >= s.dr_min_db)
-            & (perf.output_range >= s.or_min)
-            & (perf.settling_time <= s.st_max)
-            & (perf.settling_error <= s.se_max)
-            & (perf.phase_margin_deg >= s.pm_min_deg)
-            & (np.abs(offset) <= s.offset_max)
-            & (perf.min_saturation_margin >= s.sat_margin_min)
-            & (perf.min_overdrive >= MIN_OVERDRIVE)
-        )
+        return spec_pass_matrix(self.spec, perf, offset_extra=offset_extra)
 
     def _evaluate(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         # Batch-native end to end: the (n, 15) matrix is decoded once

@@ -28,14 +28,65 @@ from repro.circuits.technology import DeviceParams, Technology
 from repro.utils.rng import as_rng
 
 
+#: DeviceParams fields that must stay scalar for a card to be stackable
+#: (everything the eqn (1) analyses read; an array here means the card
+#: was already stacked, or hand-built with batched parameters).
+_SCALAR_DEVICE_FIELDS = (
+    "u0", "cox", "vt0", "esat", "lambda_l", "theta1", "theta2", "vk",
+    "cj", "cjsw", "cov", "ldif", "a_vt", "a_beta",
+)
+
+
+def _check_stackable(techs: Sequence[Technology]) -> None:
+    """Validate that *techs* are variants of one device family.
+
+    Stacking cards whose devices differ in type (polarity / mobility
+    model) would silently average apples with oranges, and cards whose
+    "scalar" fields are already arrays (e.g. a previously stacked card)
+    would fail much later as an opaque broadcasting error deep inside
+    ``analyze_integrator``.  Fail fast with a clear message instead.
+    """
+    ref = techs[0]
+    for i, tech in enumerate(techs):
+        for kind in ("nmos", "pmos"):
+            dev = tech.device(kind)
+            ref_dev = ref.device(kind)
+            if (
+                dev.polarity != ref_dev.polarity
+                or dev.mobility_exponent != ref_dev.mobility_exponent
+            ):
+                raise ValueError(
+                    f"cannot stack technology cards: card {i} "
+                    f"({tech.name!r}) has a different {kind} device type "
+                    f"(polarity/mobility_exponent) than card 0 ({ref.name!r})"
+                )
+            for field in _SCALAR_DEVICE_FIELDS:
+                shape = np.shape(getattr(dev, field))
+                if shape != ():
+                    raise ValueError(
+                        f"cannot stack technology cards: card {i} "
+                        f"({tech.name!r}) {kind}.{field} has shape {shape}, "
+                        "expected a scalar — stacked cards cannot be "
+                        "re-stacked"
+                    )
+
+
 def stacked_technology(techs: Sequence[Technology]) -> Technology:
     """Pack several technology cards into one with (k, 1)-array parameters.
 
     Analyses run under the stacked card produce outputs of shape
     ``(k, n_designs)`` via numpy broadcasting.
+
+    All cards must describe the same device family: per device kind the
+    polarity and mobility exponent must match card 0, and every
+    device-parameter field must be scalar (in particular, a card that is
+    itself the output of ``stacked_technology`` is rejected).  Violations
+    raise :class:`ValueError` here rather than surfacing as broadcasting
+    errors inside ``analyze_integrator``.
     """
     if not techs:
         raise ValueError("need at least one technology to stack")
+    _check_stackable(techs)
     base = techs[0]
 
     def stack_device(pick) -> DeviceParams:

@@ -48,6 +48,12 @@ Subcommands
     Ask a running service for the minimum power at a load point on a
     registered design surface (``--design`` adds the sizing vector).
 
+``repro campaign run|status|report``
+    Robustness campaigns: re-evaluate a registered surface's designs
+    across a corner x Monte-Carlo x operating-condition scenario grid,
+    inline or as durable shard jobs (``--durable`` + ``repro workers``),
+    and aggregate yields plus a derated design surface.
+
 Commands that read files (``resume``, ``trace``, ``stats``) exit with
 status 2 and a one-line message — never a traceback — when the file is
 missing, unreadable or corrupt.
@@ -85,14 +91,14 @@ from repro.obs.spans import format_profile
 
 
 def _scale_from_args(args: argparse.Namespace) -> Scale:
-    if getattr(args, "full", False):
-        return Scale.full()
-    scale = Scale.from_env()
-    if getattr(args, "generations", None):
+    scale = Scale.full() if getattr(args, "full", False) else Scale.from_env()
+    generations = getattr(args, "generations", None)
+    n_mc = getattr(args, "n_mc", None)
+    if generations or n_mc:
         scale = Scale(
             population=scale.population,
-            generations=args.generations,
-            n_mc=scale.n_mc,
+            generations=generations or scale.generations,
+            n_mc=n_mc or scale.n_mc,
             n_seeds=scale.n_seeds,
             label=scale.label,
         )
@@ -164,6 +170,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_size=args.cache_size,
         kernel=args.kernel,
+        use_corners=not args.no_corners,
+        mc_seed=args.mc_seed,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         ledger=args.ledger,
@@ -450,6 +458,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
         params["population"] = args.population
     if args.n_mc is not None:
         params["n_mc"] = args.n_mc
+    if args.mc_seed is not None:
+        params["mc_seed"] = args.mc_seed
+    if args.no_corners:
+        params["use_corners"] = False
     if args.partitions is not None and args.algorithm == "sacga":
         params["n_partitions"] = args.partitions
     if args.backend is not None:
@@ -529,6 +541,223 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_runner(args: argparse.Namespace):
+    from repro.campaign.engine import CampaignRunner
+    from repro.serve.surfaces import SurfaceStore
+
+    data_dir = Path(args.data_dir)
+    store = SurfaceStore(data_dir / "surfaces")
+    return CampaignRunner(data_dir / "campaigns", surfaces=store), store
+
+
+def _print_campaign_report(
+    report: dict, max_rows: int = 20, json_path: Optional[str] = None
+) -> None:
+    print(
+        f"campaign {report.get('campaign', '?')}: "
+        f"{report['n_designs']} designs x {report['n_scenarios']} scenarios "
+        f"x {report['n_mc']} MC "
+        f"({report['n_evaluations']} evaluations, {report['n_shards']} shards)"
+    )
+    print(
+        f"yield >= {report['yield_target']:g}: "
+        f"{report['n_yielding']}/{report['n_designs']} designs "
+        f"(min {report['min_yield']:.2f}, median {report['median_yield']:.2f})"
+    )
+    derated = report.get("derated_surface") or {}
+    if derated.get("registered"):
+        print(
+            f"derated surface {derated['name']} v{derated['version']} "
+            f"({derated['size']} points)"
+        )
+    elif derated:
+        print(f"derated surface not registered: {derated.get('reason')}")
+    rows = [
+        [
+            f"{d['c_load'] * 1e12:.3f}",
+            f"{d['nominal_power'] * 1e3:.4f}",
+            f"{d['derated_power'] * 1e3:.4f}",
+            d["worst_scenario"],
+            f"{d['yield']:.2f}",
+            f"[{d['yield_lo']:.2f}, {d['yield_hi']:.2f}]",
+            "yes" if d["passes_target"] else "no",
+        ]
+        for d in report["designs"][:max_rows]
+    ]
+    print(
+        format_table(
+            ["c_load_pF", "nominal_mW", "derated_mW", "worst", "yield",
+             "wilson_95", "keeps"],
+            rows,
+        )
+    )
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {json_path}")
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.campaign.engine import UnknownCampaign
+    from repro.campaign.scenarios import (
+        NOMINAL_CONDITION,
+        CampaignSpec,
+        OperatingCondition,
+    )
+    from repro.serve.surfaces import UnknownSurface
+
+    runner, store = _campaign_runner(args)
+    manifest = None
+    if args.campaign_id:
+        # Re-running an existing id is the resume path: only shards
+        # without a result file are (re-)executed or (re-)submitted.
+        try:
+            manifest = runner.load(args.campaign_id)
+        except UnknownCampaign:
+            manifest = None
+    if manifest is None:
+        spec_kwargs: dict = {}
+        if args.corners:
+            spec_kwargs["corners"] = tuple(
+                c.strip() for c in args.corners.split(",") if c.strip()
+            )
+        if args.n_mc is not None:
+            spec_kwargs["n_mc"] = args.n_mc
+        if args.mc_seed is not None:
+            spec_kwargs["mc_seed"] = args.mc_seed
+        if args.yield_target is not None:
+            spec_kwargs["yield_target"] = args.yield_target
+        if args.shard_scenarios is not None:
+            spec_kwargs["shard_scenarios"] = args.shard_scenarios
+        if args.condition:
+            conditions = [NOMINAL_CONDITION]
+            for text in args.condition:
+                parts = text.split(",")
+                if len(parts) != 3:
+                    print(
+                        f"bad --condition {text!r} "
+                        "(want NAME,VDD_SCALE,TEMP_K e.g. hot,0.95,358)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                try:
+                    conditions.append(
+                        OperatingCondition(
+                            parts[0].strip(), float(parts[1]), float(parts[2])
+                        )
+                    )
+                except ValueError as exc:
+                    print(f"bad --condition {text!r}: {exc}", file=sys.stderr)
+                    return 2
+            spec_kwargs["conditions"] = tuple(conditions)
+        try:
+            spec = CampaignSpec(**spec_kwargs)
+            manifest = runner.create_from_surface(
+                store,
+                args.surface,
+                spec,
+                version=args.version,
+                campaign_id=args.campaign_id,
+            )
+        except (UnknownSurface, KeyError, ValueError) as exc:
+            print(f"cannot start campaign: {exc}", file=sys.stderr)
+            return 2
+    pending = runner.pending_shards(manifest)
+    print(
+        f"campaign {manifest['id']}: {manifest['n_designs']} designs x "
+        f"{len(manifest['scenario_keys'])} scenarios in "
+        f"{len(manifest['shards'])} shards ({len(pending)} pending) "
+        f"trace={manifest['trace_id']}"
+    )
+    if not args.durable:
+        report = runner.run_inline(
+            manifest, backend=args.backend, workers=args.workers
+        )
+        _print_campaign_report(report, max_rows=args.max_rows, json_path=args.json)
+        return 0
+    from repro.serve.store import JobStore
+
+    store_path = (
+        Path(args.store) if args.store else Path(args.data_dir) / "jobs.sqlite"
+    )
+    submitted = runner.submit_shards(
+        manifest, JobStore(store_path), backend=args.backend, workers=args.workers
+    )
+    print(f"submitted {len(submitted)} campaign_shard job(s) to {store_path}")
+    if not args.wait:
+        print(
+            "run `repro workers --data-dir "
+            f"{args.data_dir}` to execute them; check progress with "
+            f"`repro campaign status {manifest['id']}`"
+        )
+        return 0
+    deadline = _time.monotonic() + args.timeout
+    while runner.pending_shards(manifest):
+        if _time.monotonic() >= deadline:
+            print(
+                f"campaign {manifest['id']} still has shards "
+                f"{runner.pending_shards(manifest)} after {args.timeout:.1f}s",
+                file=sys.stderr,
+            )
+            return 3
+        _time.sleep(0.2)
+    report = runner.finalize(manifest)
+    _print_campaign_report(report, max_rows=args.max_rows, json_path=args.json)
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign.engine import UnknownCampaign
+
+    runner, _ = _campaign_runner(args)
+    if not args.campaign_id:
+        campaigns = runner.list_campaigns()
+        if not campaigns:
+            print(f"no campaigns under {runner.root}")
+            return 0
+        for status in campaigns:
+            print(
+                f"{status['id']}: {status['shards_done']}/{status['n_shards']} "
+                f"shards, {status['n_designs']} designs, "
+                f"{'report ready' if status['report_ready'] else 'running'}"
+            )
+        return 0
+    try:
+        status = runner.status(runner.load(args.campaign_id))
+    except UnknownCampaign:
+        print(f"no campaign {args.campaign_id!r} under {runner.root}",
+              file=sys.stderr)
+        return 2
+    for key in (
+        "id", "trace_id", "n_designs", "n_scenarios", "n_shards",
+        "shards_done", "shards_pending", "complete", "report_ready",
+        "derated_surface",
+    ):
+        print(f"{key}: {status[key]}")
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign.engine import UnknownCampaign
+
+    runner, _ = _campaign_runner(args)
+    try:
+        manifest = runner.load(args.campaign_id)
+    except UnknownCampaign:
+        print(f"no campaign {args.campaign_id!r} under {runner.root}",
+              file=sys.stderr)
+        return 2
+    try:
+        report = runner.finalize(manifest)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    _print_campaign_report(report, max_rows=args.max_rows, json_path=args.json)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -568,6 +797,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="dominance/selection kernel (default: blocked; "
         "bit-identical results either way)",
+    )
+    p_run.add_argument(
+        "--n-mc", type=int, default=None,
+        help="Monte-Carlo samples of the robustness constraint "
+        "(default: the scale's n_mc)",
+    )
+    p_run.add_argument(
+        "--mc-seed", type=int, default=2005,
+        help="common-random-number seed of the Monte-Carlo samples "
+        "(default: 2005)",
+    )
+    p_run.add_argument(
+        "--no-corners", action="store_true",
+        help="evaluate the robustness constraint at the nominal card only "
+        "instead of across all process corners",
     )
     p_run.add_argument("--max-rows", type=int, default=20)
     p_run.add_argument("--json", help="write the front to this JSON file")
@@ -787,6 +1031,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--generations", type=int, default=None)
     p_submit.add_argument("--population", type=int, default=None)
     p_submit.add_argument("--n-mc", type=int, default=None)
+    p_submit.add_argument(
+        "--mc-seed", type=int, default=None,
+        help="common-random-number seed for the robustness Monte-Carlo",
+    )
+    p_submit.add_argument(
+        "--no-corners", action="store_true",
+        help="evaluate the robustness constraint at the nominal card only",
+    )
     p_submit.add_argument("--partitions", type=int, default=None)
     p_submit.add_argument(
         "--backend",
@@ -843,6 +1095,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin a surface version (default: latest)",
     )
     p_query.set_defaults(func=cmd_query)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="corner x mismatch robustness sweeps over registered surfaces",
+    )
+    campaign_sub = p_campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    pc_run = campaign_sub.add_parser(
+        "run", help="sweep a registered surface across the scenario grid"
+    )
+    pc_run.add_argument("surface", help="registered surface name to sweep")
+    pc_run.add_argument(
+        "--data-dir", default="serve-data",
+        help="service data root holding surfaces/campaigns/jobs "
+        "(default: serve-data)",
+    )
+    pc_run.add_argument(
+        "--campaign-id", default=None,
+        help="explicit campaign id; re-running an existing id resumes its "
+        "pending shards (default: a fresh random id)",
+    )
+    pc_run.add_argument(
+        "--version", type=int, default=None,
+        help="pin the surface version to sweep (default: latest)",
+    )
+    pc_run.add_argument(
+        "--corners", default=None,
+        help="comma-separated corner list, e.g. TT,FF,SS,FS,SF "
+        "(default: all five)",
+    )
+    pc_run.add_argument(
+        "--n-mc", type=int, default=None,
+        help="Monte-Carlo samples per scenario (default: 8)",
+    )
+    pc_run.add_argument(
+        "--mc-seed", type=int, default=None,
+        help="common-random-number seed (default: 2005)",
+    )
+    pc_run.add_argument(
+        "--yield-target", type=float, default=None,
+        help="minimum yield a design needs to enter the derated surface "
+        "(default: 0.9)",
+    )
+    pc_run.add_argument(
+        "--shard-scenarios", type=int, default=None,
+        help="scenarios per shard — the unit of durable execution "
+        "(default: 2)",
+    )
+    pc_run.add_argument(
+        "--condition", action="append", default=None, metavar="NAME,VDD,TEMP",
+        help="extra operating condition as NAME,VDD_SCALE,TEMP_K "
+        "(repeatable; e.g. hot,0.95,358); the nominal condition is kept",
+    )
+    pc_run.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="evaluation backend for shard evaluation (default: serial)",
+    )
+    pc_run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for pool backends",
+    )
+    pc_run.add_argument(
+        "--durable", action="store_true",
+        help="submit shards as durable jobs to <data-dir>/jobs.sqlite for "
+        "`repro workers` to execute instead of running inline",
+    )
+    pc_run.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="SQLite job store path for --durable "
+        "(default: <data-dir>/jobs.sqlite)",
+    )
+    pc_run.add_argument(
+        "--wait", action="store_true",
+        help="with --durable, poll until every shard has landed and then "
+        "print the report",
+    )
+    pc_run.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait budget in seconds (default: 600)",
+    )
+    pc_run.add_argument("--max-rows", type=int, default=20)
+    pc_run.add_argument(
+        "--json", default=None, help="write the full report to this JSON file"
+    )
+    pc_run.set_defaults(func=cmd_campaign_run)
+
+    pc_status = campaign_sub.add_parser(
+        "status", help="show a campaign's shard progress (or list them all)"
+    )
+    pc_status.add_argument(
+        "campaign_id", nargs="?", default=None,
+        help="campaign id (omit to list every campaign)",
+    )
+    pc_status.add_argument("--data-dir", default="serve-data")
+    pc_status.set_defaults(func=cmd_campaign_status)
+
+    pc_report = campaign_sub.add_parser(
+        "report", help="print (finalizing if needed) a campaign's report"
+    )
+    pc_report.add_argument("campaign_id", help="campaign id")
+    pc_report.add_argument("--data-dir", default="serve-data")
+    pc_report.add_argument("--max-rows", type=int, default=20)
+    pc_report.add_argument(
+        "--json", default=None, help="write the full report to this JSON file"
+    )
+    pc_report.set_defaults(func=cmd_campaign_report)
 
     return parser
 

@@ -84,10 +84,20 @@ class Scale:
 def make_problem(
     spec: Optional[IntegratorSpec] = None,
     scale: Optional[Scale] = None,
+    use_corners: bool = True,
+    mc_seed: int = 2005,
 ) -> IntegratorSizingProblem:
-    """The sizing problem at the given scale's Monte-Carlo depth."""
+    """The sizing problem at the given scale's Monte-Carlo depth.
+
+    *use_corners* / *mc_seed* forward to the problem's robustness
+    constraint (evaluate across process corners; common-random-number
+    Monte-Carlo seed); the defaults are the problem's own defaults, so
+    existing callers are byte-compatible.
+    """
     scale = scale or Scale.from_env()
-    return IntegratorSizingProblem(spec=spec, n_mc=scale.n_mc)
+    return IntegratorSizingProblem(
+        spec=spec, n_mc=scale.n_mc, use_corners=use_corners, mc_seed=mc_seed
+    )
 
 
 def default_phase1_cap(generations: int) -> int:
@@ -225,6 +235,8 @@ def run_one(
     workers: Optional[int] = None,
     cache_size: Optional[int] = None,
     kernel: Optional[str] = None,
+    use_corners: bool = True,
+    mc_seed: int = 2005,
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 10,
     resume_from: Union[None, str, Dict[str, Any]] = None,
@@ -278,7 +290,9 @@ def run_one(
       ``RunSummary.metrics_paths``.
     """
     scale = scale or Scale.from_env()
-    problem = problem or make_problem(spec, scale)
+    problem = problem or make_problem(
+        spec, scale, use_corners=use_corners, mc_seed=mc_seed
+    )
     seed = stable_seed(experiment_id, name, seed_index)
     gens = generations if generations is not None else scale.generations
     run_id = f"{experiment_id}/{name}/seed{seed_index}"
@@ -329,6 +343,8 @@ def run_one(
             "workers": workers,
             "cache_size": cache_size,
             "kernel": kernel,
+            "use_corners": use_corners,
+            "mc_seed": mc_seed,
             "checkpoint_every": checkpoint_every,
             "algo_kwargs": dict(algo_kwargs),
         }
@@ -450,6 +466,8 @@ def resume_run(
         workers=context["workers"],
         cache_size=context["cache_size"],
         kernel=context["kernel"],
+        use_corners=context.get("use_corners", True),
+        mc_seed=context.get("mc_seed", 2005),
         checkpoint_path=checkpoint_path,
         checkpoint_every=context.get("checkpoint_every", 10),
         resume_from=payload,

@@ -140,6 +140,43 @@ class ServeClient:
                 )
             time.sleep(poll_s)
 
+    # ------------------------------------------------------------ campaigns
+
+    def create_campaign(
+        self, payload: Dict[str, Any], trace_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Start (or resume) a robustness campaign over a surface.
+
+        *payload* needs at least ``{"surface": name}``; see the server's
+        ``POST /campaigns`` contract for the optional spec/backend keys.
+        """
+        extra = {"X-Trace-Id": trace_id} if trace_id else None
+        return self._request(
+            "POST", "/campaigns", payload=payload, extra_headers=extra
+        )
+
+    def campaign(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/campaigns/{quote(campaign_id)}")
+
+    def campaigns(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def wait_campaign(
+        self, campaign_id: str, timeout: float = 300.0, poll_s: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the campaign's report is ready; returns the status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.campaign(campaign_id)
+            if status.get("report") is not None:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} still has shards "
+                    f"{status.get('shards_pending')} after {timeout:.1f}s"
+                )
+            time.sleep(poll_s)
+
     # ------------------------------------------------------------- surfaces
 
     def surfaces(self) -> List[Dict[str, Any]]:

@@ -7,6 +7,10 @@ Endpoints (all JSON unless noted):
 ``GET /jobs``                               list jobs (``?state=queued`` filters)
 ``GET /jobs/{id}``                          one job's status/result
 ``DELETE /jobs/{id}``                       cooperative cancel
+``POST /campaigns``                         start a robustness campaign (202)
+``GET /campaigns``                          campaign catalog with progress
+``GET /campaigns/{id}``                     one campaign's status (+ report
+                                            once every shard has landed)
 ``GET /surfaces``                           registered surface catalog
 ``GET /surfaces/{name}``                    one surface's description
 ``GET /surfaces/{name}/query?c_load=...``   min-power query (``design=1`` for
@@ -54,6 +58,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.campaign.engine import CampaignRunner, UnknownCampaign
+from repro.campaign.scenarios import CampaignSpec
 from repro.obs.exporters import merge_prometheus, parse_prometheus, to_prometheus
 from repro.obs.logging import get_logger
 from repro.obs.registry import MetricsRegistry
@@ -100,6 +106,14 @@ class ServeApp:
         self._m_surfaces = self.registry.gauge(
             "repro_serve_surfaces", "Registered surface names"
         )
+        # Campaigns live beside the job store so external `repro workers`
+        # resolve the same directories the server does.
+        self.campaigns = CampaignRunner(
+            manager.data_dir / "campaigns",
+            surfaces=store,
+            metrics=self.registry,
+            recorder=manager.recorder,
+        )
         self._log = get_logger("serve.http")
 
     # -------------------------------------------------------------- dispatch
@@ -128,7 +142,7 @@ class ServeApp:
             status, payload = thunk()
         except JobQueueFull as exc:
             status, payload = 429, {"error": str(exc), "retry_after_s": 1.0}
-        except (UnknownJob, UnknownSurface) as exc:
+        except (UnknownJob, UnknownSurface, UnknownCampaign) as exc:
             status, payload = 404, {"error": f"not found: {exc.args[0]}"}
         except ValueError as exc:
             status, payload = 400, {"error": str(exc)}
@@ -191,6 +205,23 @@ class ServeApp:
                         200,
                         self.manager.cancel(parts[1]),
                     )
+        if parts[:1] == ["campaigns"]:
+            if len(parts) == 1:
+                if method == "POST":
+                    return "/campaigns", lambda: (
+                        202,
+                        self._create_campaign(body, headers),
+                    )
+                if method == "GET":
+                    return "/campaigns", lambda: (
+                        200,
+                        {"campaigns": self.campaigns.list_campaigns()},
+                    )
+            elif len(parts) == 2 and method == "GET":
+                return "/campaigns/:id", lambda: (
+                    200,
+                    self._campaign(parts[1]),
+                )
         if parts[:1] == ["surfaces"] and method == "GET":
             if len(parts) == 1:
                 return "/surfaces", lambda: (
@@ -230,6 +261,87 @@ class ServeApp:
         trace_id = headers.get("x-trace-id")
         job = self.manager.submit(payload, kind=kind, trace_id=trace_id)
         return job.snapshot()
+
+    def _create_campaign(
+        self, body: bytes, headers: Dict[str, str]
+    ) -> Dict[str, Any]:
+        """Start (or resume) a robustness campaign over a surface.
+
+        Body: ``{"surface": name, "spec": {...}, "version": N,
+        "campaign_id": ..., "derated_surface": ..., "backend": ...,
+        "workers": N}`` — only ``surface`` is required.  One durable
+        ``campaign_shard`` job is submitted per pending shard, all
+        sharing the campaign's trace id.  Re-POSTing an existing
+        ``campaign_id`` submits only the shards that are neither done
+        nor already queued/running, which is the resume path after a
+        server restart or a 429 mid-submission.
+        """
+        if len(body) > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        if "surface" not in payload:
+            raise ValueError("campaign needs a 'surface' to sweep")
+        campaign_id = payload.get("campaign_id")
+        manifest = None
+        if campaign_id is not None:
+            try:
+                manifest = self.campaigns.load(str(campaign_id))
+            except UnknownCampaign:
+                manifest = None
+        if manifest is None:
+            spec = CampaignSpec.from_dict(payload.get("spec") or {})
+            kwargs: Dict[str, Any] = {
+                "campaign_id": campaign_id,
+                "trace_id": headers.get("x-trace-id"),
+            }
+            if payload.get("version") is not None:
+                kwargs["version"] = int(payload["version"])
+            if payload.get("derated_surface") is not None:
+                kwargs["derated_surface"] = str(payload["derated_surface"])
+            manifest = self.campaigns.create_from_surface(
+                self.store, str(payload["surface"]), spec, **kwargs
+            )
+        cid = manifest["id"]
+        active = {
+            int(r.params.get("shard_index", -1))
+            for r in self.manager.job_store.list_jobs(
+                states=("queued", "running")
+            )
+            if r.kind == "campaign_shard"
+            and r.params.get("campaign_id") == cid
+        }
+        submitted = []
+        for shard_index in self.campaigns.pending_shards(manifest):
+            if shard_index in active:
+                continue
+            params: Dict[str, Any] = {
+                "campaign_id": cid,
+                "campaign_root": str(self.campaigns.root),
+                "shard_index": shard_index,
+            }
+            if payload.get("backend") is not None:
+                params["backend"] = payload["backend"]
+            if payload.get("workers") is not None:
+                params["workers"] = int(payload["workers"])
+            job = self.manager.submit(
+                params, kind="campaign_shard", trace_id=manifest["trace_id"]
+            )
+            submitted.append(job.id)
+        out = self.campaigns.status(manifest)
+        out["jobs"] = submitted
+        return out
+
+    def _campaign(self, campaign_id: str) -> Dict[str, Any]:
+        manifest = self.campaigns.load(campaign_id)
+        out = self.campaigns.status(manifest)
+        if out["complete"]:
+            out["report"] = self.campaigns.finalize(manifest)
+        return out
 
     def _metrics(self) -> str:
         """Local live series merged with fresh worker snapshots.

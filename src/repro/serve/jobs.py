@@ -80,6 +80,7 @@ __all__ = [
     "JobQueueFull",
     "UnknownJob",
     "JOB_PARAMS",
+    "CAMPAIGN_JOB_PARAMS",
 ]
 
 #: Public alias: a job row in the durable store.
@@ -97,6 +98,8 @@ JOB_PARAMS = frozenset(
         "generations",
         "population",
         "n_mc",
+        "mc_seed",
+        "use_corners",
         "n_seeds",
         "seed_index",
         "experiment_id",
@@ -114,6 +117,12 @@ JOB_PARAMS = frozenset(
 )
 
 _ALGORITHMS = ("tpg", "sacga", "mesacga")
+
+#: Parameters of a ``campaign_shard`` job: the shard is fully described
+#: by its campaign directory and index; backend/workers are speed knobs.
+CAMPAIGN_JOB_PARAMS = frozenset(
+    {"campaign_id", "campaign_root", "shard_index", "backend", "workers"}
+)
 
 
 class JobManager:
@@ -294,21 +303,35 @@ class JobManager:
         :class:`JobQueueFull` when the queue is at capacity (the
         rejected submission persists nothing).
         """
-        if kind not in ("run_one", "run_many"):
-            raise ValueError(f"unknown job kind {kind!r} (want run_one/run_many)")
+        if kind not in ("run_one", "run_many", "campaign_shard"):
+            raise ValueError(
+                f"unknown job kind {kind!r} "
+                "(want run_one/run_many/campaign_shard)"
+            )
         trace_id = mint_trace_id() if trace_id is None else check_trace_id(trace_id)
         params = dict(params or {})
-        unknown = sorted(set(params) - JOB_PARAMS)
+        allowed = CAMPAIGN_JOB_PARAMS if kind == "campaign_shard" else JOB_PARAMS
+        unknown = sorted(set(params) - allowed)
         if unknown:
             raise ValueError(
-                f"unknown job parameters {unknown} (allowed: {sorted(JOB_PARAMS)})"
+                f"unknown job parameters {unknown} (allowed: {sorted(allowed)})"
             )
-        algorithm = str(params.get("algorithm", "")).strip().lower()
-        if algorithm not in _ALGORITHMS:
-            raise ValueError(
-                f"job needs algorithm in {_ALGORITHMS}, got {algorithm!r}"
-            )
-        params["algorithm"] = algorithm
+        if kind == "campaign_shard":
+            # A shard job is a pointer into a campaign directory; the
+            # campaign manifest — not the job row — holds the spec.
+            for required in ("campaign_id", "campaign_root", "shard_index"):
+                if required not in params:
+                    raise ValueError(
+                        f"campaign_shard job needs {required!r} in params"
+                    )
+            params["shard_index"] = int(params["shard_index"])
+        else:
+            algorithm = str(params.get("algorithm", "")).strip().lower()
+            if algorithm not in _ALGORITHMS:
+                raise ValueError(
+                    f"job needs algorithm in {_ALGORITHMS}, got {algorithm!r}"
+                )
+            params["algorithm"] = algorithm
         backend = params.get("backend")
         if backend is not None:
             # Fail a bad backend name at submit time, not inside a worker.
@@ -323,12 +346,18 @@ class JobManager:
             # Fail a bad surface name at submit time, not in the worker.
             _check_surface_name(str(surface_name))
         job_id = f"job-{uuid.uuid4().hex[:12]}"
+        if kind == "campaign_shard":
+            # Shards persist their own result files; no ledger/checkpoint.
+            ledger_path = checkpoint_path = None
+        else:
+            ledger_path = str(self.data_dir / "jobs" / f"{job_id}.ledger.jsonl")
+            checkpoint_path = str(self.data_dir / "jobs" / f"{job_id}.ckpt")
         record = JobRecord(
             id=job_id,
             kind=kind,
             params=params,
-            ledger_path=str(self.data_dir / "jobs" / f"{job_id}.ledger.jsonl"),
-            checkpoint_path=str(self.data_dir / "jobs" / f"{job_id}.ckpt"),
+            ledger_path=ledger_path,
+            checkpoint_path=checkpoint_path,
             trace_id=trace_id,
         )
         with self._lock:

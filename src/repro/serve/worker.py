@@ -374,6 +374,8 @@ class WorkerLoop:
     # -------------------------------------------------------------- execute
 
     def _execute(self, record: JobRecord, token, cancel_event):
+        if record.kind == "campaign_shard":
+            return self._execute_campaign_shard(record, cancel_event)
         params = record.params
         base = Scale.from_env()
         scale = Scale(
@@ -412,6 +414,12 @@ class WorkerLoop:
             callbacks=[token],
             **algo_kwargs,
         )
+        # Robustness knobs are forwarded only when submitted, so stub
+        # runners (and old jobs) see the historical signature.
+        if "use_corners" in params:
+            common["use_corners"] = bool(params["use_corners"])
+        if "mc_seed" in params:
+            common["mc_seed"] = int(params["mc_seed"])
         experiment_id = str(params.get("experiment_id", "serve"))
         resumed = False
         if record.kind == "run_one":
@@ -484,6 +492,59 @@ class WorkerLoop:
             }
         )
         return result, surface_info
+
+    def _execute_campaign_shard(self, record: JobRecord, cancel_event):
+        """Execute one robustness-campaign shard job.
+
+        The shard itself is the durability unit: its result file is
+        written atomically by the campaign engine, and a shard whose file
+        already exists (this is a reclaimed ``attempt > 1``) is returned
+        without re-evaluation — shard-exact resume needs no checkpoint.
+        When this shard completes the campaign, the worker finalizes it
+        opportunistically; the engine's exclusive report claim keeps a
+        concurrent finalize race harmless.
+        """
+        from repro.campaign.engine import CampaignRunner
+
+        params = record.params
+        if cancel_event.is_set():
+            raise JobCancelled("job cancelled before shard start")
+        runner = CampaignRunner(
+            params["campaign_root"],
+            surfaces=self.surfaces,
+            metrics=self.registry,
+            recorder=self.recorder,
+        )
+        manifest = runner.load(str(params["campaign_id"]))
+        shard_index = int(params["shard_index"])
+        shard = runner.run_shard(
+            manifest,
+            shard_index,
+            backend=params.get("backend"),
+            workers=params.get("workers"),
+        )
+        if cancel_event.is_set():
+            raise JobCancelled("job cancelled mid-shard")
+        finalized = False
+        if not runner.pending_shards(manifest):
+            try:
+                runner.finalize(manifest)
+                finalized = True
+            except ValueError:
+                pass  # a sibling shard landed and then vanished mid-race
+        result = _jsonable(
+            {
+                "kind": record.kind,
+                "campaign": manifest["id"],
+                "shard_index": shard_index,
+                "scenario_keys": shard.scenario_keys,
+                "n_evaluations": shard.n_evaluations,
+                "finalized": finalized,
+                "attempt": record.attempt,
+                "worker": self.worker_id,
+            }
+        )
+        return result, None
 
     def _register_surface(self, record: JobRecord, summaries, resumed: bool = False):
         if self.surfaces is None or not summaries:

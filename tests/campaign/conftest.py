@@ -1,0 +1,48 @@
+"""Shared fixtures for the campaign tests.
+
+The design batch is a small perturbation family around the known
+near-feasible canary design — realistic enough that shard evaluation
+produces a mix of passing and failing Monte-Carlo samples, small enough
+that a full campaign runs in well under a second.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.scenarios import CampaignSpec
+
+# Same hand-checked vector as tests/circuits/conftest.py (kept local:
+# pytest does not share conftests across sibling test packages).
+KNOWN_FEASIBLE_DESIGN = np.array([
+    3.77e-05, 2.0e-06, 1.31e-05, 1.75e-06, 4.56e-05, 1.94e-06,
+    6.94e-05, 5.17e-07, 3.57e-05, 8.34e-07,
+    5.05e-05, 5.77e-05, 4.99e-12, 3.85e-12, 4.99e-14,
+])
+
+
+def design_batch(n: int = 3) -> np.ndarray:
+    """*n* designs: the canary plus slightly scaled siblings."""
+    base = KNOWN_FEASIBLE_DESIGN
+    rows = [base * (1.0 + 0.02 * i) for i in range(n)]
+    x = np.stack(rows)
+    x[:, 14] = base[14]  # keep c_load identical across the family
+    return x
+
+
+@pytest.fixture
+def designs():
+    return design_batch()
+
+
+@pytest.fixture
+def make_designs():
+    """Factory fixture: ``make_designs(n)`` → an ``(n, 15)`` batch."""
+    return design_batch
+
+
+@pytest.fixture
+def tiny_spec():
+    """Two scenarios, two shards of one scenario each, 4 MC samples."""
+    return CampaignSpec(
+        corners=("TT", "SS"), n_mc=4, shard_scenarios=1, yield_target=0.5
+    )

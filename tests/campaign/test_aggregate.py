@@ -1,0 +1,225 @@
+"""Tests for yield aggregation, Wilson intervals and derating.
+
+These lock in the aggregation semantics the module docstring promises:
+AND-over-scenarios per MC sample, Wilson bounds, nominal-floored
+derating, and the all-fail / empty-filter edge cases (satellite:
+DesignSurface filtering and derating edges).
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.aggregate import (
+    aggregate_report,
+    build_derated_surface,
+    wilson_interval,
+    yield_histogram_counts,
+)
+from repro.campaign.shards import ShardResult
+
+from repro.experiments.tradeoff import DesignSurface
+
+
+def make_shard(index, keys, power, passes, n_mc):
+    return ShardResult(
+        shard_index=index,
+        scenario_keys=list(keys),
+        n_mc=n_mc,
+        power=np.asarray(power, dtype=float),
+        passes=np.asarray(passes, dtype=bool),
+        n_evaluations=int(np.asarray(power).size),
+    )
+
+
+class TestWilson:
+    def test_known_value(self):
+        # p=0.5, n=8, z=1.96: centre 0.5, half-width ~0.2873.
+        lo, hi = wilson_interval(np.array([4]), 8)
+        assert lo[0] == pytest.approx(0.2152, abs=1e-3)
+        assert hi[0] == pytest.approx(0.7848, abs=1e-3)
+
+    def test_extremes_stay_in_unit_interval(self):
+        lo, hi = wilson_interval(np.array([0, 8]), 8)
+        assert lo[0] == 0.0
+        assert hi[0] < 1.0  # p=0: upper bound strictly below 1 but > 0
+        assert hi[1] == 1.0
+        assert lo[1] > 0.0  # p=1: lower bound strictly above 0
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            wilson_interval(np.array([0]), 0)
+
+
+class TestAggregation:
+    """Two scenarios x 4 MC samples x 2 designs, hand-built."""
+
+    KEYS = ["TT@nom", "SS@nom"]
+    N_MC = 4
+
+    def shards(self):
+        # Design 0: passes samples 0,1,2 in TT and samples 0,1,3 in SS
+        #           -> AND passes only samples 0,1 -> yield 0.5.
+        # Design 1: passes everything -> yield 1.0.
+        tt = make_shard(
+            0, ["TT@nom"], [[1e-4, 2e-4]],
+            [[[1, 1], [1, 1], [1, 1], [0, 1]]], self.N_MC,
+        )
+        ss = make_shard(
+            1, ["SS@nom"], [[3e-4, 1e-4]],
+            [[[1, 1], [1, 1], [0, 1], [1, 1]]], self.N_MC,
+        )
+        return [tt, ss]
+
+    def report(self, yield_target=0.9, nominal=(5e-5, 1.5e-4)):
+        return aggregate_report(
+            self.shards(),
+            self.KEYS,
+            c_load=np.array([1e-12, 2e-12]),
+            nominal_power=np.array(nominal),
+            n_mc=self.N_MC,
+            yield_target=yield_target,
+        )
+
+    def test_and_semantics(self):
+        report = self.report()
+        yields = [d["yield"] for d in report["designs"]]
+        assert yields == [0.5, 1.0]
+
+    def test_yield_counts(self):
+        report = self.report(yield_target=0.9)
+        assert report["n_yielding"] == 1
+        assert report["designs"][0]["passes_target"] is False
+        assert report["designs"][1]["passes_target"] is True
+        assert report["min_yield"] == 0.5
+        assert report["median_yield"] == 0.75
+
+    def test_shard_order_irrelevant(self):
+        a = self.report()
+        shards = self.shards()[::-1]
+        b = aggregate_report(
+            shards, self.KEYS,
+            c_load=np.array([1e-12, 2e-12]),
+            nominal_power=np.array([5e-5, 1.5e-4]),
+            n_mc=self.N_MC, yield_target=0.9,
+        )
+        assert a == b
+
+    def test_derating_takes_worst_scenario(self):
+        report = self.report()
+        d0 = report["designs"][0]
+        # Design 0: TT power 1e-4, SS power 3e-4 -> worst is SS.
+        assert d0["derated_power"] == 3e-4
+        assert d0["worst_scenario"] == "SS@nom"
+
+    def test_derating_floored_at_nominal(self):
+        # Design 1's nominal power (1.5e-4) is below its worst scenario
+        # power (2e-4) -> derated 2e-4; raise nominal above worst and
+        # the floor must win.
+        report = self.report(nominal=(5e-5, 9e-4))
+        assert report["designs"][1]["derated_power"] == 9e-4
+        for d in self.report()["designs"]:
+            assert d["derated_power"] >= d["nominal_power"]
+
+    def test_scenario_pass_rate(self):
+        report = self.report()
+        assert report["scenario_pass_rate"]["TT@nom"] == [0.75, 1.0]
+        assert report["scenario_pass_rate"]["SS@nom"] == [0.75, 1.0]
+
+    def test_wilson_bounds_bracket_yield(self):
+        for d in self.report()["designs"]:
+            assert d["yield_lo"] <= d["yield"] <= d["yield_hi"]
+
+
+class TestAssembleValidation:
+    def test_missing_scenario(self):
+        shard = make_shard(0, ["TT@nom"], [[1e-4]], [[[1], [1]]], 2)
+        with pytest.raises(ValueError, match="missing scenarios"):
+            aggregate_report(
+                [shard], ["TT@nom", "SS@nom"],
+                c_load=np.array([1e-12]), nominal_power=np.array([1e-4]),
+                n_mc=2, yield_target=0.9,
+            )
+
+    def test_duplicate_scenario(self):
+        shard = make_shard(0, ["TT@nom"], [[1e-4]], [[[1], [1]]], 2)
+        with pytest.raises(ValueError, match="appears in two shards"):
+            aggregate_report(
+                [shard, shard], ["TT@nom"],
+                c_load=np.array([1e-12]), nominal_power=np.array([1e-4]),
+                n_mc=2, yield_target=0.9,
+            )
+
+    def test_unexpected_scenario(self):
+        shard = make_shard(
+            0, ["TT@nom", "FF@nom"],
+            [[1e-4], [2e-4]], [[[1], [1]], [[1], [1]]], 2,
+        )
+        with pytest.raises(ValueError, match="unexpected scenarios"):
+            aggregate_report(
+                [shard], ["TT@nom"],
+                c_load=np.array([1e-12]), nominal_power=np.array([1e-4]),
+                n_mc=2, yield_target=0.9,
+            )
+
+    def test_mc_depth_mismatch(self):
+        shard = make_shard(0, ["TT@nom"], [[1e-4]], [[[1], [1]]], 2)
+        with pytest.raises(ValueError, match="n_mc"):
+            aggregate_report(
+                [shard], ["TT@nom"],
+                c_load=np.array([1e-12]), nominal_power=np.array([1e-4]),
+                n_mc=4, yield_target=0.9,
+            )
+
+    def test_design_count_mismatch(self):
+        shard = make_shard(0, ["TT@nom"], [[1e-4]], [[[1], [1]]], 2)
+        with pytest.raises(ValueError, match="designs"):
+            aggregate_report(
+                [shard], ["TT@nom"],
+                c_load=np.array([1e-12, 2e-12]),
+                nominal_power=np.array([1e-4, 2e-4]),
+                n_mc=2, yield_target=0.9,
+            )
+
+
+class TestDeratedSurface:
+    def setup_method(self):
+        self.x = np.stack([np.full(15, 1.0), np.full(15, 2.0)])
+        self.c_load = np.array([1e-12, 2e-12])
+        self.derated = np.array([2e-4, 3e-4])
+
+    def test_all_fail_returns_none(self):
+        keep = np.array([False, False])
+        assert build_derated_surface(
+            self.x, self.c_load, self.derated, keep
+        ) is None
+
+    def test_partial_keep(self):
+        keep = np.array([False, True])
+        surface = build_derated_surface(self.x, self.c_load, self.derated, keep)
+        assert isinstance(surface, DesignSurface)
+        assert surface.size == 1
+        assert surface.c_load[0] == 2e-12
+        assert surface.power[0] == 3e-4
+
+    def test_power_at_never_below_nominal(self, designs):
+        # Satellite edge: at every knot the derated surface stores, the
+        # power must be >= the surviving design's nominal figure (the
+        # Pareto filter may drop dominated knots, never lower a price).
+        nominal = np.array([1e-4, 1.2e-4, 1.4e-4])
+        c_load = np.array([1e-12, 2e-12, 3e-12])
+        derated = np.maximum(np.array([9e-5, 2.0e-4, 1.4e-4]), nominal)
+        surface = build_derated_surface(
+            designs, c_load, derated, np.ones(3, dtype=bool)
+        )
+        nominal_by_load = dict(zip(c_load, nominal))
+        assert surface.size >= 1
+        for cl, pw in zip(surface.c_load, surface.power):
+            assert pw >= nominal_by_load[cl]
+            assert surface.power_at(cl) >= nominal_by_load[cl]
+
+
+class TestYieldHistogram:
+    def test_cumulative_counts(self):
+        edges = [0.25, 0.5, 0.75, 1.0]
+        counts = yield_histogram_counts([0.0, 0.5, 0.5, 1.0], edges)
+        assert counts == [1, 3, 3, 4]

@@ -1,5 +1,10 @@
 """Tests for the Monte-Carlo yield machinery."""
 
+import hashlib
+import multiprocessing
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -9,6 +14,25 @@ from repro.circuits.yield_est import (
     pass_fraction,
     stacked_technology,
 )
+
+
+def _stacked_card_bytes(seed):
+    """Canonical byte serialization of the CRN-stacked nominal card.
+
+    Concatenates the stacked u0/vt0 arrays of both devices — everything
+    the sampler perturbs — so equal bytes mean the common-random-number
+    draws are identical down to the last bit.
+    """
+    stacked = MonteCarloSampler(n_samples=8, seed=seed).stacked(
+        nominal_technology()
+    )
+    return b"".join(
+        np.ascontiguousarray(arr).tobytes()
+        for arr in (
+            stacked.nmos.u0, stacked.nmos.vt0,
+            stacked.pmos.u0, stacked.pmos.vt0,
+        )
+    )
 
 
 class TestStackedTechnology:
@@ -33,6 +57,25 @@ class TestStackedTechnology:
     def test_name_reflects_count(self):
         stacked = stacked_technology([nominal_technology()] * 4)
         assert "4" in stacked.name
+
+    def test_restacking_rejected(self):
+        stacked = stacked_technology([nominal_technology()] * 2)
+        with pytest.raises(ValueError, match="re-stacked"):
+            stacked_technology([stacked, stacked])
+
+    def test_mixed_plain_and_stacked_rejected(self):
+        base = nominal_technology()
+        stacked = stacked_technology([base, base])
+        with pytest.raises(ValueError, match="re-stacked"):
+            stacked_technology([base, stacked])
+
+    def test_device_type_mismatch_rejected(self):
+        from dataclasses import replace
+
+        base = nominal_technology()
+        swapped = replace(base, name="swapped", nmos=base.pmos)
+        with pytest.raises(ValueError, match="different nmos device type"):
+            stacked_technology([base, swapped])
 
 
 class TestMonteCarloSampler:
@@ -89,6 +132,45 @@ class TestMonteCarloSampler:
         a = s.mismatch_offsets(5e-9, np.array([1e-5]), np.array([1e-6]))
         b = s.mismatch_offsets(5e-9, np.array([1e-5]), np.array([1e-6]))
         np.testing.assert_array_equal(a, b)
+
+
+class TestCommonRandomNumbersAcrossProcesses:
+    """CRN regression: the same seed must reproduce the stacked card
+    byte-for-byte in *other* processes — this is the invariant campaign
+    shards rely on when different workers evaluate different scenarios
+    of the same Monte-Carlo sample set."""
+
+    SEED = 2005
+
+    def test_same_seed_same_bytes_in_process(self):
+        assert _stacked_card_bytes(self.SEED) == _stacked_card_bytes(self.SEED)
+        assert _stacked_card_bytes(self.SEED) != _stacked_card_bytes(7)
+
+    def test_forked_process_matches(self):
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(1) as pool:
+            child = pool.apply(_stacked_card_bytes, (self.SEED,))
+        assert child == _stacked_card_bytes(self.SEED)
+
+    def test_fresh_interpreter_matches(self):
+        # A brand-new interpreter (the spawn start method is exactly
+        # this: fork+exec of a clean python) must draw identical CRNs.
+        script = (
+            "import hashlib, numpy as np\n"
+            "from repro.circuits.technology import nominal_technology\n"
+            "from repro.circuits.yield_est import MonteCarloSampler\n"
+            f"s = MonteCarloSampler(n_samples=8, seed={self.SEED})"
+            ".stacked(nominal_technology())\n"
+            "blob = b''.join(np.ascontiguousarray(a).tobytes() for a in ("
+            "s.nmos.u0, s.nmos.vt0, s.pmos.u0, s.pmos.vt0))\n"
+            "print(hashlib.sha256(blob).hexdigest())\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        local = hashlib.sha256(_stacked_card_bytes(self.SEED)).hexdigest()
+        assert out.stdout.strip() == local
 
 
 class TestPassFraction:

@@ -48,6 +48,17 @@ class TestFactories:
         problem = make_problem(scale=TINY)
         assert problem.sampler.n_samples == 2
 
+    def test_make_problem_forwards_robustness_knobs(self):
+        problem = make_problem(scale=TINY, use_corners=False, mc_seed=77)
+        assert problem.use_corners is False
+        np.testing.assert_array_equal(
+            problem.sampler._z,
+            make_problem(scale=TINY, mc_seed=77).sampler._z,
+        )
+        default = make_problem(scale=TINY)
+        assert default.use_corners is True
+        assert not np.array_equal(problem.sampler._z, default.sampler._z)
+
     def test_make_algorithm_types(self):
         problem = make_problem(scale=TINY)
         assert isinstance(make_algorithm("tpg", problem, TINY, 1), NSGA2)
@@ -107,6 +118,23 @@ class TestRunOne:
         a = run_one("tpg", "exp-a", scale=TINY)
         b = run_one("tpg", "exp-b", scale=TINY)
         assert a.seed != b.seed
+
+    def test_robustness_knobs_recorded_in_checkpoint(self, tmp_path):
+        from repro.core.checkpoint import load_checkpoint
+        from repro.experiments.runner import resume_run
+
+        path = tmp_path / "run.ckpt"
+        run_one(
+            "tpg", "knobs", scale=TINY, use_corners=False, mc_seed=42,
+            checkpoint_path=str(path), checkpoint_every=1,
+        )
+        context = load_checkpoint(path)["context"]
+        assert context["use_corners"] is False
+        assert context["mc_seed"] == 42
+        # A finished run resumes to the same answer under the same knobs
+        # (resume rebuilds the problem from the recorded context).
+        summary = resume_run(str(path))
+        assert summary.algorithm == "NSGA-II"
 
 
 class TestMedianHv:

@@ -91,6 +91,60 @@ class TestParser:
         assert args.design
         assert args.version == 3
 
+    def test_run_mc_flags(self):
+        args = build_parser().parse_args(
+            ["run", "sacga", "--n-mc", "4", "--mc-seed", "7", "--no-corners"]
+        )
+        assert args.n_mc == 4
+        assert args.mc_seed == 7
+        assert args.no_corners is True
+        defaults = build_parser().parse_args(["run", "sacga"])
+        assert defaults.mc_seed == 2005
+        assert defaults.no_corners is False
+
+    def test_submit_mc_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "tpg", "--n-mc", "4", "--mc-seed", "9", "--no-corners"]
+        )
+        assert args.n_mc == 4
+        assert args.mc_seed == 9
+        assert args.no_corners is True
+        # Default mc_seed is None on submit: absent from job params so
+        # the server-side default applies.
+        assert build_parser().parse_args(["submit", "tpg"]).mc_seed is None
+
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run"])  # needs surface
+
+    def test_campaign_run_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "amp", "--corners", "TT,FF", "--n-mc", "4",
+             "--mc-seed", "11", "--yield-target", "0.8",
+             "--shard-scenarios", "1", "--condition", "hot,0.95,358",
+             "--durable", "--wait", "--timeout", "30"]
+        )
+        assert args.campaign_command == "run"
+        assert args.surface == "amp"
+        assert args.corners == "TT,FF"
+        assert args.n_mc == 4
+        assert args.mc_seed == 11
+        assert args.yield_target == 0.8
+        assert args.shard_scenarios == 1
+        assert args.condition == ["hot,0.95,358"]
+        assert args.durable and args.wait and args.timeout == 30.0
+
+    def test_campaign_status_and_report_flags(self):
+        args = build_parser().parse_args(["campaign", "status"])
+        assert args.campaign_id is None
+        args = build_parser().parse_args(
+            ["campaign", "report", "camp-1", "--max-rows", "5"]
+        )
+        assert args.campaign_id == "camp-1"
+        assert args.max_rows == 5
+
 
 class TestCommands:
     def test_spec_ladder(self, capsys):
@@ -120,6 +174,80 @@ class TestCommands:
         payload = json.loads(out_file.read_text())
         assert payload["algorithm"] == "NSGA-II"
         assert "front" in payload
+
+
+class TestCampaignCommands:
+    def _register_front(self, data_dir):
+        import numpy as np
+
+        from repro.experiments.tradeoff import DesignSurface
+        from repro.serve.surfaces import SurfaceStore
+
+        from tests.campaign.conftest import design_batch
+
+        store = SurfaceStore(data_dir / "surfaces")
+        store.register(
+            "front",
+            DesignSurface(
+                design_batch(),
+                np.array([1e-12, 2e-12, 3e-12]),
+                np.array([1e-4, 1.1e-4, 1.2e-4]),
+            ),
+        )
+
+    def test_campaign_run_status_report_round_trip(self, capsys, tmp_path):
+        self._register_front(tmp_path)
+        code = main(
+            ["campaign", "run", "front", "--data-dir", str(tmp_path),
+             "--campaign-id", "cli-camp", "--corners", "TT", "--n-mc", "2",
+             "--json", str(tmp_path / "report.json")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli-camp" in out
+        assert "yield" in out
+        payload = json.loads((tmp_path / "report.json").read_text())
+        assert payload["campaign"] == "cli-camp"
+        assert payload["n_scenarios"] == 1
+
+        assert main(["campaign", "status", "cli-camp",
+                     "--data-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+
+        assert main(["campaign", "report", "cli-camp",
+                     "--data-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-camp" in out
+
+    def test_campaign_unknown_surface_exit_2(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "run", "ghost", "--data-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "cannot start campaign" in capsys.readouterr().err
+
+    def test_campaign_status_unknown_id_exit_2(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "status", "nope", "--data-dir", str(tmp_path)]
+        )
+        assert code == 2
+
+    def test_campaign_report_incomplete_exit_1(self, capsys, tmp_path):
+        self._register_front(tmp_path)
+        # Create durably (no execution) so shards stay pending.
+        code = main(
+            ["campaign", "run", "front", "--data-dir", str(tmp_path),
+             "--campaign-id", "pending-camp", "--corners", "TT,SS",
+             "--n-mc", "2", "--durable"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            ["campaign", "report", "pending-camp", "--data-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "incomplete" in capsys.readouterr().err
 
 
 class TestCheckpointResumeTrace:
